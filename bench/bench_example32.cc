@@ -1,0 +1,56 @@
+// E1 (Example 3.2): scaling of the tw^{r,l} reference interpreter on the
+// delta/leaf-uniformity property, uniform vs poisoned inputs.  Reports
+// interpreter steps and atp subcomputations as counters.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/tree/generate.h"
+
+namespace {
+
+using namespace treewalk;
+
+void BM_Example32(benchmark::State& state, bool uniform) {
+  int n = static_cast<int>(state.range(0));
+  std::mt19937 rng(42);
+  Tree tree = Example32Tree(rng, n, uniform);
+  Program program = std::move(Example32Program()).value();
+  RunOptions options;
+  options.max_steps = 100'000'000;
+  Interpreter interpreter(program, options);
+  DelimitedTree delimited = Delimit(tree);
+
+  std::int64_t steps = 0, subs = 0;
+  bool accepted = false;
+  for (auto _ : state) {
+    auto run = interpreter.RunDelimited(delimited.tree);
+    if (!run.ok()) state.SkipWithError(run.status().ToString().c_str());
+    accepted = run->accepted;
+    steps = run->stats.steps;
+    subs = run->stats.subcomputations;
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["subcomputations"] = static_cast<double>(subs);
+  state.counters["accepted"] = accepted ? 1 : 0;
+  state.counters["nodes"] = n;
+}
+
+void BM_Example32Uniform(benchmark::State& state) {
+  BM_Example32(state, true);
+}
+void BM_Example32Poisoned(benchmark::State& state) {
+  BM_Example32(state, false);
+}
+
+BENCHMARK(BM_Example32Uniform)
+    ->Arg(10)->Arg(30)->Arg(100)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Example32Poisoned)
+    ->Arg(10)->Arg(30)->Arg(100)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// E13 (Theorem 7.1(4) regime): exponential time from polynomial
+// storage.  The store-encoded binary counter takes 2^n - 1 increments
+// while its store never exceeds O(n^2) tuples — the configuration space
+// of tw^r/tw^{r,l} is exponential even though each configuration is
+// polynomial, which is where EXPTIME comes from.
+
+#include <benchmark/benchmark.h>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/tree/term_io.h"
+
+namespace {
+
+using namespace treewalk;
+
+void BM_ExponentialCounter(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Program p = std::move(ExponentialCounterProgram()).value();
+  Tree t = StringTree(std::vector<DataValue>(static_cast<std::size_t>(n), 0));
+  AssignUniqueIds(t);
+  RunOptions options;
+  options.max_steps = 1'000'000'000;
+  // The visited-set would hold all 2^n configurations; the budget is the
+  // intended backstop here.
+  options.detect_cycles = false;
+  Interpreter interpreter(p, options);
+  RunStats stats;
+  for (auto _ : state) {
+    auto r = interpreter.Run(t);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    if (!r->accepted) state.SkipWithError("counter did not terminate");
+    stats = r->stats;
+  }
+  state.counters["steps"] = static_cast<double>(stats.steps);
+  state.counters["store_tuples"] =
+      static_cast<double>(stats.max_store_tuples);
+  state.counters["nodes"] = n;
+}
+
+BENCHMARK(BM_ExponentialCounter)->DenseRange(4, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// E3 (Lemma 4.2): L^m machinery.  Encoding/decoding cost, membership via
+// the reference decoder, and (for m = 1) membership via the FO sentence
+// of Lemma 4.2 evaluated on the string tree.  Shape to observe: decoder
+// and FO sentence agree (checked in tests); the decoder is linear while
+// naive FO evaluation is polynomial of higher degree.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/hyperset/hyperset.h"
+#include "src/logic/parser.h"
+#include "src/logic/tree_eval.h"
+#include "src/tree/term_io.h"
+
+namespace {
+
+using namespace treewalk;
+
+constexpr DataValue kHash = -1;
+
+Hyperset RandomLevel1(std::mt19937& rng, int domain_size) {
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::vector<DataValue> atoms;
+  for (int v = 0; v < domain_size; ++v) {
+    if (coin(rng) != 0) atoms.push_back(5 + v);
+  }
+  return Hyperset::Atoms(std::move(atoms));
+}
+
+void BM_EncodeDecodeRoundTrip(benchmark::State& state) {
+  std::mt19937 rng(3);
+  // A level-3 hyperset over a small domain.
+  std::vector<Hyperset> level2;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Hyperset> level1;
+    for (int j = 0; j < 3; ++j) level1.push_back(RandomLevel1(rng, 4));
+    level2.push_back(std::move(Hyperset::Of(std::move(level1))).value());
+  }
+  Hyperset h = std::move(Hyperset::Of(std::move(level2))).value();
+  for (auto _ : state) {
+    std::vector<DataValue> enc = EncodeHyperset(h);
+    auto back = DecodeHyperset(3, enc);
+    if (!back.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(*back == h);
+  }
+}
+
+void BM_InLmDecoder(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  std::mt19937 rng(5);
+  std::vector<Hyperset> all = EnumerateHypersets(m, {5, 6});
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    for (const Hyperset& x : all) {
+      std::vector<DataValue> s =
+          SplitString(EncodeHyperset(x), EncodeHyperset(x), kHash);
+      if (InLm(m, s, kHash)) ++hits;
+    }
+  }
+  state.counters["hypersets"] = static_cast<double>(all.size());
+  benchmark::DoNotOptimize(hits);
+}
+
+void BM_L1MembershipViaFo(benchmark::State& state) {
+  int domain_size = static_cast<int>(state.range(0));
+  std::vector<DataValue> domain;
+  for (int i = 0; i < domain_size; ++i) domain.push_back(5 + i);
+  Formula sentence = std::move(ParseFormula(L1Sentence(kHash))).value();
+  std::vector<Hyperset> all = EnumerateHypersets(1, domain);
+  std::vector<Tree> inputs;
+  for (const Hyperset& x : all) {
+    inputs.push_back(
+        StringTree(SplitString(EncodeHyperset(x), EncodeHyperset(x), kHash)));
+  }
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    for (const Tree& t : inputs) {
+      auto r = EvalTreeSentence(t, sentence);
+      if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+      if (*r) ++hits;
+    }
+  }
+  state.counters["strings"] = static_cast<double>(inputs.size());
+  benchmark::DoNotOptimize(hits);
+}
+
+BENCHMARK(BM_EncodeDecodeRoundTrip)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InLmDecoder)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_L1MembershipViaFo)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,59 @@
+// E7 (Theorem 7.1(1)): cost of the two-pebble LOGSPACE simulation vs the
+// direct xTM run.  Shape to observe: identical verdicts; the pebble walk
+// overhead per TM step is O(n polylog n), so total walk moves grow
+// polynomially while the direct run is linear — the theorem trades time
+// for the absence of a stored tape.
+
+#include <benchmark/benchmark.h>
+
+#include "src/simulation/logspace_sim.h"
+#include "src/tree/tree.h"
+#include "src/xtm/library.h"
+#include "src/xtm/run.h"
+
+namespace {
+
+using namespace treewalk;
+
+Tree CounterChain(int n) {
+  TreeBuilder b;
+  auto node = b.AddRoot("a");
+  for (int i = 1; i < n; ++i) {
+    node = b.AddChild(node, i % 4 == 0 ? "x" : "a");
+  }
+  return b.Build();
+}
+
+void BM_DirectXtm(benchmark::State& state) {
+  Xtm m = XtmCountMod4("x");
+  Tree input = CounterChain(static_cast<int>(state.range(0)));
+  XtmResult result;
+  for (auto _ : state) {
+    auto r = RunXtm(m, input, XtmOptions{100'000'000, 0});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    result = *r;
+  }
+  state.counters["tm_steps"] = static_cast<double>(result.steps);
+  state.counters["tape_cells"] = static_cast<double>(result.space);
+}
+
+void BM_PebbleSimulation(benchmark::State& state) {
+  Xtm m = XtmCountMod4("x");
+  Tree input = CounterChain(static_cast<int>(state.range(0)));
+  LogspaceSimResult result;
+  for (auto _ : state) {
+    auto r = RunLogspaceSimulation(m, input, XtmOptions{100'000'000, 0});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    result = *r;
+  }
+  state.counters["tm_steps"] = static_cast<double>(result.tm_steps);
+  state.counters["walk_moves"] = static_cast<double>(result.walk_steps);
+  state.counters["tape_cells"] = static_cast<double>(result.tape_cells);
+}
+
+BENCHMARK(BM_DirectXtm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PebbleSimulation)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// E9 (Theorem 7.1(3)): linear-bounded string TMs run directly vs
+// compiled into tw^r programs whose relational store carries the tape.
+// Shapes to observe: identical verdicts; the store stays O(n) tuples
+// (the PSPACE bound); the compiled run pays a polynomial interpretive
+// overhead per TM step (active-domain FO updates).
+
+#include <benchmark/benchmark.h>
+
+#include "src/automata/interpreter.h"
+#include "src/simulation/pspace_compile.h"
+#include "src/simulation/string_tm.h"
+
+namespace {
+
+using namespace treewalk;
+
+std::vector<int> PalindromeInput(int half) {
+  std::vector<int> bits;
+  for (int i = 0; i < half; ++i) bits.push_back(i % 2);
+  std::vector<int> wrapped = {3};
+  wrapped.insert(wrapped.end(), bits.begin(), bits.end());
+  wrapped.insert(wrapped.end(), bits.rbegin(), bits.rend());
+  wrapped.push_back(4);
+  return wrapped;
+}
+
+void BM_StringTmDirect(benchmark::State& state) {
+  StringTm tm = PalindromeTm();
+  std::vector<int> input = PalindromeInput(static_cast<int>(state.range(0)));
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    auto r = RunStringTm(tm, input, 100'000'000);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    steps = r->steps;
+  }
+  state.counters["tm_steps"] = static_cast<double>(steps);
+  state.counters["cells"] = static_cast<double>(input.size());
+}
+
+void BM_CompiledTwR(benchmark::State& state) {
+  StringTm tm = PalindromeTm();
+  Program p = std::move(CompileStringTmToTwR(tm)).value();
+  std::vector<int> input = PalindromeInput(static_cast<int>(state.range(0)));
+  Tree tree = StringTmInputTree(input);
+  RunOptions options;
+  options.max_steps = 100'000'000;
+  Interpreter interpreter(p, options);
+  RunStats stats;
+  for (auto _ : state) {
+    auto r = interpreter.Run(tree);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    stats = r->stats;
+  }
+  state.counters["program_steps"] = static_cast<double>(stats.steps);
+  state.counters["store_tuples"] =
+      static_cast<double>(stats.max_store_tuples);
+}
+
+BENCHMARK(BM_StringTmDirect)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CompiledTwR)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

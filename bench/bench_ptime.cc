@@ -1,0 +1,83 @@
+// E8 (Theorem 7.1(2)): direct interpretation of tw^l programs vs the
+// memoizing configuration-graph evaluation.  Shapes to observe: equal
+// verdicts; the configuration count grows polynomially (near-linearly
+// for the library programs) in the tree size; on programs with repeated
+// subcomputations the graph evaluator resolves each start configuration
+// once.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/simulation/config_graph.h"
+#include "src/tree/generate.h"
+
+namespace {
+
+using namespace treewalk;
+
+Tree Input(int n) {
+  std::mt19937 rng(13);
+  RandomTreeOptions options;
+  options.num_nodes = n;
+  options.value_range = 4;
+  return RandomTree(rng, options);
+}
+
+void BM_TwLDirect(benchmark::State& state) {
+  Program p = std::move(RootValueAtSomeLeafProgram()).value();
+  Tree t = Input(static_cast<int>(state.range(0)));
+  RunOptions options;
+  options.max_steps = 100'000'000;
+  Interpreter interpreter(p, options);
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    auto r = interpreter.Run(t);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    steps = r->stats.steps;
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+}
+
+void BM_TwLConfigGraph(benchmark::State& state) {
+  Program p = std::move(RootValueAtSomeLeafProgram()).value();
+  Tree t = Input(static_cast<int>(state.range(0)));
+  RunOptions options;
+  options.max_steps = 100'000'000;
+  ConfigGraphResult result;
+  for (auto _ : state) {
+    auto r = EvaluateViaConfigGraph(p, t, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    result = *r;
+  }
+  state.counters["configs"] = static_cast<double>(result.configs);
+  state.counters["steps"] = static_cast<double>(result.steps);
+}
+
+void BM_Example32ConfigGraph(benchmark::State& state) {
+  Program p = std::move(Example32Program()).value();
+  std::mt19937 rng(17);
+  Tree t = Example32Tree(rng, static_cast<int>(state.range(0)), true);
+  RunOptions options;
+  options.max_steps = 100'000'000;
+  ConfigGraphResult result;
+  for (auto _ : state) {
+    auto r = EvaluateViaConfigGraph(p, t, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    result = *r;
+  }
+  state.counters["configs"] = static_cast<double>(result.configs);
+  state.counters["memoized_calls"] =
+      static_cast<double>(result.memoized_calls);
+}
+
+BENCHMARK(BM_TwLDirect)->Arg(20)->Arg(60)->Arg(180)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TwLConfigGraph)->Arg(20)->Arg(60)->Arg(180)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Example32ConfigGraph)->Arg(10)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

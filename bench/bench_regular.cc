@@ -1,0 +1,86 @@
+// E10 (Proposition 7.2): the attribute-free regime.  Hedge-automaton
+// membership (the regular/MSO side) vs the equivalent tree-walking
+// program (the tw side).  Shapes to observe: identical verdicts; the
+// bottom-up hedge run is a single linear pass while the walking program
+// pays the delimited-DFS constant.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/regular/library.h"
+#include "src/tree/generate.h"
+
+namespace {
+
+using namespace treewalk;
+
+Tree Input(int n) {
+  std::mt19937 rng(23);
+  RandomTreeOptions options;
+  options.num_nodes = n;
+  options.labels = {"a", "b"};
+  options.attributes = {};
+  return RandomTree(rng, options);
+}
+
+void BM_HedgeParity(benchmark::State& state) {
+  HedgeAutomaton a = ParityHedge("b");
+  Tree t = Input(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = a.Accepts(t);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(*r);
+  }
+}
+
+void BM_WalkingParity(benchmark::State& state) {
+  Program p = std::move(ParityProgram("b")).value();
+  Tree t = Input(static_cast<int>(state.range(0)));
+  RunOptions options;
+  options.max_steps = 100'000'000;
+  Interpreter interpreter(p, options);
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    auto r = interpreter.Run(t);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    steps = r->stats.steps;
+  }
+  state.counters["walk_steps"] = static_cast<double>(steps);
+}
+
+void BM_HedgeAllLeaves(benchmark::State& state) {
+  HedgeAutomaton a = AllLeavesLabelHedge("b");
+  Tree t = Input(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = a.Accepts(t);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(*r);
+  }
+}
+
+void BM_WalkingAllLeaves(benchmark::State& state) {
+  Program p = std::move(AllLeavesLabelProgram("b")).value();
+  Tree t = Input(static_cast<int>(state.range(0)));
+  RunOptions options;
+  options.max_steps = 100'000'000;
+  Interpreter interpreter(p, options);
+  for (auto _ : state) {
+    auto r = interpreter.Run(t);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->accepted);
+  }
+}
+
+BENCHMARK(BM_HedgeParity)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WalkingParity)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HedgeAllLeaves)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WalkingAllLeaves)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

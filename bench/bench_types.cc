@@ -1,0 +1,85 @@
+// E4 (Lemma 4.3): atomic k-type machinery.  Cost of computing type sets
+// (|s|^k tuples) and the growth of the number of realized classes in k
+// and |D| — the counting side of Lemma 4.3(2).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <set>
+
+#include "src/logic/atomic_types.h"
+
+namespace {
+
+using namespace treewalk;
+
+std::vector<DataValue> RandomString(int n, int domain_size,
+                                    unsigned seed = 11) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<DataValue> dist(0, domain_size - 1);
+  std::vector<DataValue> s(static_cast<std::size_t>(n));
+  for (auto& v : s) v = dist(rng);
+  return s;
+}
+
+void BM_AtomicTypeSet(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  std::vector<DataValue> domain = {0, 1, 2};
+  std::vector<DataValue> s = RandomString(n, 3);
+  std::size_t classes = 0;
+  for (auto _ : state) {
+    TypeSet types = AtomicTypeSet(s, k, domain);
+    classes = types.size();
+    benchmark::DoNotOptimize(classes);
+  }
+  state.counters["classes"] = static_cast<double>(classes);
+  state.counters["tuples"] = std::pow(static_cast<double>(n), k);
+}
+
+void BM_KEquivalenceCheck(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<DataValue> domain = {0, 1, 2};
+  std::vector<DataValue> s1 = RandomString(n, 3, 1);
+  std::vector<DataValue> s2 = RandomString(n, 3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KEquivalent(s1, s2, 2, domain));
+  }
+}
+
+void BM_TypeSetFingerprint(benchmark::State& state) {
+  std::vector<DataValue> domain = {0, 1, 2};
+  TypeSet types = AtomicTypeSet(RandomString(40, 3), 2, domain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TypeSetFingerprint(types));
+  }
+}
+
+/// Class-count growth: how many distinct ==_k classes appear across many
+/// random strings — bounded by the Lemma 4.3(2) tower, tiny in practice.
+void BM_ClassCensus(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::vector<DataValue> domain = {0, 1};
+  std::size_t classes = 0;
+  for (auto _ : state) {
+    std::set<std::uint64_t> seen;
+    for (unsigned seed = 0; seed < 200; ++seed) {
+      std::vector<DataValue> s = RandomString(6, 2, seed);
+      seen.insert(TypeSetFingerprint(AtomicTypeSet(s, k, domain)));
+    }
+    classes = seen.size();
+  }
+  state.counters["distinct_classes"] = static_cast<double>(classes);
+}
+
+BENCHMARK(BM_AtomicTypeSet)
+    ->ArgsProduct({{10, 20, 40}, {1, 2, 3}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KEquivalenceCheck)->Arg(10)->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TypeSetFingerprint)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClassCensus)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

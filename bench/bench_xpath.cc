@@ -1,0 +1,77 @@
+// E2 (Section 2.3): direct XPath evaluation vs evaluation through the
+// FO(exists*) compilation, over random documents of growing size.  The
+// shapes to observe: both agree; the direct evaluator is much faster
+// (node-set algebra vs naive logical search), and the gap widens with
+// query nesting — the abstraction is for *expressiveness*, not speed.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/logic/tree_eval.h"
+#include "src/tree/generate.h"
+#include "src/xpath/xpath.h"
+
+namespace {
+
+using namespace treewalk;
+
+Tree Document(int n) {
+  std::mt19937 rng(7);
+  RandomTreeOptions options;
+  options.num_nodes = n;
+  options.labels = {"a", "b", "c"};
+  options.attributes = {"p"};
+  options.value_range = 4;
+  return RandomTree(rng, options);
+}
+
+const char* Query(int index) {
+  static const char* kQueries[] = {
+      "//a",               // 0: descendant scan
+      "a/b",               // 1: child chain
+      "//a[b][@p = 1]",    // 2: filters
+      "//a[b/c] | //b[c]", // 3: union + nesting
+  };
+  return kQueries[index];
+}
+
+void BM_XPathDirect(benchmark::State& state) {
+  Tree doc = Document(static_cast<int>(state.range(0)));
+  XPath xpath = std::move(ParseXPath(Query(static_cast<int>(state.range(1)))))
+                    .value();
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    auto r = EvalXPath(doc, xpath, doc.root());
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    selected = r->size();
+    benchmark::DoNotOptimize(selected);
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+void BM_XPathViaFo(benchmark::State& state) {
+  Tree doc = Document(static_cast<int>(state.range(0)));
+  XPath xpath = std::move(ParseXPath(Query(static_cast<int>(state.range(1)))))
+                    .value();
+  Formula formula = std::move(CompileXPathToFo(xpath)).value();
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    auto r = SelectNodes(doc, formula, doc.root());
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    selected = r->size();
+    benchmark::DoNotOptimize(selected);
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+BENCHMARK(BM_XPathDirect)
+    ->ArgsProduct({{50, 200, 800}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMicrosecond);
+// The naive FO search is O(n^{1+vars}); nested queries get a small n.
+BENCHMARK(BM_XPathViaFo)
+    ->ArgsProduct({{50, 200}, {0, 1}})
+    ->Args({30, 2})->Args({60, 2})->Args({30, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// The Theorem 7.1 constructions side by side:
+//   (1) a log-space xTM run directly and through the two-pebble
+//       simulation (pebble ranks encode the tape);
+//   (2) a linear-bounded string TM run directly and compiled into a
+//       tw^r program whose relational store carries the tape;
+//   (3) a tw^l program evaluated directly and through the polynomial
+//       configuration graph.
+//
+//   ./build/examples/complexity_lab
+
+#include <cstdio>
+#include <vector>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/simulation/config_graph.h"
+#include "src/simulation/logspace_sim.h"
+#include "src/simulation/pspace_compile.h"
+#include "src/simulation/string_tm.h"
+#include "src/tree/generate.h"
+#include "src/xtm/library.h"
+#include "src/xtm/run.h"
+
+namespace tw = treewalk;
+
+int main() {
+  // ---- (1) LOGSPACE^X: Theorem 7.1(1). -------------------------------
+  std::printf("[1] LOGSPACE: binary counter xTM, direct vs pebbles\n");
+  tw::Xtm counter = tw::XtmCountMod4("x");
+  for (int n : {16, 32, 64}) {
+    tw::TreeBuilder b;
+    auto node = b.AddRoot("a");
+    for (int i = 1; i < n; ++i) {
+      node = b.AddChild(node, i % 4 == 0 ? "x" : "a");
+    }
+    tw::Tree input = b.Build();
+    auto direct = tw::RunXtm(counter, input);
+    auto pebbled = tw::RunLogspaceSimulation(counter, input,
+                                             tw::XtmOptions{10'000'000, 0});
+    if (!direct.ok() || !pebbled.ok()) {
+      std::printf("  error: %s\n", pebbled.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "  n=%3d: direct %s (space %zu cells) | pebbles %s "
+        "(%lld walk moves)\n",
+        n, direct->accepted ? "accept" : "reject", direct->space,
+        pebbled->accepted ? "accept" : "reject",
+        static_cast<long long>(pebbled->walk_steps));
+  }
+
+  // ---- (2) PSPACE^X: Theorem 7.1(3). ----------------------------------
+  std::printf("\n[2] PSPACE: palindrome TM, direct vs compiled tw^r\n");
+  tw::StringTm palindrome = tw::PalindromeTm();
+  auto compiled = tw::CompileStringTmToTwR(palindrome);
+  if (!compiled.ok()) {
+    std::printf("  compile error: %s\n",
+                compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  compiled program: %zu rules, %zu registers\n",
+              compiled->rules().size(),
+              compiled->initial_store().num_relations());
+  for (std::vector<int> bits :
+       {std::vector<int>{1, 0, 1}, std::vector<int>{1, 0, 0}}) {
+    std::vector<int> wrapped = {3};
+    wrapped.insert(wrapped.end(), bits.begin(), bits.end());
+    wrapped.push_back(4);
+    auto direct = tw::RunStringTm(palindrome, wrapped);
+    tw::RunOptions options;
+    options.max_steps = 10'000'000;
+    tw::Interpreter interp(*compiled, options);
+    auto run = interp.Run(tw::StringTmInputTree(wrapped));
+    if (!direct.ok() || !run.ok()) {
+      std::printf("  error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  input");
+    for (int v : bits) std::printf(" %d", v);
+    std::printf(": TM %s (%lld steps) | tw^r %s (%lld steps, "
+                "store <= %zu tuples)\n",
+                direct->accepted ? "accept" : "reject",
+                static_cast<long long>(direct->steps),
+                run->accepted ? "accept" : "reject",
+                static_cast<long long>(run->stats.steps),
+                run->stats.max_store_tuples);
+  }
+
+  // ---- (3) PTIME^X: Theorem 7.1(2). -----------------------------------
+  std::printf("\n[3] PTIME: tw^l program, direct vs configuration graph\n");
+  auto program = tw::RootValueAtSomeLeafProgram();
+  if (!program.ok()) return 1;
+  std::mt19937 rng(7);
+  for (int n : {10, 20, 40}) {
+    tw::RandomTreeOptions options;
+    options.num_nodes = n;
+    options.value_range = 3;
+    tw::Tree t = tw::RandomTree(rng, options);
+    auto direct = tw::Accepts(*program, t);
+    auto graph = tw::EvaluateViaConfigGraph(*program, t);
+    if (!direct.ok() || !graph.ok()) return 1;
+    std::printf("  n=%3d: direct %s | graph %s with %zu configurations\n",
+                n, *direct ? "accept" : "reject",
+                graph->accepted ? "accept" : "reject", graph->configs);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+#ifndef TREEWALK_AUTOMATA_BUILDER_H_
+#define TREEWALK_AUTOMATA_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/automata/program.h"
+#include "src/common/result.h"
+
+namespace treewalk {
+
+/// Incremental constructor for tree-walking programs.  Formulas are given
+/// as source text in the parser.h syntax.  All validation — parsing, sort
+/// checking, arity checking, class restrictions (Definition 5.1) — runs
+/// in Build(), which reports the first error with context.
+///
+///   ProgramBuilder b(ProgramClass::kTwRL);
+///   b.SetStates("q0", "qf");
+///   b.DeclareRegister("X1", 1);
+///   b.OnLookAhead("#top", "q0", "true", "q1", "X1",
+///                 "desc(x, y) & lab(y, delta)", "q2");
+///   b.OnMove("#top", "q1", "true", "qf", Move::kStay);
+///   ...
+///   Result<Program> p = b.Build();
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(ProgramClass program_class)
+      : class_(program_class) {}
+
+  /// Sets the initial and final states.
+  ProgramBuilder& SetStates(std::string_view initial, std::string_view final);
+
+  /// Declares register `name` with the given arity (class kTw allows no
+  /// registers; class kTwL requires arity 1).  Registers are indexed in
+  /// declaration order; the *first* declared register is the one returned
+  /// by subcomputations.
+  ProgramBuilder& DeclareRegister(std::string_view name, int arity);
+
+  /// Sets the initial content of register `name` to the singleton {value}
+  /// (the paper's tau_0 maps registers to D union {bottom}; bottom is the
+  /// default empty register).
+  ProgramBuilder& InitRegister(std::string_view name, DataValue value);
+  /// Sets the initial content of register `name` to an arbitrary relation.
+  ProgramBuilder& InitRegisterRelation(std::string_view name,
+                                       Relation relation);
+
+  /// Adds a move rule (sigma, q, xi) -> (q', d).
+  ProgramBuilder& OnMove(std::string_view label, std::string_view state,
+                         std::string_view guard, std::string_view next_state,
+                         Move move);
+
+  /// Adds an update rule (sigma, q, xi) -> (q', psi, i): register
+  /// `reg` := { vars : psi }.
+  ProgramBuilder& OnUpdate(std::string_view label, std::string_view state,
+                           std::string_view guard,
+                           std::string_view next_state, std::string_view reg,
+                           std::string_view psi,
+                           std::vector<std::string> vars);
+
+  /// Adds a look-ahead rule (sigma, q, xi) -> (q', atp(phi, p), i).
+  ProgramBuilder& OnLookAhead(std::string_view label, std::string_view state,
+                              std::string_view guard,
+                              std::string_view next_state,
+                              std::string_view reg, std::string_view phi,
+                              std::string_view call_state);
+
+  /// Validates everything and produces the program.
+  Result<Program> Build() const;
+
+ private:
+  struct PendingRule {
+    std::string label;
+    std::string state;
+    std::string guard;
+    Action::Kind kind;
+    std::string next_state;
+    Move move = Move::kStay;
+    std::string reg;
+    std::string formula;  // psi or phi source
+    std::vector<std::string> vars;
+    std::string call_state;
+  };
+
+  ProgramClass class_;
+  std::string initial_state_;
+  std::string final_state_;
+  std::vector<std::pair<std::string, int>> registers_;
+  std::vector<std::pair<std::string, Relation>> initial_contents_;
+  std::vector<PendingRule> pending_;
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_AUTOMATA_BUILDER_H_

@@ -1,0 +1,288 @@
+#include "src/automata/interpreter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/logic/tree_eval.h"
+#include "src/relstore/store_eval.h"
+
+namespace treewalk {
+
+const char* RejectReasonName(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kStuck:
+      return "stuck";
+    case RejectReason::kCycle:
+      return "cycle";
+    case RejectReason::kSubcomputationRejected:
+      return "subcomputation-rejected";
+    case RejectReason::kMoveOffTree:
+      return "move-off-tree";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Outcome of one (sub)computation.
+struct Outcome {
+  bool accepted = false;
+  RejectReason reason = RejectReason::kNone;
+  /// Content of the first register at acceptance (what atp() collects).
+  Relation returned{0};
+};
+
+class Runner {
+ public:
+  Runner(const Program& program, const Tree& tree, const RunOptions& options)
+      : program_(program), tree_(tree), options_(options) {
+    // Pre-resolve rule labels to symbols; rules whose label the tree
+    // never uses can only match via the wildcard.
+    for (const Rule& rule : program.rules()) {
+      labels_.push_back(rule.label == "*" ? -2 : tree.FindLabel(rule.label));
+    }
+    // States with at least one exact-label rule, for wildcard shadowing.
+    for (const Rule& rule : program.rules()) {
+      if (rule.label != "*") {
+        exact_keys_.insert(rule.state + "\x1f" + rule.label);
+      }
+    }
+  }
+
+  Result<RunResult> Run() {
+    TREEWALK_ASSIGN_OR_RETURN(
+        Outcome outcome,
+        Compute(tree_.root(), program_.initial_state(),
+                program_.initial_store(), /*depth=*/0));
+    RunResult result;
+    result.accepted = outcome.accepted;
+    result.reason = outcome.reason;
+    result.stats = stats_;
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+ private:
+  using ConfigKey = std::tuple<NodeId, std::string, Store>;
+
+  Result<Outcome> Compute(NodeId start, const std::string& start_state,
+                          Store store, int depth) {
+    if (depth > options_.max_depth) {
+      return ResourceExhausted("atp nesting exceeded max_depth=" +
+                               std::to_string(options_.max_depth));
+    }
+    stats_.max_depth_reached = std::max(stats_.max_depth_reached, depth);
+
+    NodeId u = start;
+    std::string state = start_state;
+    std::set<ConfigKey> visited;
+
+    while (true) {
+      if (state == program_.final_state()) {
+        Outcome out;
+        out.accepted = true;
+        if (store.num_relations() > 0) out.returned = store.At(0);
+        return out;
+      }
+      if (options_.detect_cycles &&
+          !visited.insert(ConfigKey(u, state, store)).second) {
+        return Rejected(RejectReason::kCycle);
+      }
+
+      TREEWALK_ASSIGN_OR_RETURN(const Rule* rule, FindRule(u, state, store));
+      if (rule == nullptr) return Rejected(RejectReason::kStuck);
+
+      if (++stats_.steps > options_.max_steps) {
+        return ResourceExhausted("exceeded max_steps=" +
+                                 std::to_string(options_.max_steps));
+      }
+      Trace(u, state, *rule);
+
+      const Action& action = rule->action;
+      switch (action.kind) {
+        case Action::Kind::kMove: {
+          NodeId v = ApplyMove(u, action.move);
+          if (v == kNoNode) return Rejected(RejectReason::kMoveOffTree);
+          u = v;
+          break;
+        }
+        case Action::Kind::kUpdate: {
+          StoreContext context = MakeContext(u, store);
+          TREEWALK_ASSIGN_OR_RETURN(
+              Relation result,
+              EvalStoreFormula(context, action.update, action.update_vars));
+          TREEWALK_RETURN_IF_ERROR(CheckDiscipline(result, "update"));
+          TREEWALK_RETURN_IF_ERROR(store.Replace(
+              static_cast<std::size_t>(action.register_index),
+              std::move(result)));
+          break;
+        }
+        case Action::Kind::kLookAhead: {
+          ++stats_.subcomputations;
+          TREEWALK_ASSIGN_OR_RETURN(
+              std::vector<NodeId> selected,
+              SelectNodes(tree_, action.selector, u));
+          if (program_.program_class() == ProgramClass::kTwL &&
+              selected.size() > 1) {
+            return FailedPrecondition(
+                "tw^l look-ahead selected " +
+                std::to_string(selected.size()) +
+                " nodes; Definition 5.1 allows at most one");
+          }
+          Relation collected(store.At(0).arity());
+          for (NodeId v : selected) {
+            TREEWALK_ASSIGN_OR_RETURN(
+                Outcome sub, Compute(v, action.call_state, store, depth + 1));
+            if (!sub.accepted) {
+              return Rejected(RejectReason::kSubcomputationRejected);
+            }
+            collected.UnionWith(sub.returned);
+          }
+          TREEWALK_RETURN_IF_ERROR(CheckDiscipline(collected, "look-ahead"));
+          TREEWALK_RETURN_IF_ERROR(store.Replace(
+              static_cast<std::size_t>(action.register_index),
+              std::move(collected)));
+          break;
+        }
+      }
+      state = action.next_state;
+      stats_.max_store_tuples =
+          std::max(stats_.max_store_tuples, store.TotalTuples());
+    }
+  }
+
+  static Result<Outcome> Rejected(RejectReason reason) {
+    Outcome out;
+    out.accepted = false;
+    out.reason = reason;
+    return out;
+  }
+
+  Status CheckDiscipline(const Relation& r, const char* what) const {
+    if (program_.program_class() == ProgramClass::kTwL && r.size() > 1) {
+      return FailedPrecondition(
+          std::string("tw^l register discipline violated: ") + what +
+          " produced " + std::to_string(r.size()) + " values");
+    }
+    return Status::Ok();
+  }
+
+  /// Finds the unique applicable rule, nullptr if none, or a
+  /// Nondeterminism error if several guards fire.
+  Result<const Rule*> FindRule(NodeId u, const std::string& state,
+                               const Store& store) {
+    Symbol label = tree_.label(u);
+    bool shadowed = exact_keys_.count(
+                        state + "\x1f" + tree_.LabelName(label)) > 0;
+    const Rule* found = nullptr;
+    StoreContext context = MakeContext(u, store);
+    for (std::size_t i = 0; i < program_.rules().size(); ++i) {
+      const Rule& rule = program_.rules()[i];
+      if (rule.state != state) continue;
+      bool is_wildcard = rule.label == "*";
+      if (is_wildcard) {
+        if (shadowed) continue;
+      } else if (labels_[i] != label) {
+        continue;
+      }
+      TREEWALK_ASSIGN_OR_RETURN(bool holds,
+                                EvalStoreSentence(context, rule.guard));
+      if (!holds) continue;
+      if (found != nullptr) {
+        return Nondeterminism("rules for (" + tree_.LabelName(label) + ", " +
+                              state + ") both apply: guards " +
+                              found->guard.ToString() + " and " +
+                              rule.guard.ToString());
+      }
+      found = &rule;
+    }
+    return found;
+  }
+
+  StoreContext MakeContext(NodeId u, const Store& store) const {
+    StoreContext context;
+    context.store = &store;
+    context.values = &tree_.values();
+    for (AttrId a = 0; a < static_cast<AttrId>(tree_.num_attributes()); ++a) {
+      context.current_attrs[tree_.attributes().NameOf(a)] = tree_.attr(a, u);
+    }
+    return context;
+  }
+
+  NodeId ApplyMove(NodeId u, Move move) const {
+    switch (move) {
+      case Move::kStay:
+        return u;
+      case Move::kLeft:
+        return tree_.PrevSibling(u);
+      case Move::kRight:
+        return tree_.NextSibling(u);
+      case Move::kUp:
+        return tree_.Parent(u);
+      case Move::kDown:
+        return tree_.FirstChild(u);
+    }
+    return kNoNode;
+  }
+
+  void Trace(NodeId u, const std::string& state, const Rule& rule) {
+    if (!options_.record_trace ||
+        trace_.size() >= options_.max_trace_entries) {
+      return;
+    }
+    std::string entry = "[" + std::to_string(u) + ":" +
+                        tree_.LabelName(tree_.label(u)) + ", " + state + "]";
+    switch (rule.action.kind) {
+      case Action::Kind::kMove:
+        entry += " move " + std::string(MoveName(rule.action.move));
+        break;
+      case Action::Kind::kUpdate:
+        entry += " update X" + std::to_string(rule.action.register_index + 1);
+        break;
+      case Action::Kind::kLookAhead:
+        entry += " atp(" + rule.action.selector.ToString() + ", " +
+                 rule.action.call_state + ")";
+        break;
+    }
+    entry += " -> " + rule.action.next_state;
+    trace_.push_back(std::move(entry));
+  }
+
+  const Program& program_;
+  const Tree& tree_;
+  const RunOptions& options_;
+  std::vector<Symbol> labels_;
+  std::set<std::string> exact_keys_;
+  RunStats stats_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace
+
+Interpreter::Interpreter(const Program& program, RunOptions options)
+    : program_(program), options_(options) {}
+
+Result<RunResult> Interpreter::Run(const Tree& input) const {
+  if (input.empty()) return InvalidArgument("empty input tree");
+  DelimitedTree delimited = Delimit(input);
+  return RunDelimited(delimited.tree);
+}
+
+Result<RunResult> Interpreter::RunDelimited(const Tree& delimited) const {
+  if (delimited.empty()) return InvalidArgument("empty input tree");
+  Runner runner(program_, delimited, options_);
+  return runner.Run();
+}
+
+Result<bool> Accepts(const Program& program, const Tree& input,
+                     RunOptions options) {
+  Interpreter interpreter(program, options);
+  TREEWALK_ASSIGN_OR_RETURN(RunResult result, interpreter.Run(input));
+  return result.accepted;
+}
+
+}  // namespace treewalk

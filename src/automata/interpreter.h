@@ -1,0 +1,92 @@
+#ifndef TREEWALK_AUTOMATA_INTERPRETER_H_
+#define TREEWALK_AUTOMATA_INTERPRETER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/automata/program.h"
+#include "src/common/result.h"
+#include "src/tree/delimited.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Resource limits for a run.  Exceeding any limit aborts the run with
+/// kResourceExhausted (an *error*, distinct from semantic rejection).
+struct RunOptions {
+  /// Total transitions across the main computation and all
+  /// subcomputations.
+  std::int64_t max_steps = 1'000'000;
+  /// Maximum atp() nesting depth.
+  int max_depth = 64;
+  /// Record a human-readable trace of the first `max_trace_entries`
+  /// transitions.
+  bool record_trace = false;
+  std::size_t max_trace_entries = 1000;
+  /// Ablation: exact cycle detection memoizes every configuration
+  /// (node, state, store) of a computation, which costs a store copy and
+  /// an ordered-set insert per step.  With detection off, a looping
+  /// computation runs into max_steps (kResourceExhausted) instead of
+  /// rejecting with kCycle; terminating runs are unaffected.
+  bool detect_cycles = true;
+};
+
+/// Why a run rejected (Section 3 semantics; cycles reject per the
+/// protocol convention of Lemma 4.5).
+enum class RejectReason {
+  kNone,                     ///< run accepted
+  kStuck,                    ///< no rule applies
+  kCycle,                    ///< a configuration repeated
+  kSubcomputationRejected,   ///< an atp() subcomputation rejected
+  kMoveOffTree,              ///< a move left the (delimited) tree
+};
+
+const char* RejectReasonName(RejectReason r);
+
+struct RunStats {
+  std::int64_t steps = 0;
+  std::int64_t subcomputations = 0;
+  std::size_t max_store_tuples = 0;
+  int max_depth_reached = 0;
+};
+
+struct RunResult {
+  bool accepted = false;
+  RejectReason reason = RejectReason::kNone;
+  RunStats stats;
+  std::vector<std::string> trace;
+};
+
+/// Deterministic interpreter for tree-walking programs: the reference
+/// semantics of Definition 3.1.  Programs walk delim(t); Run() wraps the
+/// input itself, RunDelimited() accepts a pre-delimited tree (so repeated
+/// runs over one input can share the transform).
+///
+/// Determinism is enforced at runtime: if two rules apply to one
+/// configuration the run aborts with kNondeterminism.  Class tw^l's
+/// register discipline (at most one value per register, at most one
+/// selected node per look-ahead) is likewise enforced, aborting with
+/// kFailedPrecondition on violation.
+class Interpreter {
+ public:
+  explicit Interpreter(const Program& program, RunOptions options = {});
+
+  /// Runs on (the delimitation of) `input`.
+  Result<RunResult> Run(const Tree& input) const;
+
+  /// Runs directly on an already-delimited tree.
+  Result<RunResult> RunDelimited(const Tree& delimited) const;
+
+ private:
+  const Program& program_;
+  RunOptions options_;
+};
+
+/// Convenience: build-run-report in one call; true iff accepted.
+Result<bool> Accepts(const Program& program, const Tree& input,
+                     RunOptions options = {});
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_AUTOMATA_INTERPRETER_H_

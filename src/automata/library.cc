@@ -1,0 +1,279 @@
+#include "src/automata/library.h"
+
+#include <string>
+
+#include "src/automata/builder.h"
+#include "src/tree/delimited.h"
+
+namespace treewalk {
+
+namespace {
+
+/// Installs the delimiter-guided DFS skeleton shared by the walking
+/// programs: from state `fwd` descend into first children, bounce off
+/// #open to the first real child, turn around at #leaf / #close into
+/// state `back`, and from `back` step to the right sibling in `fwd`.
+/// Exact-label rules added by callers shadow the wildcard descend rule.
+void AddDfsSkeleton(ProgramBuilder& b, const std::string& fwd,
+                    const std::string& back) {
+  b.OnMove(kTopLabel, fwd, "true", fwd, Move::kDown);
+  b.OnMove(kOpenLabel, fwd, "true", fwd, Move::kRight);
+  b.OnMove("*", fwd, "true", fwd, Move::kDown);
+  b.OnMove(kLeafLabel, fwd, "true", back, Move::kUp);
+  b.OnMove(kCloseLabel, fwd, "true", back, Move::kUp);
+  b.OnMove("*", back, "true", fwd, Move::kRight);
+  // Note: in state `back` at #top the wildcard moves right off the tree,
+  // which rejects; callers that accept at end-of-walk add an exact
+  // (#top, back) rule that shadows it.
+}
+
+}  // namespace
+
+Result<Program> Example32Program(std::string_view attr) {
+  const std::string a(attr);
+  ProgramBuilder b(ProgramClass::kTwRL);
+  b.SetStates("q0", "qf");
+  b.DeclareRegister("X1", 1);
+
+  // (1) At the top delimiter, run a subcomputation from every
+  //     delta-labeled descendant.
+  b.OnLookAhead(kTopLabel, "q0", "true", "q1", "X1",
+                "desc(x, y) & lab(y, delta)", "q2");
+  // (2) All delta checks returned: accept.
+  b.OnMove(kTopLabel, "q1", "true", "qf", Move::kStay);
+  // (3) At a delta node, collect the attribute values of all its leaf
+  //     descendants (nodes whose child is the #leaf cap).
+  b.OnLookAhead("delta", "q2", "true", "q3", "X1",
+                "exists z (desc(x, y) & E(y, z) & lab(z, #leaf))", "q4");
+  // (4) Accept the subcomputation iff the collected set is (at most) a
+  //     singleton; otherwise no rule applies, the subcomputation gets
+  //     stuck, and the whole run rejects.
+  b.OnMove("delta", "q3",
+           "forall u forall v (X1(u) & X1(v) -> u = v)", "qf", Move::kStay);
+  // (5)+(6) A leaf (of either label) returns its attribute value.
+  b.OnUpdate("delta", "q4", "true", "q5", "X1", "u = attr(" + a + ")",
+             {"u"});
+  b.OnUpdate("sigma", "q4", "true", "q5", "X1", "u = attr(" + a + ")",
+             {"u"});
+  b.OnMove("*", "q5", "true", "qf", Move::kStay);
+  return b.Build();
+}
+
+Result<Program> HasLabelProgram(std::string_view label) {
+  ProgramBuilder b(ProgramClass::kTw);
+  b.SetStates("fwd", "qf");
+  // Found it: exact-label rule shadows the wildcard descend.
+  b.OnMove(std::string(label), "fwd", "true", "qf", Move::kStay);
+  AddDfsSkeleton(b, "fwd", "back");
+  return b.Build();
+}
+
+Result<Program> ParityProgram(std::string_view label) {
+  const std::string lab(label);
+  ProgramBuilder b(ProgramClass::kTw);
+  b.SetStates("fwd_e", "qf");
+  AddDfsSkeleton(b, "fwd_e", "back_e");
+  AddDfsSkeleton(b, "fwd_o", "back_o");
+  // Crossing a `label` node flips parity (and still descends).
+  b.OnMove(lab, "fwd_e", "true", "fwd_o", Move::kDown);
+  b.OnMove(lab, "fwd_o", "true", "fwd_e", Move::kDown);
+  // End of walk back at #top: accept iff even.
+  b.OnMove(kTopLabel, "back_e", "true", "qf", Move::kStay);
+  return b.Build();
+}
+
+Result<Program> AllLeavesLabelProgram(std::string_view label) {
+  ProgramBuilder b(ProgramClass::kTw);
+  b.SetStates("fwd", "qf");
+  b.OnMove(kTopLabel, "fwd", "true", "fwd", Move::kDown);
+  b.OnMove(kOpenLabel, "fwd", "true", "fwd", Move::kRight);
+  b.OnMove("*", "fwd", "true", "fwd", Move::kDown);
+  // Surface at the leaf itself; only a `label` leaf may continue.
+  b.OnMove(kLeafLabel, "fwd", "true", "at_leaf", Move::kUp);
+  b.OnMove(std::string(label), "at_leaf", "true", "fwd", Move::kRight);
+  b.OnMove(kCloseLabel, "fwd", "true", "back", Move::kUp);
+  b.OnMove("*", "back", "true", "fwd", Move::kRight);
+  b.OnMove(kTopLabel, "back", "true", "qf", Move::kStay);
+  return b.Build();
+}
+
+Result<Program> RootValueAtSomeLeafProgram(std::string_view attr) {
+  const std::string a(attr);
+  ProgramBuilder b(ProgramClass::kTwL);
+  b.SetStates("q0", "qf");
+  b.DeclareRegister("X", 1);
+  // Navigate #top -> #open -> original root; record its value.
+  b.OnMove(kTopLabel, "q0", "true", "q1", Move::kDown);
+  b.OnMove(kOpenLabel, "q1", "true", "q2", Move::kRight);
+  b.OnUpdate("*", "q2", "true", "fwd", "X", "u = attr(" + a + ")", {"u"});
+  // DFS; at #leaf surface to the leaf node in state at_leaf.
+  b.OnMove(kOpenLabel, "fwd", "true", "fwd", Move::kRight);
+  b.OnMove("*", "fwd", "true", "fwd", Move::kDown);
+  b.OnMove(kLeafLabel, "fwd", "true", "at_leaf", Move::kUp);
+  b.OnMove(kCloseLabel, "fwd", "true", "back", Move::kUp);
+  b.OnMove("*", "back", "true", "fwd", Move::kRight);
+  // At an original leaf, branch on whether its value matches the stored
+  // one (complementary guards keep the program deterministic).
+  b.OnMove("*", "at_leaf", "exists u (X(u) & u = attr(" + a + "))", "qf",
+           Move::kStay);
+  b.OnMove("*", "at_leaf", "!(exists u (X(u) & u = attr(" + a + ")))",
+           "fwd", Move::kRight);
+  return b.Build();
+}
+
+Result<Program> SetEqualityProgram(DataValue separator,
+                                   std::string_view attr) {
+  const std::string a(attr);
+  const std::string is_sep =
+      "exists u (u = attr(" + a + ") & u = " + std::to_string(separator) +
+      ")";
+  ProgramBuilder b(ProgramClass::kTwR);
+  b.SetStates("q0", "qf");
+  b.DeclareRegister("F", 1);
+  b.DeclareRegister("G", 1);
+  // Walk in: #top -> #open -> first cell.
+  b.OnMove(kTopLabel, "q0", "true", "q1", Move::kDown);
+  b.OnMove(kOpenLabel, "q1", "true", "cf", Move::kRight);
+  // Before the separator: collect into F and descend.
+  b.OnMove(kOpenLabel, "cf", "true", "cf", Move::kRight);
+  b.OnUpdate("*", "cf", "!(" + is_sep + ")", "cf_desc", "F",
+             "F(u) | u = attr(" + a + ")", {"u"});
+  b.OnMove("*", "cf_desc", "true", "cf", Move::kDown);
+  // The separator switches to collecting into G.
+  b.OnMove("*", "cf", is_sep, "cg", Move::kDown);
+  // A string without a separator runs into #leaf and rejects by walking
+  // off the tree (the exact rule shadows the guarded wildcards).
+  b.OnMove(kLeafLabel, "cf", "true", "cf", Move::kRight);
+  // After the separator: collect into G; a second separator gets stuck.
+  b.OnMove(kOpenLabel, "cg", "true", "cg", Move::kRight);
+  b.OnUpdate("*", "cg", "!(" + is_sep + ")", "cg_desc", "G",
+             "G(u) | u = attr(" + a + ")", {"u"});
+  b.OnMove("*", "cg_desc", "true", "cg", Move::kDown);
+  // End of string: accept iff the two sets coincide.
+  b.OnMove(kLeafLabel, "cg", "forall u (F(u) <-> G(u))", "qf", Move::kStay);
+  return b.Build();
+}
+
+Result<Program> SetEqualityViaLookaheadProgram(DataValue separator,
+                                               std::string_view attr) {
+  const std::string a(attr);
+  const std::string sep = std::to_string(separator);
+  ProgramBuilder b(ProgramClass::kTwRL);
+  b.SetStates("q0", "qf");
+  b.DeclareRegister("F", 1);
+  b.DeclareRegister("G", 1);
+  // Cells strictly before the separator have it strictly below them in
+  // the monadic tree; cells after are below it (and are told apart from
+  // delimiters by having children).
+  b.OnLookAhead(kTopLabel, "q0", "true", "q1", "F",
+                "exists h (desc(x, y) & !(lab(y, #top)) & desc(y, h) & "
+                "val(" + a + ", h) = " + sep + ")",
+                "ret");
+  b.OnLookAhead(kTopLabel, "q1", "true", "q2", "G",
+                "exists z exists h (desc(x, y) & E(y, z) & desc(h, y) & "
+                "val(" + a + ", h) = " + sep + ")",
+                "ret");
+  // Each selected cell returns its value through the first register.
+  b.OnUpdate("*", "ret", "true", "ret2", "F", "u = attr(" + a + ")", {"u"});
+  b.OnMove("*", "ret2", "true", "qf", Move::kStay);
+  b.OnMove(kTopLabel, "q2", "forall u (F(u) <-> G(u))", "qf", Move::kStay);
+  return b.Build();
+}
+
+Result<Program> AllLabelValuesEqualRootProgram(std::string_view label,
+                                               std::string_view attr) {
+  const std::string lab(label);
+  const std::string a(attr);
+  ProgramBuilder b(ProgramClass::kTwR);
+  b.SetStates("q0", "qf");
+  b.DeclareRegister("R", 1);   // root's value
+  b.DeclareRegister("S", 1);   // values seen at `label` nodes
+  // Record the root value.
+  b.OnMove(kTopLabel, "q0", "true", "q1", Move::kDown);
+  b.OnMove(kOpenLabel, "q1", "true", "q2", Move::kRight);
+  b.OnUpdate("*", "q2", "true", "fwd", "R", "u = attr(" + a + ")", {"u"});
+  // DFS, accumulating S at every `label` node (then descending).
+  b.OnMove(kOpenLabel, "fwd", "true", "fwd", Move::kRight);
+  b.OnUpdate(lab, "fwd", "true", "fwd_seen", "S",
+             "S(u) | u = attr(" + a + ")", {"u"});
+  b.OnMove(lab, "fwd_seen", "true", "fwd", Move::kDown);
+  b.OnMove("*", "fwd", "true", "fwd", Move::kDown);
+  b.OnMove(kLeafLabel, "fwd", "true", "back", Move::kUp);
+  b.OnMove(kCloseLabel, "fwd", "true", "back", Move::kUp);
+  b.OnMove("*", "back", "true", "fwd", Move::kRight);
+  // Walk done: accept iff S is a subset of R.
+  b.OnMove(kTopLabel, "back", "forall u (S(u) -> R(u))", "qf", Move::kStay);
+  return b.Build();
+}
+
+Result<Program> BooleanCircuitProgram(std::string_view attr) {
+  const std::string a(attr);
+  // Selector: the original-node children of x (delimiters excluded).
+  const std::string kids =
+      "E(x, y) & !(lab(y, #open)) & !(lab(y, #close)) & !(lab(y, #leaf))";
+  ProgramBuilder b(ProgramClass::kTwRL);
+  b.SetStates("q0", "qf");
+  b.DeclareRegister("X", 1);
+  // Evaluate the root gate, then accept iff it returned 1.
+  b.OnLookAhead(kTopLabel, "q0", "true", "q1", "X", kids, "eval");
+  b.OnMove(kTopLabel, "q1", "exists u (X(u) & u = 1)", "qf", Move::kStay);
+  // A literal returns its (0/1) attribute value.
+  b.OnUpdate("lit", "eval", "true", "ret", "X", "u = attr(" + a + ")",
+             {"u"});
+  b.OnMove("lit", "ret", "true", "qf", Move::kStay);
+  // A gate evaluates every child through one subcomputation each (the
+  // proof sketch's universal branching), then folds the union.
+  b.OnLookAhead("and", "eval", "true", "and_fold", "X", kids, "eval");
+  b.OnUpdate("and", "and_fold", "!(exists u (X(u) & u = 0))", "ret", "X",
+             "u = 1", {"u"});
+  b.OnUpdate("and", "and_fold", "exists u (X(u) & u = 0)", "ret", "X",
+             "u = 0", {"u"});
+  b.OnMove("and", "ret", "true", "qf", Move::kStay);
+  b.OnLookAhead("or", "eval", "true", "or_fold", "X", kids, "eval");
+  b.OnUpdate("or", "or_fold", "exists u (X(u) & u = 1)", "ret", "X",
+             "u = 1", {"u"});
+  b.OnUpdate("or", "or_fold", "!(exists u (X(u) & u = 1))", "ret", "X",
+             "u = 0", {"u"});
+  b.OnMove("or", "ret", "true", "qf", Move::kStay);
+  return b.Build();
+}
+
+Result<Program> ExponentialCounterProgram() {
+  ProgramBuilder b(ProgramClass::kTwR);
+  b.SetStates("q0", "qf");
+  b.DeclareRegister("X", 1);     // the counter: set of IDs = binary number
+  b.DeclareRegister("Seen", 1);  // IDs visited during the setup walk
+  b.DeclareRegister("Less", 2);  // strict document order over IDs
+
+  // Setup walk over the delimited tree in document order (delimiters are
+  // skipped by exact rules shadowing the wildcard pipeline).
+  b.OnMove(kTopLabel, "q0", "true", "walk", Move::kDown);
+  // At an original node: extend Less with Seen x {id}, add id to Seen,
+  // then descend.
+  b.OnUpdate("*", "walk", "true", "w2", "Less",
+             "Less(u, v) | (Seen(u) & v = attr(id))", {"u", "v"});
+  b.OnUpdate("*", "w2", "true", "w3", "Seen", "Seen(u) | u = attr(id)",
+             {"u"});
+  b.OnMove("*", "w3", "true", "walk", Move::kDown);
+  // Delimiters: #open descends into siblings; #leaf/#close backtrack.
+  b.OnMove(kOpenLabel, "walk", "true", "walk", Move::kRight);
+  b.OnMove(kLeafLabel, "walk", "true", "back", Move::kUp);
+  b.OnMove(kCloseLabel, "walk", "true", "back", Move::kUp);
+  b.OnMove("*", "back", "true", "walk", Move::kRight);
+  // Setup done at #top; start counting from X = {} (zero).
+  b.OnMove(kTopLabel, "back", "true", "count", Move::kStay);
+
+  // Counting loop: while some ID is missing from X, apply one binary
+  // increment (lowest 0 flips to 1, the 1s below it clear); when X
+  // covers every ID, accept.
+  b.OnUpdate(kTopLabel, "count", "exists u (Seen(u) & !(X(u)))", "count",
+             "X",
+             "(!(X(x)) & Seen(x) & forall w (Less(w, x) -> X(w))) | "
+             "(X(x) & exists w (Seen(w) & !(X(w)) & Less(w, x)))",
+             {"x"});
+  b.OnMove(kTopLabel, "count", "forall u (Seen(u) -> X(u))", "qf",
+           Move::kStay);
+  return b.Build();
+}
+
+}  // namespace treewalk

@@ -1,0 +1,83 @@
+#ifndef TREEWALK_AUTOMATA_LIBRARY_H_
+#define TREEWALK_AUTOMATA_LIBRARY_H_
+
+#include <string_view>
+
+#include "src/automata/program.h"
+#include "src/common/result.h"
+
+namespace treewalk {
+
+/// The paper's Example 3.2, verbatim in spirit: a tw^{r,l} program with
+/// one unary relation register X1 that accepts a tree iff for every
+/// delta-labeled node all of its leaf descendants carry the same value of
+/// attribute `attr`.  Rejection happens by the delta-checker
+/// subcomputation getting stuck on a non-singleton X1, which rejects the
+/// whole run (Section 3 semantics).
+Result<Program> Example32Program(std::string_view attr = "a");
+
+/// Plain tw: depth-first walk of delim(t) that accepts iff some node
+/// carries `label`.  Demonstrates delimiter-guided DFS with five states
+/// and no storage.
+Result<Program> HasLabelProgram(std::string_view label);
+
+/// Plain tw: accepts iff the number of `label`-labeled nodes is even.
+/// A regular (MSO) property computed by pure walking — the Prop. 7.2
+/// regime (A = empty set).
+Result<Program> ParityProgram(std::string_view label);
+
+/// Plain tw: accepts iff every leaf carries `label`.  Partner of the
+/// regular module's AllLeavesLabelHedge for the Prop. 7.2 comparison.
+Result<Program> AllLeavesLabelProgram(std::string_view label);
+
+/// tw^l: stores the root's `attr` value in a single-value register, then
+/// walks the tree and accepts iff some leaf carries the same value.
+/// Uses guard-dispatched branching on register content.
+Result<Program> RootValueAtSomeLeafProgram(std::string_view attr = "a");
+
+/// tw^r: on a split string (monadic tree, attribute `attr`, one
+/// occurrence of `separator`), collects the value sets before and after
+/// the separator into registers F and G and accepts iff F = G.  This
+/// decides L^1 on level-1 hyperset encodings, but only sees the *flat
+/// symbol set* — the Section 4 census uses it to exhibit dialogue
+/// collisions on deeper hypersets.
+Result<Program> SetEqualityProgram(DataValue separator,
+                                   std::string_view attr = "a");
+
+/// tw^{r,l}: the same language as SetEqualityProgram, but computed with
+/// two atp() look-aheads from the root instead of a walk: one
+/// subcomputation per cell before/after the separator returns the cell's
+/// value; the unions are compared with an FO guard.  On split strings
+/// its look-aheads select nodes in both halves, so the Lemma 4.5
+/// protocol exchanges atp-request/reply pairs.
+Result<Program> SetEqualityViaLookaheadProgram(DataValue separator,
+                                               std::string_view attr = "a");
+
+/// tw^r: collects the multiset-free *set* of all `attr` values of
+/// `label`-nodes into a binary relation paired with the root's value,
+/// then accepts iff every collected value equals the root's.  Exercises
+/// relational updates with quantified guards and no look-ahead.
+/// (Walks with the DFS skeleton, updating on every `label` node.)
+Result<Program> AllLabelValuesEqualRootProgram(std::string_view label,
+                                               std::string_view attr = "a");
+
+/// tw^{r,l}: evaluates an AND/OR circuit tree (labels "and", "or",
+/// "lit"; literal truth = attribute `attr` = 1) using atp() as the
+/// alternation mechanism of Theorem 7.1(2)'s proof sketch: a gate
+/// launches one subcomputation per child, each returning {0} or {1},
+/// and decides by an FO guard on the union.  Equivalent to the
+/// alternating machine XtmBooleanCircuit().
+Result<Program> BooleanCircuitProgram(std::string_view attr = "v");
+
+/// tw^r: the EXPTIME^X regime of Theorem 7.1(4), exhibited.  One walk
+/// materializes the document order over unique IDs (attribute "id") as
+/// a Less relation; then a single FO update repeatedly *increments* the
+/// register X read as a binary number over the IDs (bit i = node i in
+/// X), until X holds every ID.  The store stays polynomial while the
+/// run takes 2^|t| - 1 increments: exponentially many configurations
+/// from polynomial storage.  Requires AssignUniqueIds(tree) first.
+Result<Program> ExponentialCounterProgram();
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_AUTOMATA_LIBRARY_H_

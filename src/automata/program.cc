@@ -1,0 +1,62 @@
+#include "src/automata/program.h"
+
+#include <algorithm>
+
+namespace treewalk {
+
+const char* ProgramClassName(ProgramClass c) {
+  switch (c) {
+    case ProgramClass::kTw:
+      return "tw";
+    case ProgramClass::kTwL:
+      return "tw^l";
+    case ProgramClass::kTwR:
+      return "tw^r";
+    case ProgramClass::kTwRL:
+      return "tw^{r,l}";
+  }
+  return "?";
+}
+
+const char* MoveName(Move m) {
+  switch (m) {
+    case Move::kStay:
+      return "stay";
+    case Move::kLeft:
+      return "left";
+    case Move::kRight:
+      return "right";
+    case Move::kUp:
+      return "up";
+    case Move::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+std::vector<std::string> Program::States() const {
+  std::vector<std::string> states = {initial_state_, final_state_};
+  for (const Rule& rule : rules_) {
+    states.push_back(rule.state);
+    states.push_back(rule.action.next_state);
+    if (rule.action.kind == Action::Kind::kLookAhead) {
+      states.push_back(rule.action.call_state);
+    }
+  }
+  std::sort(states.begin(), states.end());
+  states.erase(std::unique(states.begin(), states.end()), states.end());
+  return states;
+}
+
+std::size_t Program::SizeMeasure() const {
+  std::size_t size = States().size();
+  for (std::size_t i = 0; i < initial_store_.num_relations(); ++i) {
+    size += initial_store_.At(i).size();
+  }
+  for (const Rule& rule : rules_) {
+    size += rule.guard.valid() ? rule.guard.Size() : 0;
+  }
+  return size;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,98 @@
+#ifndef TREEWALK_AUTOMATA_PROGRAM_H_
+#define TREEWALK_AUTOMATA_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/logic/formula.h"
+#include "src/relstore/store.h"
+
+namespace treewalk {
+
+/// The four device classes of the paper (Definitions 3.1 and 5.1).
+enum class ProgramClass {
+  kTw,    ///< plain tree-walking: no registers, no look-ahead
+  kTwL,   ///< tw^l: unary single-value registers + single-node look-ahead
+  kTwR,   ///< tw^r: relational storage, no look-ahead
+  kTwRL,  ///< tw^{r,l}: relational storage + look-ahead (Definition 3.1)
+};
+
+const char* ProgramClassName(ProgramClass c);
+
+/// Walking directions of the move function m_d (Definition 3.1):
+/// stay, left sibling, right sibling, parent, first child.
+enum class Move { kStay, kLeft, kRight, kUp, kDown };
+
+const char* MoveName(Move m);
+
+/// The right-hand side alpha of a rule.
+struct Action {
+  enum class Kind {
+    kMove,       ///< (q', d)
+    kUpdate,     ///< (q', psi, i)
+    kLookAhead,  ///< (q', atp(phi(x,y), p), i)
+  };
+
+  Kind kind = Kind::kMove;
+  /// Successor state q'.
+  std::string next_state;
+  /// kMove: the direction d.
+  Move move = Move::kStay;
+  /// kUpdate / kLookAhead: target register index i (0-based).
+  int register_index = 0;
+  /// kUpdate: the store formula psi defining the new register content...
+  Formula update;
+  /// ...with its free variables in tuple-column order.
+  std::vector<std::string> update_vars;
+  /// kLookAhead: the FO(exists*) selector phi(x, y)...
+  Formula selector;
+  /// ...and the state p the subcomputations start in.
+  std::string call_state;
+};
+
+/// One transition rule (sigma, q, xi) -> alpha.  `label` is matched
+/// against the node label on the *delimited* tree, so it may be a
+/// delimiter label (#top, #open, #close, #leaf); the wildcard "*" matches
+/// any label but is shadowed by an exact-label rule for the same state
+/// (this keeps wildcard programs deterministic without rule duplication).
+struct Rule {
+  std::string label;
+  std::string state;
+  /// The store sentence xi; must be Formula::True() for class kTw.
+  Formula guard;
+  Action action;
+};
+
+/// A validated tree-walking program (Definition 3.1).  Immutable; build
+/// with ProgramBuilder.  Programs always run on delim(t) — the
+/// interpreter wraps raw input trees itself.
+class Program {
+ public:
+  ProgramClass program_class() const { return class_; }
+  const std::string& initial_state() const { return initial_state_; }
+  const std::string& final_state() const { return final_state_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  /// Register schema and initial contents (tau_0).
+  const Store& initial_store() const { return initial_store_; }
+
+  /// All state names mentioned by the program.
+  std::vector<std::string> States() const;
+
+  /// The size measure |B| of Definition 3.1: states + initial register
+  /// values + total guard size.
+  std::size_t SizeMeasure() const;
+
+ private:
+  friend class ProgramBuilder;
+
+  ProgramClass class_ = ProgramClass::kTw;
+  std::string initial_state_;
+  std::string final_state_;
+  std::vector<Rule> rules_;
+  Store initial_store_;
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_AUTOMATA_PROGRAM_H_

@@ -1,0 +1,41 @@
+#ifndef TREEWALK_AUTOMATA_TEXT_FORMAT_H_
+#define TREEWALK_AUTOMATA_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/automata/program.h"
+#include "src/common/result.h"
+
+namespace treewalk {
+
+/// Textual serialization of tree-walking programs (.twp), so programs
+/// can live in files instead of C++:
+///
+///   # Example 3.2, abridged
+///   class twrl
+///   states q0 qf
+///   register X1 1
+///   init X1 { (5) (6) }
+///   rule #top q0 [true] move down q1
+///   rule *    q1 [exists u X1(u)] update X1(u) "u = attr(a)" q2
+///   rule delta q2 [true] atp X1 "desc(x, y) & lab(y, delta)" call qf
+///
+/// Directives: class (tw | twl | twr | twrl), states (initial final),
+/// register (name arity), init (name + tuple set), rule.  Rule actions:
+///   move <stay|left|right|up|down> <next-state>
+///   update <reg>(<var>, ...) "<psi>" <next-state>
+///   atp <reg> "<phi(x, y)>" <call-state> <next-state>
+///
+/// Guards are bracketed; formulas are double-quoted (no embedded
+/// quotes).  Lines whose first non-space character is '#' are comments
+/// (labels like #top only ever appear mid-line, after "rule").
+Result<Program> ParseProgramText(std::string_view source);
+
+/// Renders a program in the format accepted by ParseProgramText().
+/// ParseProgramText(ProgramToText(p)) reproduces p's behaviour.
+std::string ProgramToText(const Program& program);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_AUTOMATA_TEXT_FORMAT_H_

@@ -1,0 +1,378 @@
+#include "src/caterpillar/caterpillar.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <set>
+
+namespace treewalk {
+
+Caterpillar Caterpillar::Make(Node node) {
+  return Caterpillar(std::make_shared<const Node>(std::move(node)));
+}
+
+Caterpillar Caterpillar::Epsilon() {
+  Node n;
+  n.kind = Kind::kEpsilon;
+  return Make(std::move(n));
+}
+
+Caterpillar Caterpillar::Atom(CaterpillarAtom atom) {
+  Node n;
+  n.kind = Kind::kAtom;
+  n.atom = std::move(atom);
+  return Make(std::move(n));
+}
+
+Caterpillar Caterpillar::Seq(Caterpillar a, Caterpillar b) {
+  Node n;
+  n.kind = Kind::kSeq;
+  n.children = {std::move(a), std::move(b)};
+  return Make(std::move(n));
+}
+
+Caterpillar Caterpillar::Alt(Caterpillar a, Caterpillar b) {
+  Node n;
+  n.kind = Kind::kAlt;
+  n.children = {std::move(a), std::move(b)};
+  return Make(std::move(n));
+}
+
+Caterpillar Caterpillar::Star(Caterpillar inner) {
+  Node n;
+  n.kind = Kind::kStar;
+  n.children = {std::move(inner)};
+  return Make(std::move(n));
+}
+
+namespace {
+
+std::string AtomToString(const CaterpillarAtom& atom) {
+  switch (atom.kind) {
+    case CaterpillarAtom::Kind::kUp:
+      return "up";
+    case CaterpillarAtom::Kind::kDown:
+      return "down";
+    case CaterpillarAtom::Kind::kLeft:
+      return "left";
+    case CaterpillarAtom::Kind::kRight:
+      return "right";
+    case CaterpillarAtom::Kind::kIsRoot:
+      return "isroot";
+    case CaterpillarAtom::Kind::kIsLeaf:
+      return "isleaf";
+    case CaterpillarAtom::Kind::kIsFirst:
+      return "isfirst";
+    case CaterpillarAtom::Kind::kIsLast:
+      return "islast";
+    case CaterpillarAtom::Kind::kLabel:
+      return atom.label;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Caterpillar::ToString() const {
+  switch (kind()) {
+    case Kind::kEpsilon:
+      return "()";
+    case Kind::kAtom:
+      return AtomToString(atom());
+    case Kind::kSeq:
+      return left().ToString() + " " + right().ToString();
+    case Kind::kAlt:
+      return "(" + left().ToString() + " | " + right().ToString() + ")";
+    case Kind::kStar: {
+      const Caterpillar& in = inner();
+      if (in.kind() == Kind::kAtom) return in.ToString() + "*";
+      return "(" + in.ToString() + ")*";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+class CaterpillarParser {
+ public:
+  explicit CaterpillarParser(std::string_view source) : src_(source) {}
+
+  Result<Caterpillar> Parse() {
+    TREEWALK_ASSIGN_OR_RETURN(Caterpillar e, ParseAlt());
+    SkipSpace();
+    if (pos_ != src_.size()) return Err("trailing input");
+    return e;
+  }
+
+ private:
+  Result<Caterpillar> ParseAlt() {
+    TREEWALK_ASSIGN_OR_RETURN(Caterpillar left, ParseSeq());
+    while (true) {
+      SkipSpace();
+      if (Peek() != '|') break;
+      ++pos_;
+      TREEWALK_ASSIGN_OR_RETURN(Caterpillar right, ParseSeq());
+      left = Caterpillar::Alt(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Caterpillar> ParseSeq() {
+    TREEWALK_ASSIGN_OR_RETURN(Caterpillar left, ParseFactor());
+    while (true) {
+      SkipSpace();
+      char c = Peek();
+      if (c == '\0' || c == ')' || c == '|') break;
+      TREEWALK_ASSIGN_OR_RETURN(Caterpillar right, ParseFactor());
+      left = Caterpillar::Seq(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Caterpillar> ParseFactor() {
+    SkipSpace();
+    Caterpillar base = Caterpillar::Epsilon();
+    if (Peek() == '(') {
+      ++pos_;
+      SkipSpace();
+      if (Peek() == ')') {
+        ++pos_;  // "()" is epsilon
+      } else {
+        TREEWALK_ASSIGN_OR_RETURN(base, ParseAlt());
+        SkipSpace();
+        if (Peek() != ')') return Err("expected ')'");
+        ++pos_;
+      }
+    } else {
+      TREEWALK_ASSIGN_OR_RETURN(base, ParseAtomExpr());
+    }
+    SkipSpace();
+    while (Peek() == '*') {
+      ++pos_;
+      base = Caterpillar::Star(std::move(base));
+      SkipSpace();
+    }
+    return base;
+  }
+
+  Result<Caterpillar> ParseAtomExpr() {
+    SkipSpace();
+    std::size_t start = pos_;
+    auto is_char = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+             c == '#' || c == '-';
+    };
+    while (pos_ < src_.size() && is_char(src_[pos_])) ++pos_;
+    if (pos_ == start) return Err("expected an atom");
+    std::string word(src_.substr(start, pos_ - start));
+
+    CaterpillarAtom atom;
+    if (word == "up") {
+      atom.kind = CaterpillarAtom::Kind::kUp;
+    } else if (word == "down") {
+      atom.kind = CaterpillarAtom::Kind::kDown;
+    } else if (word == "left") {
+      atom.kind = CaterpillarAtom::Kind::kLeft;
+    } else if (word == "right") {
+      atom.kind = CaterpillarAtom::Kind::kRight;
+    } else if (word == "isroot") {
+      atom.kind = CaterpillarAtom::Kind::kIsRoot;
+    } else if (word == "isleaf") {
+      atom.kind = CaterpillarAtom::Kind::kIsLeaf;
+    } else if (word == "isfirst") {
+      atom.kind = CaterpillarAtom::Kind::kIsFirst;
+    } else if (word == "islast") {
+      atom.kind = CaterpillarAtom::Kind::kIsLast;
+    } else {
+      atom.kind = CaterpillarAtom::Kind::kLabel;
+      atom.label = std::move(word);
+    }
+    return Caterpillar::Atom(std::move(atom));
+  }
+
+  char Peek() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+  Status Err(std::string message) const {
+    return InvalidArgument(message + " at offset " + std::to_string(pos_));
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+/// Thompson NFA over caterpillar atoms; -1 edges are epsilon, others
+/// index into the atom table.
+struct CatNfa {
+  struct State {
+    std::vector<std::pair<int, int>> edges;  // (atom index or -1, target)
+  };
+  std::vector<State> states;
+  std::vector<CaterpillarAtom> atoms;
+  int start = 0;
+  int accept = 0;
+
+  int AddState() {
+    states.emplace_back();
+    return static_cast<int>(states.size()) - 1;
+  }
+
+  std::pair<int, int> Build(const Caterpillar& e) {
+    switch (e.kind()) {
+      case Caterpillar::Kind::kEpsilon: {
+        int s = AddState(), t = AddState();
+        states[static_cast<std::size_t>(s)].edges.emplace_back(-1, t);
+        return {s, t};
+      }
+      case Caterpillar::Kind::kAtom: {
+        int s = AddState(), t = AddState();
+        atoms.push_back(e.atom());
+        states[static_cast<std::size_t>(s)].edges.emplace_back(
+            static_cast<int>(atoms.size()) - 1, t);
+        return {s, t};
+      }
+      case Caterpillar::Kind::kSeq: {
+        auto [s1, t1] = Build(e.left());
+        auto [s2, t2] = Build(e.right());
+        states[static_cast<std::size_t>(t1)].edges.emplace_back(-1, s2);
+        return {s1, t2};
+      }
+      case Caterpillar::Kind::kAlt: {
+        auto [s1, t1] = Build(e.left());
+        auto [s2, t2] = Build(e.right());
+        int s = AddState(), t = AddState();
+        states[static_cast<std::size_t>(s)].edges.emplace_back(-1, s1);
+        states[static_cast<std::size_t>(s)].edges.emplace_back(-1, s2);
+        states[static_cast<std::size_t>(t1)].edges.emplace_back(-1, t);
+        states[static_cast<std::size_t>(t2)].edges.emplace_back(-1, t);
+        return {s, t};
+      }
+      case Caterpillar::Kind::kStar: {
+        auto [s1, t1] = Build(e.inner());
+        int s = AddState(), t = AddState();
+        states[static_cast<std::size_t>(s)].edges.emplace_back(-1, s1);
+        states[static_cast<std::size_t>(s)].edges.emplace_back(-1, t);
+        states[static_cast<std::size_t>(t1)].edges.emplace_back(-1, s1);
+        states[static_cast<std::size_t>(t1)].edges.emplace_back(-1, t);
+        return {s, t};
+      }
+    }
+    return {0, 0};
+  }
+};
+
+/// Applies one atom at a tree node: returns the resulting node (same
+/// node for tests), or kNoNode if the move/test fails.
+NodeId ApplyAtom(const Tree& tree, const CaterpillarAtom& atom, NodeId u,
+                 Symbol label_symbol) {
+  switch (atom.kind) {
+    case CaterpillarAtom::Kind::kUp:
+      return tree.Parent(u);
+    case CaterpillarAtom::Kind::kDown:
+      return tree.FirstChild(u);
+    case CaterpillarAtom::Kind::kLeft:
+      return tree.PrevSibling(u);
+    case CaterpillarAtom::Kind::kRight:
+      return tree.NextSibling(u);
+    case CaterpillarAtom::Kind::kIsRoot:
+      return tree.IsRoot(u) ? u : kNoNode;
+    case CaterpillarAtom::Kind::kIsLeaf:
+      return tree.IsLeaf(u) ? u : kNoNode;
+    case CaterpillarAtom::Kind::kIsFirst:
+      return tree.IsFirstChild(u) ? u : kNoNode;
+    case CaterpillarAtom::Kind::kIsLast:
+      return tree.IsLastChild(u) ? u : kNoNode;
+    case CaterpillarAtom::Kind::kLabel:
+      return label_symbol >= 0 && tree.label(u) == label_symbol ? u : kNoNode;
+  }
+  return kNoNode;
+}
+
+/// Product reachability from (origin, nfa start); fills `final_nodes`
+/// with the nodes where the accept state is reachable.
+Status ProductSearch(const Tree& tree, const Caterpillar& expression,
+                     NodeId origin, std::vector<NodeId>& final_nodes,
+                     CaterpillarRunStats* stats) {
+  if (tree.empty()) return InvalidArgument("empty tree");
+  if (!tree.Valid(origin)) return InvalidArgument("invalid origin");
+  CatNfa nfa;
+  auto [start, accept] = nfa.Build(expression);
+  nfa.start = start;
+  nfa.accept = accept;
+
+  // Resolve label tests once.
+  std::vector<Symbol> label_symbols(nfa.atoms.size(), -1);
+  for (std::size_t i = 0; i < nfa.atoms.size(); ++i) {
+    if (nfa.atoms[i].kind == CaterpillarAtom::Kind::kLabel) {
+      label_symbols[i] = tree.FindLabel(nfa.atoms[i].label);
+    }
+  }
+
+  const std::size_t num_nfa = nfa.states.size();
+  std::vector<bool> visited(tree.size() * num_nfa, false);
+  auto index = [num_nfa](NodeId u, int q) {
+    return static_cast<std::size_t>(u) * num_nfa +
+           static_cast<std::size_t>(q);
+  };
+  std::deque<std::pair<NodeId, int>> queue;
+  auto push = [&](NodeId u, int q) {
+    if (!visited[index(u, q)]) {
+      visited[index(u, q)] = true;
+      queue.emplace_back(u, q);
+    }
+  };
+  push(origin, nfa.start);
+
+  std::set<NodeId> finals;
+  std::size_t explored = 0;
+  while (!queue.empty()) {
+    auto [u, q] = queue.front();
+    queue.pop_front();
+    ++explored;
+    if (q == nfa.accept) finals.insert(u);
+    for (const auto& [atom_index, target] :
+         nfa.states[static_cast<std::size_t>(q)].edges) {
+      if (atom_index < 0) {
+        push(u, target);
+        continue;
+      }
+      NodeId v = ApplyAtom(tree, nfa.atoms[static_cast<std::size_t>(atom_index)],
+                           u, label_symbols[static_cast<std::size_t>(atom_index)]);
+      if (v != kNoNode) push(v, target);
+    }
+  }
+  if (stats != nullptr) stats->pairs_explored = explored;
+  final_nodes.assign(finals.begin(), finals.end());
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Caterpillar> ParseCaterpillar(std::string_view source) {
+  return CaterpillarParser(source).Parse();
+}
+
+Result<bool> CaterpillarAccepts(const Tree& tree,
+                                const Caterpillar& expression,
+                                CaterpillarRunStats* stats) {
+  std::vector<NodeId> finals;
+  TREEWALK_RETURN_IF_ERROR(ProductSearch(
+      tree, expression, tree.empty() ? kNoNode : tree.root(), finals, stats));
+  return !finals.empty();
+}
+
+Result<std::vector<NodeId>> CaterpillarSelect(const Tree& tree,
+                                              const Caterpillar& expression,
+                                              NodeId origin) {
+  std::vector<NodeId> finals;
+  TREEWALK_RETURN_IF_ERROR(
+      ProductSearch(tree, expression, origin, finals, nullptr));
+  return finals;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,110 @@
+#ifndef TREEWALK_CATERPILLAR_CATERPILLAR_H_
+#define TREEWALK_CATERPILLAR_CATERPILLAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Caterpillar expressions (Brueggemann-Klein & Wood), the first
+/// tree-walking XML formalism the paper's introduction cites: regular
+/// expressions over atomic *moves* and *tests*.  An expression matches a
+/// walk through the tree; the tree language of an expression is the set
+/// of trees on which some matching walk exists from the root.
+///
+/// Atoms:
+///   moves:  up, down (first child), left, right
+///   tests:  isroot, isleaf, isfirst, islast, "label" (current label)
+///
+/// Syntax (ParseCaterpillar):
+///   expr   := alt
+///   alt    := seq ('|' seq)*
+///   seq    := factor+
+///   factor := atom '*'? | '(' expr ')' '*'?
+///   atom   := 'up' | 'down' | 'left' | 'right' | 'isroot' | 'isleaf'
+///           | 'isfirst' | 'islast' | NAME  (a label test)
+///
+/// Example — "some leaf is labeled b":
+///   (down | right)* isleaf b
+///
+/// Caterpillars run on the *raw* tree (no delimiters): the tests supply
+/// the positional information delimiters would.
+struct CaterpillarAtom {
+  enum class Kind {
+    kUp,
+    kDown,
+    kLeft,
+    kRight,
+    kIsRoot,
+    kIsLeaf,
+    kIsFirst,
+    kIsLast,
+    kLabel,
+  };
+  Kind kind = Kind::kIsRoot;
+  std::string label;  ///< kLabel only
+};
+
+/// Expression AST.
+class Caterpillar {
+ public:
+  enum class Kind { kAtom, kSeq, kAlt, kStar, kEpsilon };
+
+  static Caterpillar Epsilon();
+  static Caterpillar Atom(CaterpillarAtom atom);
+  static Caterpillar Seq(Caterpillar a, Caterpillar b);
+  static Caterpillar Alt(Caterpillar a, Caterpillar b);
+  static Caterpillar Star(Caterpillar inner);
+
+  Kind kind() const { return node_->kind; }
+  const CaterpillarAtom& atom() const { return node_->atom; }
+  const Caterpillar& left() const { return node_->children[0]; }
+  const Caterpillar& right() const { return node_->children[1]; }
+  const Caterpillar& inner() const { return node_->children[0]; }
+
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    Kind kind;
+    CaterpillarAtom atom;
+    std::vector<Caterpillar> children;
+  };
+  explicit Caterpillar(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+  static Caterpillar Make(Node node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Parses the syntax above.
+Result<Caterpillar> ParseCaterpillar(std::string_view source);
+
+struct CaterpillarRunStats {
+  /// (node, NFA-state) pairs explored.
+  std::size_t pairs_explored = 0;
+};
+
+/// True iff some walk from the root matches the expression.  Evaluated
+/// by product reachability: BFS over (node, NFA state) pairs — the
+/// nondeterministic counterpart of the deterministic tw interpreter, in
+/// O(|t| * |expr|) time.
+Result<bool> CaterpillarAccepts(const Tree& tree,
+                                const Caterpillar& expression,
+                                CaterpillarRunStats* stats = nullptr);
+
+/// Walks from `origin`: all nodes where a matching walk can end — the
+/// caterpillar analogue of a selector (useful as a query primitive).
+Result<std::vector<NodeId>> CaterpillarSelect(const Tree& tree,
+                                              const Caterpillar& expression,
+                                              NodeId origin);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_CATERPILLAR_CATERPILLAR_H_

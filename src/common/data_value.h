@@ -1,0 +1,22 @@
+#ifndef TREEWALK_COMMON_DATA_VALUE_H_
+#define TREEWALK_COMMON_DATA_VALUE_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace treewalk {
+
+/// An element of the paper's infinite data domain D (Section 2.1).  The
+/// paper only requires D to be countable with decidable equality, and
+/// "for ease of presentation assumes D contains all natural numbers"; we
+/// realize D as int64.  Textual values (XML attribute strings) are mapped
+/// into D by an Interner.
+using DataValue = std::int64_t;
+
+/// The paper's bottom symbol: the attribute value carried by tree
+/// delimiters, guaranteed not to occur in D_active.
+inline constexpr DataValue kBottom = std::numeric_limits<DataValue>::min();
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_COMMON_DATA_VALUE_H_

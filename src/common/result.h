@@ -1,0 +1,72 @@
+#ifndef TREEWALK_COMMON_RESULT_H_
+#define TREEWALK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace treewalk {
+
+/// Either a value of type T or a non-OK Status.  Minimal StatusOr-style
+/// wrapper; C++20 has no std::expected yet.
+///
+/// Usage:
+///   Result<Tree> r = ParseTerm("a(b,c)");
+///   if (!r.ok()) return r.status();
+///   Tree t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result.  `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace treewalk
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status.  `lhs` may be a declaration: TREEWALK_ASSIGN_OR_RETURN(
+/// auto tree, ParseTerm(src));
+#define TREEWALK_ASSIGN_OR_RETURN(lhs, expr)                \
+  TREEWALK_ASSIGN_OR_RETURN_IMPL_(                          \
+      TREEWALK_CONCAT_(_tw_result_, __LINE__), lhs, expr)
+
+#define TREEWALK_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)     \
+  auto tmp = (expr);                                        \
+  if (!tmp.ok()) return tmp.status();                       \
+  lhs = std::move(tmp).value()
+
+#define TREEWALK_CONCAT_(a, b) TREEWALK_CONCAT_IMPL_(a, b)
+#define TREEWALK_CONCAT_IMPL_(a, b) a##b
+
+#endif  // TREEWALK_COMMON_RESULT_H_

@@ -1,0 +1,78 @@
+#ifndef TREEWALK_COMMON_STATUS_H_
+#define TREEWALK_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace treewalk {
+
+/// Error codes used across the library.  The library does not throw
+/// exceptions across its public API; fallible operations return `Status`
+/// or `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input: unparsable formula, ill-formed tree term, bad XML.
+  kInvalidArgument,
+  /// A lookup failed (unknown relation, attribute, state, ...).
+  kNotFound,
+  /// A program/machine violates the declared restriction class.
+  kFailedPrecondition,
+  /// A runtime budget (steps, configurations, recursion depth) ran out.
+  kResourceExhausted,
+  /// Two rules were simultaneously applicable in a deterministic program.
+  kNondeterminism,
+  /// Internal invariant violation; indicates a library bug.
+  kInternal,
+};
+
+/// Human-readable name for a status code ("kOk" -> "OK").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type result of a fallible operation: a code plus a message.
+/// A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Shorthand constructors, e.g. InvalidArgument("bad token").
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status FailedPrecondition(std::string message);
+Status ResourceExhausted(std::string message);
+Status Nondeterminism(std::string message);
+Status Internal(std::string message);
+
+}  // namespace treewalk
+
+/// Propagates a non-OK Status to the caller.  Usable in functions that
+/// return Status or Result<T> (Result is constructible from Status).
+#define TREEWALK_RETURN_IF_ERROR(expr)                   \
+  do {                                                   \
+    ::treewalk::Status _tw_status = (expr);              \
+    if (!_tw_status.ok()) return _tw_status;             \
+  } while (false)
+
+#endif  // TREEWALK_COMMON_STATUS_H_

@@ -1,0 +1,234 @@
+#include "src/hyperset/hyperset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treewalk {
+
+std::strong_ordering operator<=>(const Hyperset& a, const Hyperset& b) {
+  if (auto c = a.level_ <=> b.level_; c != 0) return c;
+  if (a.level_ == 1) return a.atoms_ <=> b.atoms_;
+  return a.members_ <=> b.members_;
+}
+
+Hyperset Hyperset::Atoms(std::vector<DataValue> atoms) {
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  Hyperset h(1);
+  h.atoms_ = std::move(atoms);
+  return h;
+}
+
+Result<Hyperset> Hyperset::Of(std::vector<Hyperset> members) {
+  if (members.empty()) {
+    return InvalidArgument(
+        "cannot infer the level of an empty hyperset; use Hyperset(level)");
+  }
+  int level = members.front().level();
+  for (const Hyperset& m : members) {
+    if (m.level() != level) {
+      return InvalidArgument("hyperset members have mixed levels");
+    }
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  Hyperset h(level + 1);
+  h.members_ = std::move(members);
+  return h;
+}
+
+std::string Hyperset::ToString() const {
+  std::string out = "{";
+  if (level_ == 1) {
+    for (std::size_t i = 0; i < atoms_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(atoms_[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += members_[i].ToString();
+    }
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+void EncodeInto(const Hyperset& h, std::vector<DataValue>& out) {
+  if (h.level() == 1) {
+    out.push_back(1);
+    out.insert(out.end(), h.atoms().begin(), h.atoms().end());
+    return;
+  }
+  for (const Hyperset& m : h.members()) {
+    out.push_back(h.level());
+    EncodeInto(m, out);
+  }
+}
+
+/// Parses one level-`level` encoding from s[pos...], stopping at the end
+/// or at any marker of an enclosing level.  `top_level` is the outermost
+/// level, bounding the marker range {1, ..., top_level}.
+Result<Hyperset> DecodeFrom(int level, int top_level,
+                            const std::vector<DataValue>& s,
+                            std::size_t& pos) {
+  if (level == 1) {
+    if (pos >= s.size() || s[pos] != 1) {
+      return InvalidArgument("expected marker 1 at position " +
+                             std::to_string(pos));
+    }
+    ++pos;
+    std::vector<DataValue> atoms;
+    while (pos < s.size() && (s[pos] < 1 || s[pos] > top_level)) {
+      atoms.push_back(s[pos++]);
+    }
+    return Hyperset::Atoms(std::move(atoms));
+  }
+  std::vector<Hyperset> members;
+  while (pos < s.size() && s[pos] == level) {
+    ++pos;
+    TREEWALK_ASSIGN_OR_RETURN(
+        Hyperset member, DecodeFrom(level - 1, top_level, s, pos));
+    members.push_back(std::move(member));
+  }
+  if (members.empty()) return Hyperset(level);
+  auto of = Hyperset::Of(std::move(members));
+  assert(of.ok());
+  return of;
+}
+
+}  // namespace
+
+std::vector<DataValue> EncodeHyperset(const Hyperset& h) {
+  std::vector<DataValue> out;
+  EncodeInto(h, out);
+  return out;
+}
+
+Result<Hyperset> DecodeHyperset(int level,
+                                const std::vector<DataValue>& encoding) {
+  if (level < 1) return InvalidArgument("level must be >= 1");
+  std::size_t pos = 0;
+  TREEWALK_ASSIGN_OR_RETURN(Hyperset h,
+                            DecodeFrom(level, level, encoding, pos));
+  if (pos != encoding.size()) {
+    return InvalidArgument("trailing symbols after encoding at position " +
+                           std::to_string(pos));
+  }
+  // Validate the D_m restriction: no atom may collide with a marker.
+  struct Checker {
+    int top_level;
+    Status Check(const Hyperset& h) const {
+      if (h.level() == 1) {
+        for (DataValue v : h.atoms()) {
+          if (v >= 1 && v <= top_level) {
+            return InvalidArgument("atom " + std::to_string(v) +
+                                   " collides with a marker");
+          }
+        }
+        return Status::Ok();
+      }
+      for (const Hyperset& m : h.members()) {
+        TREEWALK_RETURN_IF_ERROR(Check(m));
+      }
+      return Status::Ok();
+    }
+  };
+  TREEWALK_RETURN_IF_ERROR(Checker{level}.Check(h));
+  return h;
+}
+
+std::vector<Hyperset> EnumerateHypersets(
+    int level, const std::vector<DataValue>& domain) {
+  assert(level >= 1);
+  if (level == 1) {
+    // All subsets of the domain.
+    std::vector<Hyperset> out;
+    std::size_t n = domain.size();
+    assert(n < 20);
+    for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+      std::vector<DataValue> atoms;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) atoms.push_back(domain[i]);
+      }
+      out.push_back(Hyperset::Atoms(std::move(atoms)));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  std::vector<Hyperset> lower = EnumerateHypersets(level - 1, domain);
+  assert(lower.size() < 20);
+  std::vector<Hyperset> out;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << lower.size());
+       ++mask) {
+    std::vector<Hyperset> members;
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+      if ((mask >> i) & 1) members.push_back(lower[i]);
+    }
+    if (members.empty()) {
+      out.push_back(Hyperset(level));
+    } else {
+      auto h = Hyperset::Of(std::move(members));
+      assert(h.ok());
+      out.push_back(std::move(h).value());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DataValue> SplitString(const std::vector<DataValue>& f,
+                                   const std::vector<DataValue>& g,
+                                   DataValue hash) {
+  std::vector<DataValue> out = f;
+  out.push_back(hash);
+  out.insert(out.end(), g.begin(), g.end());
+  return out;
+}
+
+bool InLm(int m, const std::vector<DataValue>& s, DataValue hash) {
+  // Exactly one separator.
+  std::size_t count = 0;
+  std::size_t split = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == hash) {
+      ++count;
+      split = i;
+    }
+  }
+  if (count != 1) return false;
+  std::vector<DataValue> f(s.begin(), s.begin() + static_cast<long>(split));
+  std::vector<DataValue> g(s.begin() + static_cast<long>(split) + 1, s.end());
+  auto hf = DecodeHyperset(m, f);
+  auto hg = DecodeHyperset(m, g);
+  return hf.ok() && hg.ok() && *hf == *hg;
+}
+
+std::string L1Sentence(DataValue hash) {
+  const std::string H = std::to_string(hash);
+  return
+      // exactly one separator
+      "exists h (val(a, h) = " + H + ") & "
+      "forall h forall h2 (val(a, h) = " + H + " & val(a, h2) = " + H +
+      " -> h = h2) & "
+      // f starts with the marker 1
+      "forall x (root(x) -> val(a, x) = 1) & "
+      // g exists and starts with the marker 1
+      "forall h (val(a, h) = " + H +
+      " -> !(leaf(h)) & exists y (E(h, y) & val(a, y) = 1)) & "
+      // markers appear nowhere else
+      "forall x (val(a, x) = 1 -> root(x) | exists h (val(a, h) = " + H +
+      " & E(h, x))) & "
+      // every f-datum occurs in g
+      "forall h (val(a, h) = " + H +
+      " -> forall x ((desc(x, h) & !(root(x))) -> "
+      "exists y (desc(h, y) & val(a, y) != 1 & val(a, y) = val(a, x)))) & "
+      // every g-datum occurs in f
+      "forall h (val(a, h) = " + H +
+      " -> forall y ((desc(h, y) & val(a, y) != 1) -> "
+      "exists x (desc(x, h) & !(root(x)) & val(a, x) = val(a, y))))";
+}
+
+}  // namespace treewalk

@@ -1,0 +1,84 @@
+#ifndef TREEWALK_HYPERSET_HYPERSET_H_
+#define TREEWALK_HYPERSET_HYPERSET_H_
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "src/common/data_value.h"
+#include "src/common/result.h"
+
+namespace treewalk {
+
+/// The i-hypersets of Section 4: a 1-hyperset is a finite subset of D; an
+/// i-hyperset is a finite set of (i-1)-hypersets.  Values are kept
+/// canonical (sorted, deduplicated), so equality is structural.
+class Hyperset {
+ public:
+  /// The empty hyperset of the given level (level >= 1).
+  explicit Hyperset(int level = 1) : level_(level) {}
+
+  /// A 1-hyperset from atoms.
+  static Hyperset Atoms(std::vector<DataValue> atoms);
+  /// A level-(members' level + 1) hyperset from members, which must share
+  /// one level.
+  static Result<Hyperset> Of(std::vector<Hyperset> members);
+
+  int level() const { return level_; }
+  std::size_t size() const {
+    return level_ == 1 ? atoms_.size() : members_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  const std::vector<DataValue>& atoms() const { return atoms_; }
+  const std::vector<Hyperset>& members() const { return members_; }
+
+  /// "{1, 2}" / "{{1}, {2, 3}}".
+  std::string ToString() const;
+
+  friend bool operator==(const Hyperset&, const Hyperset&) = default;
+  friend std::strong_ordering operator<=>(const Hyperset& a,
+                                          const Hyperset& b);
+
+ private:
+  int level_;
+  std::vector<DataValue> atoms_;    // level 1
+  std::vector<Hyperset> members_;  // level > 1
+};
+
+/// Section 4's string encoding over D_m = D \ {1, ..., m}: a 1-hyperset
+/// {d_1 < ... < d_n} encodes as "1 d_1 ... d_n"; an i-hyperset
+/// {H(w_1), ...} as "i w_1 i w_2 ...".  Members are emitted in canonical
+/// order, so Encode is injective on hypersets.
+std::vector<DataValue> EncodeHyperset(const Hyperset& h);
+
+/// Decodes an encoding of a level-`level` hyperset.  The data values must
+/// avoid the marker range {1, ..., level} (the D_m restriction);
+/// malformed encodings are kInvalidArgument.
+Result<Hyperset> DecodeHyperset(int level,
+                                const std::vector<DataValue>& encoding);
+
+/// All level-`level` hypersets over `domain`, in canonical order.  There
+/// are exp_level(|domain|) of them (the tower function of Lemma 4.6), so
+/// keep the inputs tiny.
+std::vector<Hyperset> EnumerateHypersets(int level,
+                                         const std::vector<DataValue>& domain);
+
+/// The split string f#g of Section 4 (`hash` plays '#').
+std::vector<DataValue> SplitString(const std::vector<DataValue>& f,
+                                   const std::vector<DataValue>& g,
+                                   DataValue hash);
+
+/// Membership in L^m: s must be f#g with f, g encodings of m-hypersets
+/// over D_m \ {hash} and H(f) = H(g).  Returns false (not an error) for
+/// strings outside the encoding format, matching the language semantics.
+bool InLm(int m, const std::vector<DataValue>& s, DataValue hash);
+
+/// Lemma 4.2 witness for m = 1: an FO sentence over monadic trees (label
+/// "s", attribute "a") that holds exactly on the strings of L^1.  The
+/// sentence is built for the given hash value.
+std::string L1Sentence(DataValue hash);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_HYPERSET_HYPERSET_H_

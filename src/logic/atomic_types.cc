@@ -1,0 +1,111 @@
+#include "src/logic/atomic_types.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treewalk {
+
+namespace {
+
+std::int64_t OrderCode(std::size_t a, std::size_t b) {
+  if (a == b) return static_cast<std::int64_t>(OrderRel::kEqual);
+  if (a + 1 == b) return static_cast<std::int64_t>(OrderRel::kPredecessor);
+  if (b + 1 == a) return static_cast<std::int64_t>(OrderRel::kSuccessor);
+  return a < b ? static_cast<std::int64_t>(OrderRel::kFarLess)
+               : static_cast<std::int64_t>(OrderRel::kFarGreater);
+}
+
+}  // namespace
+
+AtomicType AtomicTypeOf(const std::vector<DataValue>& s,
+                        const std::vector<DataValue>& domain,
+                        const std::vector<std::size_t>& positions) {
+  const std::size_t k = positions.size();
+  AtomicType type;
+  type.reserve(3 * k + k * (k - 1) / 2);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t p = positions[i];
+    assert(p < s.size());
+    // Value code: index into `domain` if present, otherwise
+    // |domain| + index of the first tuple slot with an equal value.
+    DataValue v = s[p];
+    auto it = std::find(domain.begin(), domain.end(), v);
+    std::int64_t code;
+    if (it != domain.end()) {
+      code = static_cast<std::int64_t>(it - domain.begin());
+    } else {
+      std::size_t first = i;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (s[positions[j]] == v) {
+          first = j;
+          break;
+        }
+      }
+      code = static_cast<std::int64_t>(domain.size() + first);
+    }
+    type.push_back(code);
+    type.push_back(p == 0 ? 1 : 0);             // root / first position
+    type.push_back(p + 1 == s.size() ? 1 : 0);  // leaf / last position
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      type.push_back(OrderCode(positions[i], positions[j]));
+    }
+  }
+  return type;
+}
+
+TypeSet AtomicTypeSet(const std::vector<DataValue>& s, int k,
+                      const std::vector<DataValue>& domain,
+                      const std::vector<std::size_t>& constants) {
+  assert(k >= 0);
+  TypeSet types;
+  if (s.empty()) return types;
+
+  std::vector<std::size_t> tuple(constants.begin(), constants.end());
+  tuple.resize(constants.size() + static_cast<std::size_t>(k), 0);
+
+  if (k == 0) {
+    types.insert(AtomicTypeOf(s, domain, tuple));
+    return types;
+  }
+
+  // Odometer over the k free positions.
+  while (true) {
+    types.insert(AtomicTypeOf(s, domain, tuple));
+    std::size_t slot = tuple.size() - 1;
+    while (true) {
+      if (++tuple[slot] < s.size()) break;
+      tuple[slot] = 0;
+      if (slot == constants.size()) return types;  // full wrap-around
+      --slot;
+    }
+  }
+}
+
+bool KEquivalent(const std::vector<DataValue>& s1,
+                 const std::vector<DataValue>& s2, int k,
+                 const std::vector<DataValue>& domain) {
+  return AtomicTypeSet(s1, k, domain) == AtomicTypeSet(s2, k, domain);
+}
+
+std::uint64_t TypeSetFingerprint(const TypeSet& types) {
+  // FNV-1a over a canonical serialization (the set iterates in sorted
+  // order, so the fingerprint is deterministic).
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const AtomicType& type : types) {
+    mix(0xfeedface);  // type delimiter
+    mix(type.size());
+    for (std::int64_t v : type) mix(static_cast<std::uint64_t>(v));
+  }
+  return hash;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,74 @@
+#ifndef TREEWALK_LOGIC_ATOMIC_TYPES_H_
+#define TREEWALK_LOGIC_ATOMIC_TYPES_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/common/data_value.h"
+
+namespace treewalk {
+
+/// Machinery for the k-equivalence ==_k of Section 4: two strings are
+/// k-equivalent iff they satisfy the same FO(exists*) formulas with k
+/// variables.  For the purely existential fragment this is decidable by a
+/// *semantic* invariant: s |= exists x1..xk theta iff some k-tuple of
+/// positions realizes an atomic type entailing theta, so
+///
+///     s ==_k s'   iff   the sets of atomic k-types realized in s and s'
+///                       coincide (over a fixed finite value domain D).
+///
+/// An atomic type of a tuple (p_1..p_k) records, canonically:
+///   - for each i: the value lambda_a(p_i) as an index into D, plus the
+///     root/leaf boundary flags;
+///   - for each pair i<j: the order relation of p_i, p_j in
+///     {far-less, successor, equal, predecessor, far-greater}
+/// which determines every atomic formula of Section 2.2/2.3 on strings
+/// (monadic trees): E, desc, root, leaf, first, last, succ, =, val
+/// comparisons, and val-against-constants for constants in D.
+///
+/// Strings are given as their value sequences (StringValues()).
+
+/// Canonical encoding of one atomic k-type.
+using AtomicType = std::vector<std::int64_t>;
+
+/// The set of atomic k-types realized in a string; equality of these sets
+/// is ==_k on the existential fragment.
+using TypeSet = std::set<AtomicType>;
+
+/// Pairwise order relation codes inside an AtomicType.
+enum class OrderRel : std::int64_t {
+  kFarLess = -2,     ///< p_i < p_j - 1
+  kPredecessor = -1, ///< p_i = p_j - 1  (E(p_i, p_j) holds)
+  kEqual = 0,
+  kSuccessor = 1,    ///< p_i = p_j + 1
+  kFarGreater = 2,
+};
+
+/// Atomic type of the tuple `positions` (0-based indices into `s`).
+/// Values not present in `domain` are encoded by their first-occurrence
+/// index in the tuple (equality pattern only), matching the logic's
+/// inability to name them.
+AtomicType AtomicTypeOf(const std::vector<DataValue>& s,
+                        const std::vector<DataValue>& domain,
+                        const std::vector<std::size_t>& positions);
+
+/// The set of atomic k-types realized in `s`, with `constants` prepended
+/// to every tuple: tp_k(s; i_1, ..., i_m) of Lemma 4.3 corresponds to
+/// constants = {i_1, ..., i_m}.  Enumerates all |s|^k tuples.
+TypeSet AtomicTypeSet(const std::vector<DataValue>& s, int k,
+                      const std::vector<DataValue>& domain,
+                      const std::vector<std::size_t>& constants = {});
+
+/// True iff s1 ==_k s2 over `domain` (same realized atomic k-type sets).
+bool KEquivalent(const std::vector<DataValue>& s1,
+                 const std::vector<DataValue>& s2, int k,
+                 const std::vector<DataValue>& domain);
+
+/// Order-insensitive 64-bit fingerprint of a type set; used as the opaque
+/// "N-type token" transmitted by the communication protocol (Lemma 4.5).
+std::uint64_t TypeSetFingerprint(const TypeSet& types);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_LOGIC_ATOMIC_TYPES_H_

@@ -1,0 +1,454 @@
+#include "src/logic/formula.h"
+
+#include <cassert>
+
+namespace treewalk {
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind = Kind::kVar;
+  t.var = std::move(name);
+  return t;
+}
+
+Term Term::Int(DataValue value) {
+  Term t;
+  t.kind = Kind::kIntConst;
+  t.value = value;
+  return t;
+}
+
+Term Term::Str(std::string text) {
+  Term t;
+  t.kind = Kind::kStrConst;
+  t.text = std::move(text);
+  return t;
+}
+
+Term Term::AttrOf(std::string attr, std::string var) {
+  Term t;
+  t.kind = Kind::kAttrOfVar;
+  t.attr = std::move(attr);
+  t.var = std::move(var);
+  return t;
+}
+
+Term Term::CurrentAttr(std::string attr) {
+  Term t;
+  t.kind = Kind::kCurrentAttr;
+  t.attr = std::move(attr);
+  return t;
+}
+
+Formula Formula::Make(FormulaNode node) {
+  return Formula(std::make_shared<const FormulaNode>(std::move(node)));
+}
+
+Formula Formula::True() {
+  FormulaNode n;
+  n.kind = FormulaKind::kTrue;
+  return Make(std::move(n));
+}
+
+Formula Formula::False() {
+  FormulaNode n;
+  n.kind = FormulaKind::kFalse;
+  return Make(std::move(n));
+}
+
+Formula Formula::Not(Formula f) {
+  assert(f.valid());
+  FormulaNode n;
+  n.kind = FormulaKind::kNot;
+  n.children = {std::move(f)};
+  return Make(std::move(n));
+}
+
+namespace {
+
+FormulaNode BinaryNode(FormulaKind kind, Formula a, Formula b) {
+  assert(a.valid() && b.valid());
+  FormulaNode n;
+  n.kind = kind;
+  n.children = {std::move(a), std::move(b)};
+  return n;
+}
+
+}  // namespace
+
+Formula Formula::And(Formula a, Formula b) {
+  return Make(BinaryNode(FormulaKind::kAnd, std::move(a), std::move(b)));
+}
+Formula Formula::Or(Formula a, Formula b) {
+  return Make(BinaryNode(FormulaKind::kOr, std::move(a), std::move(b)));
+}
+Formula Formula::Implies(Formula a, Formula b) {
+  return Make(BinaryNode(FormulaKind::kImplies, std::move(a), std::move(b)));
+}
+Formula Formula::Iff(Formula a, Formula b) {
+  return Make(BinaryNode(FormulaKind::kIff, std::move(a), std::move(b)));
+}
+
+Formula Formula::Exists(std::string var, Formula body) {
+  assert(body.valid());
+  FormulaNode n;
+  n.kind = FormulaKind::kExists;
+  n.var = std::move(var);
+  n.children = {std::move(body)};
+  return Make(std::move(n));
+}
+
+Formula Formula::Forall(std::string var, Formula body) {
+  assert(body.valid());
+  FormulaNode n;
+  n.kind = FormulaKind::kForall;
+  n.var = std::move(var);
+  n.children = {std::move(body)};
+  return Make(std::move(n));
+}
+
+Formula Formula::AndAll(const std::vector<Formula>& fs) {
+  if (fs.empty()) return True();
+  Formula out = fs.front();
+  for (std::size_t i = 1; i < fs.size(); ++i) out = And(out, fs[i]);
+  return out;
+}
+
+Formula Formula::OrAll(const std::vector<Formula>& fs) {
+  if (fs.empty()) return False();
+  Formula out = fs.front();
+  for (std::size_t i = 1; i < fs.size(); ++i) out = Or(out, fs[i]);
+  return out;
+}
+
+namespace {
+
+FormulaNode AtomNode(AtomKind atom, std::vector<Term> terms,
+                     std::string symbol = "") {
+  FormulaNode n;
+  n.kind = FormulaKind::kAtom;
+  n.atom = atom;
+  n.terms = std::move(terms);
+  n.symbol = std::move(symbol);
+  return n;
+}
+
+}  // namespace
+
+Formula Formula::Edge(std::string x, std::string y) {
+  return Make(AtomNode(AtomKind::kEdge, {Term::Var(std::move(x)),
+                                    Term::Var(std::move(y))}));
+}
+Formula Formula::Sibling(std::string x, std::string y) {
+  return Make(AtomNode(AtomKind::kSibling,
+                  {Term::Var(std::move(x)), Term::Var(std::move(y))}));
+}
+Formula Formula::Descendant(std::string x, std::string y) {
+  return Make(AtomNode(AtomKind::kDescendant,
+                  {Term::Var(std::move(x)), Term::Var(std::move(y))}));
+}
+Formula Formula::Label(std::string x, std::string label) {
+  return Make(AtomNode(AtomKind::kLabel, {Term::Var(std::move(x))},
+                  std::move(label)));
+}
+Formula Formula::Root(std::string x) {
+  return Make(AtomNode(AtomKind::kRoot, {Term::Var(std::move(x))}));
+}
+Formula Formula::Leaf(std::string x) {
+  return Make(AtomNode(AtomKind::kLeaf, {Term::Var(std::move(x))}));
+}
+Formula Formula::First(std::string x) {
+  return Make(AtomNode(AtomKind::kFirst, {Term::Var(std::move(x))}));
+}
+Formula Formula::Last(std::string x) {
+  return Make(AtomNode(AtomKind::kLast, {Term::Var(std::move(x))}));
+}
+Formula Formula::Succ(std::string x, std::string y) {
+  return Make(AtomNode(AtomKind::kSucc,
+                  {Term::Var(std::move(x)), Term::Var(std::move(y))}));
+}
+
+Formula Formula::Eq(Term a, Term b) {
+  return Make(AtomNode(AtomKind::kEq, {std::move(a), std::move(b)}));
+}
+Formula Formula::VarEq(std::string x, std::string y) {
+  return Eq(Term::Var(std::move(x)), Term::Var(std::move(y)));
+}
+Formula Formula::Relation(std::string name, std::vector<Term> args) {
+  return Make(AtomNode(AtomKind::kRelation, std::move(args), std::move(name)));
+}
+
+
+namespace {
+
+void CollectFree(const Formula& f, std::set<std::string>& bound,
+                 std::set<std::string>& free) {
+  const FormulaNode& n = f.node();
+  switch (n.kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      for (const Formula& c : n.children) CollectFree(c, bound, free);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      bool was_bound = bound.count(n.var) > 0;
+      bound.insert(n.var);
+      CollectFree(n.children[0], bound, free);
+      if (!was_bound) bound.erase(n.var);
+      return;
+    }
+    case FormulaKind::kAtom:
+      for (const Term& t : n.terms) {
+        if ((t.kind == Term::Kind::kVar || t.kind == Term::Kind::kAttrOfVar) &&
+            bound.count(t.var) == 0) {
+          free.insert(t.var);
+        }
+      }
+      return;
+  }
+}
+
+bool QuantifierFree(const Formula& f) {
+  const FormulaNode& n = f.node();
+  if (n.kind == FormulaKind::kExists || n.kind == FormulaKind::kForall) {
+    return false;
+  }
+  for (const Formula& c : n.children) {
+    if (!QuantifierFree(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::set<std::string> Formula::FreeVariables() const {
+  std::set<std::string> bound, free;
+  CollectFree(*this, bound, free);
+  return free;
+}
+
+bool Formula::IsExistentialPrenex() const {
+  const Formula* body = this;
+  while (body->node().kind == FormulaKind::kExists) {
+    body = &body->node().children[0];
+  }
+  return QuantifierFree(*body);
+}
+
+std::size_t Formula::Size() const {
+  std::size_t size = 1;
+  for (const Formula& c : node().children) size += c.Size();
+  return size;
+}
+
+namespace {
+
+std::string TermToString(const Term& t) {
+  switch (t.kind) {
+    case Term::Kind::kVar:
+      return t.var;
+    case Term::Kind::kIntConst:
+      return std::to_string(t.value);
+    case Term::Kind::kStrConst:
+      return "\"" + t.text + "\"";
+    case Term::Kind::kAttrOfVar:
+      return "val(" + t.attr + ", " + t.var + ")";
+    case Term::Kind::kCurrentAttr:
+      return "attr(" + t.attr + ")";
+  }
+  return "?";
+}
+
+std::string AtomToString(const FormulaNode& n) {
+  auto arg = [&](std::size_t i) { return TermToString(n.terms[i]); };
+  switch (n.atom) {
+    case AtomKind::kEdge:
+      return "E(" + arg(0) + ", " + arg(1) + ")";
+    case AtomKind::kSibling:
+      return "sib(" + arg(0) + ", " + arg(1) + ")";
+    case AtomKind::kDescendant:
+      return "desc(" + arg(0) + ", " + arg(1) + ")";
+    case AtomKind::kLabel:
+      return "lab(" + arg(0) + ", " + n.symbol + ")";
+    case AtomKind::kRoot:
+      return "root(" + arg(0) + ")";
+    case AtomKind::kLeaf:
+      return "leaf(" + arg(0) + ")";
+    case AtomKind::kFirst:
+      return "first(" + arg(0) + ")";
+    case AtomKind::kLast:
+      return "last(" + arg(0) + ")";
+    case AtomKind::kSucc:
+      return "succ(" + arg(0) + ", " + arg(1) + ")";
+    case AtomKind::kEq:
+      return arg(0) + " = " + arg(1);
+    case AtomKind::kRelation: {
+      std::string out = n.symbol + "(";
+      for (std::size_t i = 0; i < n.terms.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += TermToString(n.terms[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+void ToStringRec(const Formula& f, std::string& out) {
+  const FormulaNode& n = f.node();
+  switch (n.kind) {
+    case FormulaKind::kTrue:
+      out += "true";
+      return;
+    case FormulaKind::kFalse:
+      out += "false";
+      return;
+    case FormulaKind::kNot:
+      out += "!(";
+      ToStringRec(n.children[0], out);
+      out += ')';
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      const char* op = n.kind == FormulaKind::kAnd       ? " & "
+                       : n.kind == FormulaKind::kOr      ? " | "
+                       : n.kind == FormulaKind::kImplies ? " -> "
+                                                         : " <-> ";
+      out += '(';
+      ToStringRec(n.children[0], out);
+      out += op;
+      ToStringRec(n.children[1], out);
+      out += ')';
+      return;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      out += n.kind == FormulaKind::kExists ? "exists " : "forall ";
+      out += n.var;
+      out += ' ';
+      ToStringRec(n.children[0], out);
+      return;
+    case FormulaKind::kAtom:
+      out += AtomToString(n);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Formula::ToString() const {
+  std::string out;
+  ToStringRec(*this, out);
+  return out;
+}
+
+namespace {
+
+Status ValidateRec(const Formula& f, bool tree_context,
+                   const std::function<int(const std::string&)>* arity) {
+  const FormulaNode& n = f.node();
+  switch (n.kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return Status::Ok();
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      for (const Formula& c : n.children) {
+        TREEWALK_RETURN_IF_ERROR(ValidateRec(c, tree_context, arity));
+      }
+      return Status::Ok();
+    case FormulaKind::kAtom:
+      break;
+  }
+
+  auto check_node_var = [&](const Term& t) -> Status {
+    if (t.kind != Term::Kind::kVar) {
+      return InvalidArgument("expected a node variable in atom");
+    }
+    return Status::Ok();
+  };
+
+  if (tree_context) {
+    switch (n.atom) {
+      case AtomKind::kRelation:
+        return InvalidArgument("store relation atom '" + n.symbol +
+                               "' in a tree formula");
+      case AtomKind::kEq: {
+        const Term& a = n.terms[0];
+        const Term& b = n.terms[1];
+        if (a.kind == Term::Kind::kCurrentAttr ||
+            b.kind == Term::Kind::kCurrentAttr) {
+          return InvalidArgument("attr(.) term in a tree formula");
+        }
+        bool a_node = a.kind == Term::Kind::kVar;
+        bool b_node = b.kind == Term::Kind::kVar;
+        if (a_node != b_node) {
+          return InvalidArgument(
+              "equality mixes node and data sorts: " + TermToString(a) +
+              " = " + TermToString(b));
+        }
+        return Status::Ok();
+      }
+      default:
+        for (const Term& t : n.terms) {
+          TREEWALK_RETURN_IF_ERROR(check_node_var(t));
+        }
+        return Status::Ok();
+    }
+  }
+
+  // Store context.
+  switch (n.atom) {
+    case AtomKind::kEq:
+    case AtomKind::kRelation: {
+      for (const Term& t : n.terms) {
+        if (t.kind == Term::Kind::kAttrOfVar) {
+          return InvalidArgument("val(.,.) term in a store formula");
+        }
+      }
+      if (n.atom == AtomKind::kRelation && arity != nullptr) {
+        int want = (*arity)(n.symbol);
+        if (want < 0) {
+          return NotFound("unknown store relation '" + n.symbol + "'");
+        }
+        if (want != static_cast<int>(n.terms.size())) {
+          return InvalidArgument(
+              "relation '" + n.symbol + "' has arity " +
+              std::to_string(want) + ", used with " +
+              std::to_string(n.terms.size()) + " arguments");
+        }
+      }
+      return Status::Ok();
+    }
+    default:
+      return InvalidArgument("tree atom in a store formula");
+  }
+}
+
+}  // namespace
+
+Status ValidateTreeFormula(const Formula& f) {
+  if (!f.valid()) return InvalidArgument("empty formula");
+  return ValidateRec(f, /*tree_context=*/true, nullptr);
+}
+
+Status ValidateStoreFormula(
+    const Formula& f, const std::function<int(const std::string&)>& arity) {
+  if (!f.valid()) return InvalidArgument("empty formula");
+  return ValidateRec(f, /*tree_context=*/false, &arity);
+}
+
+}  // namespace treewalk

@@ -1,0 +1,177 @@
+#ifndef TREEWALK_LOGIC_FORMULA_H_
+#define TREEWALK_LOGIC_FORMULA_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/data_value.h"
+#include "src/common/status.h"
+
+namespace treewalk {
+
+/// A term in a formula.  Terms are two-sorted:
+///   - node-sorted: a variable in a tree formula;
+///   - data-sorted: a variable in a store formula, an integer or string
+///     constant, val(a, x) in a tree formula, or attr(a) — the value of
+///     attribute a at the automaton's current node — in a store formula.
+/// Sort-correct usage is checked by ValidateTreeFormula /
+/// ValidateStoreFormula, not by the type system.
+struct Term {
+  enum class Kind {
+    kVar,          ///< variable (node- or data-sorted by context)
+    kIntConst,     ///< integer data constant
+    kStrConst,     ///< string data constant (resolved via ValueInterner)
+    kAttrOfVar,    ///< val(attr, var): attribute of a node variable
+    kCurrentAttr,  ///< attr(name): attribute of the current node
+  };
+
+  static Term Var(std::string name);
+  static Term Int(DataValue value);
+  static Term Str(std::string text);
+  static Term AttrOf(std::string attr, std::string var);
+  static Term CurrentAttr(std::string attr);
+
+  bool IsData() const { return kind != Kind::kVar; }
+
+  Kind kind = Kind::kVar;
+  std::string var;    ///< kVar, kAttrOfVar
+  std::string attr;   ///< kAttrOfVar, kCurrentAttr
+  DataValue value = 0;  ///< kIntConst
+  std::string text;   ///< kStrConst
+
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kExists,
+  kForall,
+  kAtom,
+};
+
+/// Atom shapes.  The tree atoms realize the vocabulary tau_{Sigma,A} of
+/// Section 2.2 plus the extra FO(exists*) predicates of Section 2.3; the
+/// store atoms realize the register-manipulation logic of Section 3.
+enum class AtomKind {
+  kEdge,        ///< E(x, y): y is a child of x
+  kSibling,     ///< sib(x, y): x before y among children of one parent
+  kDescendant,  ///< desc(x, y): y is a strict descendant of x
+  kLabel,       ///< lab(x, sigma)
+  kRoot,        ///< root(x)
+  kLeaf,        ///< leaf(x)
+  kFirst,       ///< first(x): x is a first child
+  kLast,        ///< last(x): x is a last child
+  kSucc,        ///< succ(x, y): y is the right sibling of x
+  kEq,          ///< t1 = t2 (node equality or data equality by sort)
+  kRelation,    ///< X(t1, ..., tk): store relation membership
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const class FormulaNode>;
+
+/// Immutable AST node.  Build through the Formula factories.
+class FormulaNode {
+ public:
+  FormulaKind kind;
+  std::vector<Formula> children;  ///< 1 for kNot, 2 for binary connectives,
+                                  ///< 1 for quantifiers
+  std::string var;                ///< quantified variable
+  AtomKind atom = AtomKind::kEq;
+  std::string symbol;             ///< kLabel label name / kRelation name
+  std::vector<Term> terms;        ///< atom arguments
+};
+
+/// Value-semantics handle to an immutable formula tree.
+///
+/// Construction:
+///   Formula f = Formula::Exists("y",
+///       Formula::And(Formula::Desc("x", "y"), Formula::Leaf("y")));
+/// or via ParseFormula() in parser.h.
+class Formula {
+ public:
+  /// An invalid (empty) handle; using it in evaluation is a bug.
+  Formula() = default;
+
+  bool valid() const { return node_ != nullptr; }
+  const FormulaNode& node() const { return *node_; }
+
+  // --- Constants and connectives. -----------------------------------
+  static Formula True();
+  static Formula False();
+  static Formula Not(Formula f);
+  static Formula And(Formula a, Formula b);
+  static Formula Or(Formula a, Formula b);
+  static Formula Implies(Formula a, Formula b);
+  static Formula Iff(Formula a, Formula b);
+  static Formula Exists(std::string var, Formula body);
+  static Formula Forall(std::string var, Formula body);
+  /// Conjunction of a list (True when empty).
+  static Formula AndAll(const std::vector<Formula>& fs);
+  /// Disjunction of a list (False when empty).
+  static Formula OrAll(const std::vector<Formula>& fs);
+
+  // --- Tree atoms. ---------------------------------------------------
+  static Formula Edge(std::string x, std::string y);
+  static Formula Sibling(std::string x, std::string y);
+  static Formula Descendant(std::string x, std::string y);
+  static Formula Label(std::string x, std::string label);
+  static Formula Root(std::string x);
+  static Formula Leaf(std::string x);
+  static Formula First(std::string x);
+  static Formula Last(std::string x);
+  static Formula Succ(std::string x, std::string y);
+
+  // --- Equality and store atoms. -------------------------------------
+  static Formula Eq(Term a, Term b);
+  /// Node equality shorthand.
+  static Formula VarEq(std::string x, std::string y);
+  static Formula Relation(std::string name, std::vector<Term> args);
+
+  // --- Inspection. ----------------------------------------------------
+  /// Free variables, sorted.
+  std::set<std::string> FreeVariables() const;
+  /// True if the formula is a (possibly empty) block of existential
+  /// quantifiers over a quantifier-free body: the FO(exists*) fragment.
+  bool IsExistentialPrenex() const;
+  /// Number of AST nodes.
+  std::size_t Size() const;
+  /// Renders in the syntax accepted by ParseFormula().
+  std::string ToString() const;
+
+  friend bool operator==(const Formula& a, const Formula& b) {
+    return a.node_ == b.node_;
+  }
+
+ private:
+  explicit Formula(FormulaPtr node) : node_(std::move(node)) {}
+  static Formula Make(FormulaNode node);
+
+  FormulaPtr node_;
+};
+
+/// Checks that `f` is a well-formed formula over the tree vocabulary: no
+/// store-relation atoms, no attr(.) terms, equality only between two node
+/// terms or two data terms.
+Status ValidateTreeFormula(const Formula& f);
+
+/// Checks that `f` is a well-formed store formula: only kRelation / kEq
+/// atoms with data-sorted terms (variables, constants, attr(.)); relation
+/// arities must match `arity(name)` (pass the store's lookup).  No tree
+/// atoms.
+Status ValidateStoreFormula(
+    const Formula& f,
+    const std::function<int(const std::string&)>& arity);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_LOGIC_FORMULA_H_

@@ -1,0 +1,84 @@
+#include "src/logic/normalize.h"
+
+namespace treewalk {
+
+namespace {
+
+Formula Nnf(const Formula& f, bool negated);
+
+/// NNF of "not f".
+Formula NnfNegated(const Formula& f) { return Nnf(f, true); }
+
+Formula Nnf(const Formula& f, bool negated) {
+  const FormulaNode& n = f.node();
+  switch (n.kind) {
+    case FormulaKind::kTrue:
+      return negated ? Formula::False() : Formula::True();
+    case FormulaKind::kFalse:
+      return negated ? Formula::True() : Formula::False();
+    case FormulaKind::kNot:
+      return Nnf(n.children[0], !negated);
+    case FormulaKind::kAnd:
+      return negated ? Formula::Or(NnfNegated(n.children[0]),
+                                   NnfNegated(n.children[1]))
+                     : Formula::And(Nnf(n.children[0], false),
+                                    Nnf(n.children[1], false));
+    case FormulaKind::kOr:
+      return negated ? Formula::And(NnfNegated(n.children[0]),
+                                    NnfNegated(n.children[1]))
+                     : Formula::Or(Nnf(n.children[0], false),
+                                   Nnf(n.children[1], false));
+    case FormulaKind::kImplies:
+      // a -> b  ==  !a | b.
+      return negated ? Formula::And(Nnf(n.children[0], false),
+                                    NnfNegated(n.children[1]))
+                     : Formula::Or(NnfNegated(n.children[0]),
+                                   Nnf(n.children[1], false));
+    case FormulaKind::kIff:
+      // a <-> b  ==  (a & b) | (!a & !b); negated: (a & !b) | (!a & b).
+      if (negated) {
+        return Formula::Or(
+            Formula::And(Nnf(n.children[0], false),
+                         NnfNegated(n.children[1])),
+            Formula::And(NnfNegated(n.children[0]),
+                         Nnf(n.children[1], false)));
+      }
+      return Formula::Or(
+          Formula::And(Nnf(n.children[0], false), Nnf(n.children[1], false)),
+          Formula::And(NnfNegated(n.children[0]),
+                       NnfNegated(n.children[1])));
+    case FormulaKind::kExists:
+      return negated ? Formula::Forall(n.var, NnfNegated(n.children[0]))
+                     : Formula::Exists(n.var, Nnf(n.children[0], false));
+    case FormulaKind::kForall:
+      return negated ? Formula::Exists(n.var, NnfNegated(n.children[0]))
+                     : Formula::Forall(n.var, Nnf(n.children[0], false));
+    case FormulaKind::kAtom:
+      return negated ? Formula::Not(f) : f;
+  }
+  return f;
+}
+
+}  // namespace
+
+Formula ToNegationNormalForm(const Formula& formula) {
+  return Nnf(formula, false);
+}
+
+bool IsNegationNormalForm(const Formula& formula) {
+  const FormulaNode& n = formula.node();
+  switch (n.kind) {
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return false;
+    case FormulaKind::kNot:
+      return n.children[0].node().kind == FormulaKind::kAtom;
+    default:
+      for (const Formula& c : n.children) {
+        if (!IsNegationNormalForm(c)) return false;
+      }
+      return true;
+  }
+}
+
+}  // namespace treewalk

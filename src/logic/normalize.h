@@ -1,0 +1,24 @@
+#ifndef TREEWALK_LOGIC_NORMALIZE_H_
+#define TREEWALK_LOGIC_NORMALIZE_H_
+
+#include "src/logic/formula.h"
+
+namespace treewalk {
+
+/// Negation normal form: eliminates kImplies / kIff and pushes kNot down
+/// to atoms (De Morgan, quantifier dualization), preserving semantics on
+/// every model.  Iff is expanded as (a & b) | (!a & !b), so the result
+/// can be exponentially larger in the Iff-nesting depth (rare in
+/// practice; guards and selectors in this library are Iff-shallow).
+///
+/// Constants are folded through negation (!true -> false); double
+/// negations cancel.
+Formula ToNegationNormalForm(const Formula& formula);
+
+/// True iff the formula is in negation normal form: no kImplies / kIff,
+/// and every kNot wraps an atom.
+bool IsNegationNormalForm(const Formula& formula);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_LOGIC_NORMALIZE_H_

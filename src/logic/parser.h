@@ -1,0 +1,43 @@
+#ifndef TREEWALK_LOGIC_PARSER_H_
+#define TREEWALK_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/logic/formula.h"
+
+namespace treewalk {
+
+/// Parses the textual formula syntax shared by tree and store formulas.
+///
+///   formula := iff
+///   iff     := imp ('<->' imp)*
+///   imp     := or ('->' or)*              (right associative)
+///   or      := and ('|' and)*
+///   and     := unary ('&' unary)*
+///   unary   := '!' unary
+///            | ('exists' | 'forall') VAR unary
+///            | primary
+///   primary := '(' formula ')' | 'true' | 'false' | atom
+///   atom    := 'E' '(' VAR ',' VAR ')'
+///            | 'sib' '(' VAR ',' VAR ')'       -- sibling order x < y
+///            | 'desc' '(' VAR ',' VAR ')'      -- descendant x -< y
+///            | 'lab' '(' VAR ',' NAME ')'
+///            | ('root'|'leaf'|'first'|'last') '(' VAR ')'
+///            | 'succ' '(' VAR ',' VAR ')'
+///            | NAME '(' term (',' term)* ')'   -- store relation atom
+///            | NAME '(' ')'                     -- nullary relation atom
+///            | term ('=' | '!=') term
+///   term    := 'val' '(' NAME ',' VAR ')'      -- val_a(x), tree only
+///            | 'attr' '(' NAME ')'             -- current node, store only
+///            | VAR | INT | STRING
+///
+/// `!=` desugars to the negated equality.  Names of the built-in
+/// predicates are reserved and cannot name relations or variables.
+/// The parser is sort-agnostic; run ValidateTreeFormula /
+/// ValidateStoreFormula on the result before evaluating.
+Result<Formula> ParseFormula(std::string_view source);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_LOGIC_PARSER_H_

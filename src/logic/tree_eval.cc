@@ -1,0 +1,279 @@
+#include "src/logic/tree_eval.h"
+
+#include <cassert>
+
+namespace treewalk {
+
+namespace {
+
+/// Pre-validated recursive evaluator.  All error conditions (sorts,
+/// unbound variables, unknown attributes) are rejected before recursion
+/// starts, so the hot path is exception- and status-free.
+class TreeEvaluator {
+ public:
+  TreeEvaluator(const Tree& tree, NodeEnv env)
+      : tree_(tree), env_(std::move(env)) {}
+
+  /// Checks sorts, binds attribute columns, verifies free variables.
+  Status Prepare(const Formula& formula) {
+    TREEWALK_RETURN_IF_ERROR(ValidateTreeFormula(formula));
+    for (const std::string& v : formula.FreeVariables()) {
+      if (env_.find(v) == env_.end()) {
+        return InvalidArgument("unbound free variable '" + v + "'");
+      }
+    }
+    return CheckAttributes(formula);
+  }
+
+  void Bind(const std::string& var, NodeId node) { env_[var] = node; }
+
+  bool Eval(const Formula& f) {
+    const FormulaNode& n = f.node();
+    switch (n.kind) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kNot:
+        return !Eval(n.children[0]);
+      case FormulaKind::kAnd:
+        return Eval(n.children[0]) && Eval(n.children[1]);
+      case FormulaKind::kOr:
+        return Eval(n.children[0]) || Eval(n.children[1]);
+      case FormulaKind::kImplies:
+        return !Eval(n.children[0]) || Eval(n.children[1]);
+      case FormulaKind::kIff:
+        return Eval(n.children[0]) == Eval(n.children[1]);
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        bool exists = n.kind == FormulaKind::kExists;
+        auto it = env_.find(n.var);
+        bool had = it != env_.end();
+        NodeId saved = had ? it->second : kNoNode;
+        bool result = !exists;
+        for (NodeId u = 0; u < static_cast<NodeId>(tree_.size()); ++u) {
+          env_[n.var] = u;
+          if (Eval(n.children[0]) == exists) {
+            result = exists;
+            break;
+          }
+        }
+        if (had) {
+          env_[n.var] = saved;
+        } else {
+          env_.erase(n.var);
+        }
+        return result;
+      }
+      case FormulaKind::kAtom:
+        return EvalAtom(n);
+    }
+    return false;
+  }
+
+ private:
+  Status CheckAttributes(const Formula& f) {
+    const FormulaNode& n = f.node();
+    for (const Formula& c : n.children) {
+      TREEWALK_RETURN_IF_ERROR(CheckAttributes(c));
+    }
+    if (n.kind != FormulaKind::kAtom) return Status::Ok();
+    for (const Term& t : n.terms) {
+      if (t.kind == Term::Kind::kAttrOfVar &&
+          tree_.FindAttribute(t.attr) == kNoAttr) {
+        return InvalidArgument("tree has no attribute '" + t.attr + "'");
+      }
+    }
+    return Status::Ok();
+  }
+
+  NodeId Node(const Term& t) {
+    assert(t.kind == Term::Kind::kVar);
+    auto it = env_.find(t.var);
+    assert(it != env_.end());
+    return it->second;
+  }
+
+  DataValue Data(const Term& t) {
+    switch (t.kind) {
+      case Term::Kind::kIntConst:
+        return t.value;
+      case Term::Kind::kStrConst:
+        return tree_.values().ValueFor(t.text);
+      case Term::Kind::kAttrOfVar:
+        return tree_.attr(tree_.FindAttribute(t.attr), Node(Term::Var(t.var)));
+      default:
+        assert(false && "not a data term");
+        return 0;
+    }
+  }
+
+  bool EvalAtom(const FormulaNode& n) {
+    switch (n.atom) {
+      case AtomKind::kEdge: {
+        NodeId x = Node(n.terms[0]), y = Node(n.terms[1]);
+        return tree_.Parent(y) == x;
+      }
+      case AtomKind::kSibling: {
+        NodeId x = Node(n.terms[0]), y = Node(n.terms[1]);
+        return x != y && tree_.Parent(x) != kNoNode &&
+               tree_.Parent(x) == tree_.Parent(y) &&
+               tree_.ChildIndex(x) < tree_.ChildIndex(y);
+      }
+      case AtomKind::kDescendant: {
+        NodeId x = Node(n.terms[0]), y = Node(n.terms[1]);
+        return tree_.IsStrictAncestor(x, y);
+      }
+      case AtomKind::kLabel: {
+        Symbol s = tree_.FindLabel(n.symbol);
+        return s >= 0 && tree_.label(Node(n.terms[0])) == s;
+      }
+      case AtomKind::kRoot:
+        return tree_.IsRoot(Node(n.terms[0]));
+      case AtomKind::kLeaf:
+        return tree_.IsLeaf(Node(n.terms[0]));
+      case AtomKind::kFirst:
+        return tree_.IsFirstChild(Node(n.terms[0]));
+      case AtomKind::kLast:
+        return tree_.IsLastChild(Node(n.terms[0]));
+      case AtomKind::kSucc: {
+        NodeId x = Node(n.terms[0]), y = Node(n.terms[1]);
+        return tree_.NextSibling(x) == y;
+      }
+      case AtomKind::kEq: {
+        const Term& a = n.terms[0];
+        const Term& b = n.terms[1];
+        if (a.kind == Term::Kind::kVar) return Node(a) == Node(b);
+        return Data(a) == Data(b);
+      }
+      case AtomKind::kRelation:
+        assert(false && "relation atom survived validation");
+        return false;
+    }
+    return false;
+  }
+
+  const Tree& tree_;
+  NodeEnv env_;
+};
+
+}  // namespace
+
+Result<bool> EvalTreeFormula(const Tree& tree, const Formula& formula,
+                             const NodeEnv& env) {
+  if (!formula.valid()) return InvalidArgument("empty formula");
+  TreeEvaluator evaluator(tree, env);
+  TREEWALK_RETURN_IF_ERROR(evaluator.Prepare(formula));
+  if (tree.empty()) {
+    // Quantifiers over an empty domain: exists is false, forall is true;
+    // no free variables can be bound, so only sentences make sense.
+    if (!formula.FreeVariables().empty()) {
+      return InvalidArgument("free variables on an empty tree");
+    }
+  }
+  return evaluator.Eval(formula);
+}
+
+Result<bool> EvalTreeSentence(const Tree& tree, const Formula& formula) {
+  if (formula.valid() && !formula.FreeVariables().empty()) {
+    return InvalidArgument("sentence expected, found free variables");
+  }
+  return EvalTreeFormula(tree, formula, {});
+}
+
+namespace {
+
+/// Candidate pruning for SelectNodes: if the selector's quantifier-free
+/// body contains desc(x, y) or E(x, y) as a *positive top-level
+/// conjunct*, no node outside x's subtree (resp. children) can be
+/// selected, so the candidate loop may skip the rest of the tree.  This
+/// is the planning step that makes atp() selectors like Example 3.2's
+/// "desc(x, y) & ..." linear in the subtree instead of the whole tree.
+enum class CandidateRange { kAll, kSubtree, kChildren };
+
+void ScanConjuncts(const Formula& f, const std::string& x,
+                   const std::string& y, CandidateRange& range) {
+  const FormulaNode& n = f.node();
+  if (n.kind == FormulaKind::kAnd) {
+    ScanConjuncts(n.children[0], x, y, range);
+    ScanConjuncts(n.children[1], x, y, range);
+    return;
+  }
+  if (n.kind != FormulaKind::kAtom) return;
+  if (n.terms.size() != 2 || n.terms[0].kind != Term::Kind::kVar ||
+      n.terms[1].kind != Term::Kind::kVar || n.terms[0].var != x ||
+      n.terms[1].var != y) {
+    return;
+  }
+  if (n.atom == AtomKind::kEdge) {
+    range = CandidateRange::kChildren;
+  } else if (n.atom == AtomKind::kDescendant &&
+             range != CandidateRange::kChildren) {
+    range = CandidateRange::kSubtree;
+  }
+}
+
+CandidateRange PlanSelector(const Formula& formula, const std::string& x,
+                            const std::string& y) {
+  const Formula* body = &formula;
+  while (body->node().kind == FormulaKind::kExists) {
+    // The pruning conjunct must not mention quantified variables named x
+    // or y; shadowing would invalidate the plan.
+    if (body->node().var == x || body->node().var == y) {
+      return CandidateRange::kAll;
+    }
+    body = &body->node().children[0];
+  }
+  CandidateRange range = CandidateRange::kAll;
+  ScanConjuncts(*body, x, y, range);
+  return range;
+}
+
+}  // namespace
+
+Result<std::vector<NodeId>> SelectNodes(const Tree& tree,
+                                        const Formula& formula, NodeId origin,
+                                        const std::string& x,
+                                        const std::string& y) {
+  if (!formula.valid()) return InvalidArgument("empty formula");
+  for (const std::string& v : formula.FreeVariables()) {
+    if (v != x && v != y) {
+      return InvalidArgument("selector has unexpected free variable '" + v +
+                             "'");
+    }
+  }
+  if (!tree.Valid(origin)) return InvalidArgument("invalid origin node");
+
+  NodeEnv env;
+  env[x] = origin;
+  env[y] = origin;  // placeholder; overwritten per candidate
+  TreeEvaluator evaluator(tree, env);
+  TREEWALK_RETURN_IF_ERROR(evaluator.Prepare(formula));
+
+  std::vector<NodeId> selected;
+  auto consider = [&](NodeId v) {
+    evaluator.Bind(y, v);
+    if (evaluator.Eval(formula)) selected.push_back(v);
+  };
+  switch (PlanSelector(formula, x, y)) {
+    case CandidateRange::kAll:
+      for (NodeId v = 0; v < static_cast<NodeId>(tree.size()); ++v) {
+        consider(v);
+      }
+      break;
+    case CandidateRange::kSubtree:
+      for (NodeId v = origin + 1; v < tree.SubtreeEnd(origin); ++v) {
+        consider(v);
+      }
+      break;
+    case CandidateRange::kChildren:
+      for (NodeId v = tree.FirstChild(origin); v != kNoNode;
+           v = tree.NextSibling(v)) {
+        consider(v);
+      }
+      break;
+  }
+  return selected;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,47 @@
+#ifndef TREEWALK_LOGIC_TREE_EVAL_H_
+#define TREEWALK_LOGIC_TREE_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/logic/formula.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Variable assignment for tree-formula evaluation: node variables to
+/// nodes.
+using NodeEnv = std::map<std::string, NodeId>;
+
+/// Evaluates a tree formula under `env`, which must bind every free
+/// variable.  Quantifiers range over Dom(t).  The evaluator is the
+/// reference semantics of Section 2.2: straightforward recursive descent,
+/// exponential in quantifier depth, intended for correctness rather than
+/// speed.
+///
+/// Fails with kInvalidArgument on sort errors, unbound variables, and
+/// references to attribute columns the tree lacks.  A *label* that no
+/// node carries is not an error: lab(x, sigma) is simply false
+/// everywhere.
+Result<bool> EvalTreeFormula(const Tree& tree, const Formula& formula,
+                             const NodeEnv& env = {});
+
+/// Evaluates a sentence (no free variables).
+Result<bool> EvalTreeSentence(const Tree& tree, const Formula& formula);
+
+/// Evaluates a binary selector formula phi(x, y) with `x` bound to
+/// `origin`: returns all nodes v with t |= phi(origin, v), in document
+/// order.  This is the node-selection primitive behind atp(phi, q)
+/// (Section 3) and the XPath abstraction (Section 2.3).
+///
+/// `formula` must have free variables a subset of {x, y}.
+Result<std::vector<NodeId>> SelectNodes(const Tree& tree,
+                                        const Formula& formula, NodeId origin,
+                                        const std::string& x = "x",
+                                        const std::string& y = "y");
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_LOGIC_TREE_EVAL_H_

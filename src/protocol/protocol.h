@@ -1,0 +1,93 @@
+#ifndef TREEWALK_PROTOCOL_PROTOCOL_H_
+#define TREEWALK_PROTOCOL_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/automata/program.h"
+#include "src/common/result.h"
+
+namespace treewalk {
+
+/// One message of the Lemma 4.5 protocol.  `from` is 0 for party I
+/// (holding f) and 1 for party II (holding g).
+struct ProtocolMessage {
+  enum class Kind {
+    kType,              ///< <theta>: the party's N-type token (init)
+    kAtpRequest,        ///< <phi, q, theta, tau>: evaluate my atp remotely
+    kReply,             ///< <R>: the relation collected remotely
+    kConfig,            ///< <q, tau>: the main walk crossed the boundary
+    kConfigNeedAnswer,  ///< <q, tau, NeedAnswer>: a subcomputation crossed
+    kAccept,
+    kReject,
+  };
+  Kind kind;
+  int from;
+  std::string payload;
+};
+
+const char* MessageKindName(ProtocolMessage::Kind kind);
+
+struct ProtocolOptions {
+  std::int64_t max_steps = 1'000'000;
+  int max_depth = 64;
+  /// Variable budget k of the N-type tokens exchanged at initialization.
+  int type_k = 2;
+};
+
+struct ProtocolResult {
+  bool accepted = false;
+  std::vector<ProtocolMessage> transcript;
+  std::int64_t steps = 0;
+  /// Order-sensitive 64-bit fingerprint of the transcript; equal
+  /// dialogues (Lemma 4.6's counting unit) get equal fingerprints.
+  std::uint64_t dialogue_fingerprint = 0;
+};
+
+/// Executes a tw^{r,l} program on the split string f#g through the
+/// two-party protocol of Lemma 4.5: party I owns f# (and the tree-top
+/// delimiters), party II owns g; the parties exchange N-type tokens at
+/// initialization, configurations when the walk crosses the boundary,
+/// and atp-request/reply pairs when a look-ahead selects nodes in the
+/// other party's half.  Requests are deduplicated as in the lemma's
+/// round-bounding argument: an already-answered request is reused, and a
+/// request that re-enters itself while in flight rejects (the
+/// computation cycled).
+///
+/// The verdict always equals the memoizing reference evaluation
+/// (EvaluateViaConfigGraph) of the program on the same string.
+///
+/// Substitution note (DESIGN.md #4): the lemma's ==_N equivalence-class
+/// messages are realized as atomic-type-set fingerprints of each half.
+Result<ProtocolResult> RunSplitProtocol(const Program& program,
+                                        const std::vector<DataValue>& f,
+                                        const std::vector<DataValue>& g,
+                                        DataValue hash,
+                                        ProtocolOptions options = {});
+
+/// Aggregate of a Lemma 4.6 census run.
+struct DialogueCensus {
+  int level = 0;
+  std::size_t num_hypersets = 0;
+  std::size_t num_distinct_dialogues = 0;
+  /// Two distinct hypersets whose diagonal inputs f#f produced identical
+  /// dialogues (the pigeonhole pair of Lemma 4.6), if any were found.
+  bool collision_found = false;
+  std::string collision_a;
+  std::string collision_b;
+};
+
+/// Runs `program` through the protocol on the diagonal input f#f for the
+/// encoding f of every level-`level` hyperset over `domain`, and counts
+/// distinct dialogues.  When two distinct hypersets produce the same
+/// dialogue, Lemma 4.6's argument applies: the protocol (hence the
+/// program) cannot separate the mixed inputs, so it cannot compute L^m.
+Result<DialogueCensus> RunDialogueCensus(const Program& program, int level,
+                                         const std::vector<DataValue>& domain,
+                                         DataValue hash,
+                                         ProtocolOptions options = {});
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_PROTOCOL_PROTOCOL_H_

@@ -1,0 +1,368 @@
+#include "src/regular/hedge.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/tree/traversal.h"
+
+namespace treewalk {
+
+HRegex HRegex::Make(Node node) {
+  return HRegex(std::make_shared<const Node>(std::move(node)));
+}
+
+HRegex HRegex::Epsilon() {
+  Node n;
+  n.kind = Kind::kEpsilon;
+  return Make(std::move(n));
+}
+
+HRegex HRegex::Sym(int state) {
+  Node n;
+  n.kind = Kind::kSym;
+  n.sym = state;
+  return Make(std::move(n));
+}
+
+HRegex HRegex::Concat(HRegex a, HRegex b) {
+  Node n;
+  n.kind = Kind::kConcat;
+  n.children = {std::move(a), std::move(b)};
+  return Make(std::move(n));
+}
+
+HRegex HRegex::Alt(HRegex a, HRegex b) {
+  Node n;
+  n.kind = Kind::kAlt;
+  n.children = {std::move(a), std::move(b)};
+  return Make(std::move(n));
+}
+
+HRegex HRegex::Star(HRegex inner) {
+  Node n;
+  n.kind = Kind::kStar;
+  n.children = {std::move(inner)};
+  return Make(std::move(n));
+}
+
+HRegex HRegex::Seq(const std::vector<HRegex>& parts) {
+  if (parts.empty()) return Epsilon();
+  HRegex out = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    out = Concat(out, parts[i]);
+  }
+  return out;
+}
+
+HRegex HRegex::AnyOf(const std::vector<int>& states) {
+  if (states.empty()) return Star(Epsilon());
+  HRegex alt = Sym(states.front());
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    alt = Alt(alt, Sym(states[i]));
+  }
+  return Star(alt);
+}
+
+int Nfa::AddState() {
+  states_.emplace_back();
+  return static_cast<int>(states_.size()) - 1;
+}
+
+Nfa::Nfa(const HRegex& regex) {
+  auto [start, accept] = Build(regex);
+  start_ = start;
+  accept_ = accept;
+}
+
+std::pair<int, int> Nfa::Build(const HRegex& regex) {
+  switch (regex.kind()) {
+    case HRegex::Kind::kEpsilon: {
+      int s = AddState();
+      int t = AddState();
+      states_[static_cast<std::size_t>(s)].edges.emplace_back(-1, t);
+      return {s, t};
+    }
+    case HRegex::Kind::kSym: {
+      int s = AddState();
+      int t = AddState();
+      states_[static_cast<std::size_t>(s)].edges.emplace_back(regex.sym(), t);
+      return {s, t};
+    }
+    case HRegex::Kind::kConcat: {
+      auto [s1, t1] = Build(regex.left());
+      auto [s2, t2] = Build(regex.right());
+      states_[static_cast<std::size_t>(t1)].edges.emplace_back(-1, s2);
+      return {s1, t2};
+    }
+    case HRegex::Kind::kAlt: {
+      auto [s1, t1] = Build(regex.left());
+      auto [s2, t2] = Build(regex.right());
+      int s = AddState();
+      int t = AddState();
+      states_[static_cast<std::size_t>(s)].edges.emplace_back(-1, s1);
+      states_[static_cast<std::size_t>(s)].edges.emplace_back(-1, s2);
+      states_[static_cast<std::size_t>(t1)].edges.emplace_back(-1, t);
+      states_[static_cast<std::size_t>(t2)].edges.emplace_back(-1, t);
+      return {s, t};
+    }
+    case HRegex::Kind::kStar: {
+      auto [s1, t1] = Build(regex.inner());
+      int s = AddState();
+      int t = AddState();
+      states_[static_cast<std::size_t>(s)].edges.emplace_back(-1, s1);
+      states_[static_cast<std::size_t>(s)].edges.emplace_back(-1, t);
+      states_[static_cast<std::size_t>(t1)].edges.emplace_back(-1, s1);
+      states_[static_cast<std::size_t>(t1)].edges.emplace_back(-1, t);
+      return {s, t};
+    }
+  }
+  return {0, 0};
+}
+
+void Nfa::EpsilonClose(std::vector<bool>& set) const {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      if (!set[s]) continue;
+      for (const auto& [symbol, target] : states_[s].edges) {
+        if (symbol == -1 && !set[static_cast<std::size_t>(target)]) {
+          set[static_cast<std::size_t>(target)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+bool Nfa::AcceptsSomeWord(const std::vector<std::vector<int>>& sets) const {
+  std::vector<bool> current(states_.size(), false);
+  current[static_cast<std::size_t>(start_)] = true;
+  EpsilonClose(current);
+  for (const std::vector<int>& letter_set : sets) {
+    std::vector<bool> next(states_.size(), false);
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      if (!current[s]) continue;
+      for (const auto& [symbol, target] : states_[s].edges) {
+        if (symbol == -1) continue;
+        if (std::find(letter_set.begin(), letter_set.end(), symbol) !=
+            letter_set.end()) {
+          next[static_cast<std::size_t>(target)] = true;
+        }
+      }
+    }
+    EpsilonClose(next);
+    current = std::move(next);
+  }
+  return current[static_cast<std::size_t>(accept_)];
+}
+
+Nfa Nfa::IntersectWith(const Nfa& other, int b_width) const {
+  Nfa out;
+  const std::size_t nb = other.states_.size();
+  out.states_.resize(states_.size() * nb);
+  auto id = [nb](int a, int b) {
+    return static_cast<int>(static_cast<std::size_t>(a) * nb +
+                            static_cast<std::size_t>(b));
+  };
+  for (std::size_t a = 0; a < states_.size(); ++a) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      State& state = out.states_[static_cast<std::size_t>(
+          id(static_cast<int>(a), static_cast<int>(b)))];
+      // Epsilon moves of either component.
+      for (const auto& [sym, ta] : states_[a].edges) {
+        if (sym == -1) {
+          state.edges.emplace_back(-1, id(ta, static_cast<int>(b)));
+        }
+      }
+      for (const auto& [sym, tb] : other.states_[b].edges) {
+        if (sym == -1) {
+          state.edges.emplace_back(-1, id(static_cast<int>(a), tb));
+        }
+      }
+      // Joint symbol moves on the pair symbol.
+      for (const auto& [sa, ta] : states_[a].edges) {
+        if (sa == -1) continue;
+        for (const auto& [sb, tb] : other.states_[b].edges) {
+          if (sb == -1) continue;
+          state.edges.emplace_back(sa * b_width + sb, id(ta, tb));
+        }
+      }
+    }
+  }
+  out.start_ = id(start_, other.start_);
+  out.accept_ = id(accept_, other.accept_);
+  return out;
+}
+
+Nfa Nfa::ShiftSymbols(int offset) const {
+  Nfa out = *this;
+  for (State& state : out.states_) {
+    for (auto& [sym, target] : state.edges) {
+      if (sym != -1) sym += offset;
+    }
+  }
+  return out;
+}
+
+void HedgeAutomaton::AddTransition(int state, std::string label,
+                                   HRegex horizontal) {
+  transitions_.push_back(
+      Transition{state, std::move(label), Nfa(horizontal)});
+}
+
+Result<std::vector<std::vector<int>>> HedgeAutomaton::RunBottomUp(
+    const Tree& tree) const {
+  if (tree.empty()) return InvalidArgument("empty tree");
+  std::set<std::string> exact_labels;
+  for (const Transition& t : transitions_) {
+    if (t.label != "*") exact_labels.insert(t.label);
+  }
+  std::vector<std::vector<int>> states(tree.size());
+  for (NodeId u : PostOrder(tree)) {
+    std::vector<std::vector<int>> child_sets;
+    for (NodeId c = tree.FirstChild(u); c != kNoNode;
+         c = tree.NextSibling(c)) {
+      child_sets.push_back(states[static_cast<std::size_t>(c)]);
+    }
+    const std::string& label = tree.LabelName(tree.label(u));
+    bool shadowed = exact_labels.count(label) > 0;
+    std::set<int> reachable;
+    for (const Transition& t : transitions_) {
+      if (t.label == "*") {
+        if (shadowed) continue;
+      } else if (t.label != label) {
+        continue;
+      }
+      if (reachable.count(t.state) > 0) continue;
+      if (t.horizontal.AcceptsSomeWord(child_sets)) {
+        reachable.insert(t.state);
+      }
+    }
+    states[static_cast<std::size_t>(u)].assign(reachable.begin(),
+                                               reachable.end());
+  }
+  return states;
+}
+
+Result<bool> HedgeAutomaton::Accepts(const Tree& tree) const {
+  TREEWALK_ASSIGN_OR_RETURN(auto states, RunBottomUp(tree));
+  const std::vector<int>& root = states[static_cast<std::size_t>(tree.root())];
+  for (int f : final_) {
+    if (std::find(root.begin(), root.end(), f) != root.end()) return true;
+  }
+  return false;
+}
+
+std::vector<const HedgeAutomaton::Transition*> HedgeAutomaton::ApplicableAt(
+    const std::string& label) const {
+  bool has_exact = false;
+  if (label != "*") {
+    for (const Transition& t : transitions_) {
+      if (t.label == label) {
+        has_exact = true;
+        break;
+      }
+    }
+  }
+  std::vector<const Transition*> out;
+  for (const Transition& t : transitions_) {
+    bool applies = label == "*" ? t.label == "*"
+                                : (t.label == label ||
+                                   (t.label == "*" && !has_exact));
+    if (applies) out.push_back(&t);
+  }
+  return out;
+}
+
+namespace {
+
+/// Exact labels a transition list mentions.
+std::set<std::string> ExactLabelsOf(
+    const std::vector<std::string>& labels) {
+  std::set<std::string> out;
+  for (const std::string& l : labels) {
+    if (l != "*") out.insert(l);
+  }
+  return out;
+}
+
+}  // namespace
+
+HedgeAutomaton HedgeAutomaton::Union(const HedgeAutomaton& a,
+                                     const HedgeAutomaton& b) {
+  // Wildcard shadowing is per merged label set: if A has an exact "b"
+  // row, B's wildcards would wrongly stop applying at "b" nodes.
+  // Instantiate each side's wildcard rows at the *other* side's exact
+  // labels first, so the merged shadowing changes nothing.
+  std::vector<std::string> a_labels, b_labels;
+  for (const Transition& t : a.transitions_) a_labels.push_back(t.label);
+  for (const Transition& t : b.transitions_) b_labels.push_back(t.label);
+  std::set<std::string> a_exact = ExactLabelsOf(a_labels);
+  std::set<std::string> b_exact = ExactLabelsOf(b_labels);
+
+  HedgeAutomaton out(a.num_states_ + b.num_states_);
+  out.transitions_ = a.transitions_;
+  for (const std::string& label : b_exact) {
+    if (a_exact.count(label) > 0) continue;
+    for (const Transition* t : a.ApplicableAt("*")) {
+      out.transitions_.push_back(Transition{t->state, label, t->horizontal});
+    }
+  }
+  for (const Transition& t : b.transitions_) {
+    out.transitions_.push_back(Transition{
+        t.state + a.num_states_, t.label,
+        t.horizontal.ShiftSymbols(a.num_states_)});
+  }
+  for (const std::string& label : a_exact) {
+    if (b_exact.count(label) > 0) continue;
+    for (const Transition* t : b.ApplicableAt("*")) {
+      out.transitions_.push_back(Transition{
+          t->state + a.num_states_, label,
+          t->horizontal.ShiftSymbols(a.num_states_)});
+    }
+  }
+  out.final_ = a.final_;
+  for (int f : b.final_) out.final_.push_back(f + a.num_states_);
+  return out;
+}
+
+HedgeAutomaton HedgeAutomaton::Intersect(const HedgeAutomaton& a,
+                                         const HedgeAutomaton& b) {
+  const int nb = b.num_states_;
+  HedgeAutomaton out(a.num_states_ * nb);
+  // Label universe: every exact label either side mentions gets its own
+  // product transitions; a joint wildcard row covers the rest, which
+  // preserves shadowing (the product's exact rows shadow its wildcard
+  // exactly where a component's exact rows shadowed its wildcard).
+  std::set<std::string> labels;
+  for (const Transition& t : a.transitions_) {
+    if (t.label != "*") labels.insert(t.label);
+  }
+  for (const Transition& t : b.transitions_) {
+    if (t.label != "*") labels.insert(t.label);
+  }
+  labels.insert("*");
+  for (const std::string& label : labels) {
+    for (const Transition* ta : a.ApplicableAt(label)) {
+      for (const Transition* tb : b.ApplicableAt(label)) {
+        out.transitions_.push_back(Transition{
+            ta->state * nb + tb->state, label,
+            ta->horizontal.IntersectWith(tb->horizontal, nb)});
+      }
+    }
+  }
+  for (int fa : a.final_) {
+    for (int fb : b.final_) out.final_.push_back(fa * nb + fb);
+  }
+  return out;
+}
+
+Result<std::vector<int>> HedgeAutomaton::StatesAt(const Tree& tree,
+                                                  NodeId node) const {
+  if (!tree.Valid(node)) return InvalidArgument("invalid node");
+  TREEWALK_ASSIGN_OR_RETURN(auto states, RunBottomUp(tree));
+  return states[static_cast<std::size_t>(node)];
+}
+
+}  // namespace treewalk

@@ -1,0 +1,147 @@
+#ifndef TREEWALK_REGULAR_HEDGE_H_
+#define TREEWALK_REGULAR_HEDGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Regular expressions over hedge-automaton states (small ints), used as
+/// the horizontal languages of unranked tree automata.
+///
+///   HRegex::Sym(0)                      -- one child in state 0
+///   HRegex::Star(HRegex::Sym(1))        -- any number of state-1 children
+///   HRegex::Concat(a, b), Alt(a, b), Epsilon()
+class HRegex {
+ public:
+  enum class Kind { kEpsilon, kSym, kConcat, kAlt, kStar };
+
+  static HRegex Epsilon();
+  static HRegex Sym(int state);
+  static HRegex Concat(HRegex a, HRegex b);
+  static HRegex Alt(HRegex a, HRegex b);
+  static HRegex Star(HRegex inner);
+  /// Concatenation of a list (Epsilon when empty).
+  static HRegex Seq(const std::vector<HRegex>& parts);
+  /// (a)* for Sym-lists: Star(Alt(...)).
+  static HRegex AnyOf(const std::vector<int>& states);
+
+  Kind kind() const { return node_->kind; }
+  int sym() const { return node_->sym; }
+  const HRegex& left() const { return node_->children[0]; }
+  const HRegex& right() const { return node_->children[1]; }
+  const HRegex& inner() const { return node_->children[0]; }
+
+ private:
+  struct Node {
+    Kind kind;
+    int sym = -1;
+    std::vector<HRegex> children;
+  };
+  explicit HRegex(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+  static HRegex Make(Node node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Thompson-constructed NFA over state symbols; advances by *sets* of
+/// possible symbols, which is exactly what nondeterministic bottom-up
+/// hedge evaluation needs.
+class Nfa {
+ public:
+  /// Builds the NFA for `regex`.
+  explicit Nfa(const HRegex& regex);
+
+  /// True if some word w_1...w_n with w_i in sets[i] is accepted.
+  bool AcceptsSomeWord(const std::vector<std::vector<int>>& sets) const;
+
+  /// Product NFA over pair symbols: accepts a word of pair symbols
+  /// (a * b_width + b) iff this accepts the a-projection and `other`
+  /// accepts the b-projection.  Used by HedgeAutomaton intersection.
+  Nfa IntersectWith(const Nfa& other, int b_width) const;
+
+  /// Rebuilds with every symbol s replaced by s + offset (for disjoint
+  /// unions of state spaces).
+  Nfa ShiftSymbols(int offset) const;
+
+ private:
+  Nfa() = default;
+
+  struct State {
+    /// (symbol, target) edges; symbol -1 is epsilon.
+    std::vector<std::pair<int, int>> edges;
+  };
+  int AddState();
+  /// Adds the fragment for `regex`; returns (start, end).
+  std::pair<int, int> Build(const HRegex& regex);
+  void EpsilonClose(std::vector<bool>& set) const;
+
+  std::vector<State> states_;
+  int start_ = 0;
+  int accept_ = 0;
+};
+
+/// A nondeterministic bottom-up hedge automaton: the standard model of
+/// regular unranked tree languages (the MSO-definable languages of
+/// Proposition 7.2).  A run assigns states bottom-up: node u with label
+/// sigma can take state q if some transition (q, sigma, L) has the
+/// children's state word in L.  The tree is accepted if the root can
+/// take a final state.
+class HedgeAutomaton {
+ public:
+  /// `num_states` automaton states named 0..num_states-1.
+  explicit HedgeAutomaton(int num_states) : num_states_(num_states) {}
+
+  /// Adds transition (state, label, horizontal).  Label "*" matches any
+  /// label *not* matched by a non-wildcard transition of any state
+  /// (exact labels shadow the wildcard, mirroring the walking library).
+  void AddTransition(int state, std::string label, HRegex horizontal);
+
+  void AddFinal(int state) { final_.push_back(state); }
+
+  int num_states() const { return num_states_; }
+
+  /// Membership test; runs bottom-up over `tree` (not delimited — hedge
+  /// automata see the raw tree).
+  Result<bool> Accepts(const Tree& tree) const;
+
+  /// The set of states the given node can take (for tests).
+  Result<std::vector<int>> StatesAt(const Tree& tree, NodeId node) const;
+
+  /// Language union: disjoint union of the two automata (regular tree
+  /// languages are closed under union).
+  static HedgeAutomaton Union(const HedgeAutomaton& a,
+                              const HedgeAutomaton& b);
+
+  /// Language intersection via the product construction: product states
+  /// (qa, qb) = qa * b.num_states() + qb, horizontal languages as
+  /// product NFAs, with exact-label transitions instantiated from both
+  /// sides' label sets so wildcard shadowing semantics are preserved.
+  static HedgeAutomaton Intersect(const HedgeAutomaton& a,
+                                  const HedgeAutomaton& b);
+
+ private:
+  struct Transition {
+    int state;
+    std::string label;
+    Nfa horizontal;
+  };
+
+  /// All transitions of `self` applicable at a node labeled `label`
+  /// under shadowing (label == "*" asks for the pure-wildcard row).
+  std::vector<const Transition*> ApplicableAt(const std::string& label) const;
+  Result<std::vector<std::vector<int>>> RunBottomUp(const Tree& tree) const;
+
+  int num_states_;
+  std::vector<Transition> transitions_;
+  std::vector<int> final_;
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_REGULAR_HEDGE_H_

@@ -1,0 +1,64 @@
+#include "src/regular/library.h"
+
+#include <string>
+
+namespace treewalk {
+
+namespace {
+
+/// Words over {0, 1} with an even number of 1s: (0* 1 0* 1)* 0*.
+HRegex EvenOnes() {
+  HRegex zeros = HRegex::Star(HRegex::Sym(0));
+  HRegex pair = HRegex::Seq(
+      {zeros, HRegex::Sym(1), zeros, HRegex::Sym(1)});
+  return HRegex::Concat(HRegex::Star(pair), zeros);
+}
+
+/// Words over {0, 1} with an odd number of 1s.
+HRegex OddOnes() {
+  HRegex zeros = HRegex::Star(HRegex::Sym(0));
+  return HRegex::Seq({zeros, HRegex::Sym(1), EvenOnes()});
+}
+
+}  // namespace
+
+HedgeAutomaton ParityHedge(std::string_view label) {
+  const std::string lab(label);
+  HedgeAutomaton a(2);
+  // State of a node = parity of `label`-nodes in its subtree.
+  a.AddTransition(1, lab, EvenOnes());
+  a.AddTransition(0, lab, OddOnes());
+  a.AddTransition(0, "*", EvenOnes());
+  a.AddTransition(1, "*", OddOnes());
+  a.AddFinal(0);
+  return a;
+}
+
+HedgeAutomaton HasLabelHedge(std::string_view label) {
+  const std::string lab(label);
+  HedgeAutomaton a(2);
+  HRegex any = HRegex::AnyOf({0, 1});
+  // A `label` node is present regardless of its children.
+  a.AddTransition(1, lab, any);
+  // Any other node is present iff some child is.
+  a.AddTransition(1, "*",
+                  HRegex::Seq({any, HRegex::Sym(1), any}));
+  a.AddTransition(0, "*", HRegex::AnyOf({0}));
+  a.AddFinal(1);
+  return a;
+}
+
+HedgeAutomaton AllLeavesLabelHedge(std::string_view label) {
+  const std::string lab(label);
+  HedgeAutomaton a(1);
+  HRegex ok_plus = HRegex::Concat(HRegex::Sym(0), HRegex::AnyOf({0}));
+  // A `label` leaf is ok; internal nodes (any label) are ok when every
+  // child is ok; a non-`label` leaf gets no state.
+  a.AddTransition(0, lab, HRegex::Epsilon());
+  a.AddTransition(0, lab, ok_plus);
+  a.AddTransition(0, "*", ok_plus);
+  a.AddFinal(0);
+  return a;
+}
+
+}  // namespace treewalk

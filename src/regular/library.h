@@ -1,0 +1,25 @@
+#ifndef TREEWALK_REGULAR_LIBRARY_H_
+#define TREEWALK_REGULAR_LIBRARY_H_
+
+#include <string_view>
+
+#include "src/regular/hedge.h"
+
+namespace treewalk {
+
+/// Hedge automaton for "the number of `label`-nodes is even" — the
+/// regular partner of ParityProgram() for the Proposition 7.2
+/// (attribute-free) comparison.  States: 0 = even, 1 = odd.
+HedgeAutomaton ParityHedge(std::string_view label);
+
+/// Hedge automaton for "some node carries `label`" — partner of
+/// HasLabelProgram().  States: 0 = absent, 1 = present.
+HedgeAutomaton HasLabelHedge(std::string_view label);
+
+/// Hedge automaton for "every leaf carries `label`" — partner of
+/// AllLeavesLabelProgram().  State 0 = subtree ok.
+HedgeAutomaton AllLeavesLabelHedge(std::string_view label);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_REGULAR_LIBRARY_H_

@@ -1,0 +1,69 @@
+#include "src/relstore/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treewalk {
+
+Relation::Relation(int arity, std::vector<Tuple> tuples)
+    : arity_(arity), tuples_(std::move(tuples)) {
+  for ([[maybe_unused]] const Tuple& t : tuples_) {
+    assert(static_cast<int>(t.size()) == arity_);
+  }
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  assert(static_cast<int>(t.size()) == arity_);
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+bool Relation::Insert(const Tuple& t) {
+  assert(static_cast<int>(t.size()) == arity_);
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) return false;
+  tuples_.insert(it, t);
+  return true;
+}
+
+void Relation::UnionWith(const Relation& other) {
+  assert(arity_ == other.arity_);
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+             other.tuples_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  tuples_ = std::move(merged);
+}
+
+std::vector<DataValue> Relation::Values() const {
+  std::vector<DataValue> out;
+  for (const Tuple& t : tuples_) {
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Relation Relation::Singleton(DataValue v) {
+  return Relation(1, {{v}});
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(";
+    for (std::size_t j = 0; j < tuples_[i].size(); ++j) {
+      if (j > 0) out += ", ";
+      out += tuples_[i][j] == kBottom ? "_|_" : std::to_string(tuples_[i][j]);
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace treewalk

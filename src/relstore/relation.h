@@ -1,0 +1,64 @@
+#ifndef TREEWALK_RELSTORE_RELATION_H_
+#define TREEWALK_RELSTORE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/data_value.h"
+
+namespace treewalk {
+
+/// A tuple of data values.
+using Tuple = std::vector<DataValue>;
+
+/// A finite relation over the data domain D: a sorted, duplicate-free set
+/// of equal-arity tuples.  This is the content of one register of a
+/// tw^r / tw^{r,l} automaton (Section 3).
+///
+/// Arity-0 relations are booleans: either empty (false) or containing the
+/// single empty tuple (true).
+class Relation {
+ public:
+  /// Empty relation of the given arity.
+  explicit Relation(int arity = 1) : arity_(arity) {}
+
+  /// Builds from tuples (deduplicated and sorted).  All tuples must have
+  /// length `arity`.
+  Relation(int arity, std::vector<Tuple> tuples);
+
+  int arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Membership test; `t` must have the right arity.
+  bool Contains(const Tuple& t) const;
+
+  /// Inserts a tuple (keeps sortedness); returns true if new.
+  bool Insert(const Tuple& t);
+
+  /// Set union with a relation of the same arity.
+  void UnionWith(const Relation& other);
+
+  /// All values occurring in some tuple, sorted, unique.
+  std::vector<DataValue> Values() const;
+
+  /// A singleton unary relation {v}; convenience for tw^l registers.
+  static Relation Singleton(DataValue v);
+
+  /// "{(v1, ..., vk)}".
+  std::string ToString() const;
+
+  friend bool operator==(const Relation&, const Relation&) = default;
+  /// Lexicographic; usable as a map key.
+  friend auto operator<=>(const Relation& a, const Relation& b) = default;
+
+ private:
+  int arity_;
+  std::vector<Tuple> tuples_;  // sorted, unique
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_RELSTORE_RELATION_H_

@@ -1,0 +1,85 @@
+#include "src/relstore/store.h"
+
+#include <algorithm>
+
+namespace treewalk {
+
+Result<Store> Store::Create(
+    const std::vector<std::pair<std::string, int>>& schema) {
+  Store store;
+  for (const auto& [name, arity] : schema) {
+    if (arity < 0) {
+      return InvalidArgument("negative arity for relation '" + name + "'");
+    }
+    if (store.IndexOf(name) >= 0) {
+      return InvalidArgument("duplicate relation name '" + name + "'");
+    }
+    store.names_.push_back(name);
+    store.relations_.emplace_back(arity);
+  }
+  return store;
+}
+
+int Store::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Store::ArityOf(const std::string& name) const {
+  int index = IndexOf(name);
+  return index < 0 ? -1 : relations_[static_cast<std::size_t>(index)].arity();
+}
+
+const Relation* Store::Find(const std::string& name) const {
+  int index = IndexOf(name);
+  return index < 0 ? nullptr : &relations_[static_cast<std::size_t>(index)];
+}
+
+Relation* Store::Find(const std::string& name) {
+  int index = IndexOf(name);
+  return index < 0 ? nullptr : &relations_[static_cast<std::size_t>(index)];
+}
+
+Status Store::Replace(std::size_t index, Relation relation) {
+  if (index >= relations_.size()) {
+    return InvalidArgument("relation index out of range");
+  }
+  if (relation.arity() != relations_[index].arity()) {
+    return InvalidArgument("arity mismatch replacing relation '" +
+                           names_[index] + "'");
+  }
+  relations_[index] = std::move(relation);
+  return Status::Ok();
+}
+
+std::vector<DataValue> Store::ActiveDomain() const {
+  std::vector<DataValue> out;
+  for (const Relation& r : relations_) {
+    std::vector<DataValue> values = r.Values();
+    out.insert(out.end(), values.begin(), values.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Store::TotalTuples() const {
+  std::size_t total = 0;
+  for (const Relation& r : relations_) total += r.size();
+  return total;
+}
+
+std::string Store::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += names_[i];
+    out += " = ";
+    out += relations_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace treewalk

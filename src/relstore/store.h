@@ -1,0 +1,66 @@
+#ifndef TREEWALK_RELSTORE_STORE_H_
+#define TREEWALK_RELSTORE_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/relstore/relation.h"
+
+namespace treewalk {
+
+/// The relational storage of a tw^r / tw^{r,l} automaton (Section 3): a
+/// fixed list of named relations X_1, ..., X_k with declared arities.
+/// The schema (names and arities) is immutable after construction;
+/// contents are mutable.
+class Store {
+ public:
+  Store() = default;
+
+  /// Declares the relations; names must be unique.
+  static Result<Store> Create(
+      const std::vector<std::pair<std::string, int>>& schema);
+
+  std::size_t num_relations() const { return relations_.size(); }
+
+  /// Index of a relation name, or -1.
+  int IndexOf(const std::string& name) const;
+  /// Arity of a relation name, or -1 if unknown (shape matches the
+  /// callback ValidateStoreFormula expects).
+  int ArityOf(const std::string& name) const;
+
+  const std::string& NameAt(std::size_t index) const {
+    return names_[index];
+  }
+  const Relation& At(std::size_t index) const { return relations_[index]; }
+  Relation& At(std::size_t index) { return relations_[index]; }
+
+  const Relation* Find(const std::string& name) const;
+  Relation* Find(const std::string& name);
+
+  /// Replaces relation `index`; arity must match the schema.
+  Status Replace(std::size_t index, Relation relation);
+
+  /// All values occurring in any relation, sorted, unique (the store part
+  /// of the active domain).
+  std::vector<DataValue> ActiveDomain() const;
+
+  /// Total number of tuples across relations (a size measure for the
+  /// PSPACE accounting of Theorem 7.1(3)).
+  std::size_t TotalTuples() const;
+
+  /// Deterministic comparison for memoization of configurations.
+  friend bool operator==(const Store&, const Store&) = default;
+  friend auto operator<=>(const Store&, const Store&) = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_RELSTORE_STORE_H_

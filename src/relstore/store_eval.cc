@@ -1,0 +1,220 @@
+#include "src/relstore/store_eval.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treewalk {
+
+namespace {
+
+/// Collects the data constants of a formula into `out`; string constants
+/// are resolved through the context's interner.
+Status CollectConstants(const StoreContext& context, const Formula& f,
+                        std::vector<DataValue>& out) {
+  const FormulaNode& n = f.node();
+  for (const Formula& c : n.children) {
+    TREEWALK_RETURN_IF_ERROR(CollectConstants(context, c, out));
+  }
+  if (n.kind != FormulaKind::kAtom) return Status::Ok();
+  for (const Term& t : n.terms) {
+    switch (t.kind) {
+      case Term::Kind::kIntConst:
+        out.push_back(t.value);
+        break;
+      case Term::Kind::kStrConst:
+        if (context.values == nullptr) {
+          return InvalidArgument(
+              "string constant \"" + t.text +
+              "\" requires a ValueInterner in the store context");
+        }
+        out.push_back(context.values->ValueFor(t.text));
+        break;
+      case Term::Kind::kCurrentAttr: {
+        auto it = context.current_attrs.find(t.attr);
+        if (it == context.current_attrs.end()) {
+          return InvalidArgument("current node has no attribute '" + t.attr +
+                                 "'");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+class StoreEvaluator {
+ public:
+  StoreEvaluator(const StoreContext& context, std::vector<DataValue> domain)
+      : context_(context), domain_(std::move(domain)) {}
+
+  bool Eval(const Formula& f, std::map<std::string, DataValue>& env) {
+    const FormulaNode& n = f.node();
+    switch (n.kind) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kNot:
+        return !Eval(n.children[0], env);
+      case FormulaKind::kAnd:
+        return Eval(n.children[0], env) && Eval(n.children[1], env);
+      case FormulaKind::kOr:
+        return Eval(n.children[0], env) || Eval(n.children[1], env);
+      case FormulaKind::kImplies:
+        return !Eval(n.children[0], env) || Eval(n.children[1], env);
+      case FormulaKind::kIff:
+        return Eval(n.children[0], env) == Eval(n.children[1], env);
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        bool exists = n.kind == FormulaKind::kExists;
+        auto it = env.find(n.var);
+        bool had = it != env.end();
+        DataValue saved = had ? it->second : 0;
+        bool result = !exists;
+        for (DataValue v : domain_) {
+          env[n.var] = v;
+          if (Eval(n.children[0], env) == exists) {
+            result = exists;
+            break;
+          }
+        }
+        if (had) {
+          env[n.var] = saved;
+        } else {
+          env.erase(n.var);
+        }
+        return result;
+      }
+      case FormulaKind::kAtom: {
+        if (n.atom == AtomKind::kEq) {
+          return Value(n.terms[0], env) == Value(n.terms[1], env);
+        }
+        assert(n.atom == AtomKind::kRelation);
+        const Relation* rel = context_.store->Find(n.symbol);
+        assert(rel != nullptr);
+        Tuple t;
+        t.reserve(n.terms.size());
+        for (const Term& term : n.terms) t.push_back(Value(term, env));
+        return rel->Contains(t);
+      }
+    }
+    return false;
+  }
+
+ private:
+  DataValue Value(const Term& t, std::map<std::string, DataValue>& env) {
+    switch (t.kind) {
+      case Term::Kind::kVar: {
+        auto it = env.find(t.var);
+        assert(it != env.end());
+        return it->second;
+      }
+      case Term::Kind::kIntConst:
+        return t.value;
+      case Term::Kind::kStrConst:
+        assert(context_.values != nullptr);
+        return context_.values->ValueFor(t.text);
+      case Term::Kind::kCurrentAttr: {
+        auto it = context_.current_attrs.find(t.attr);
+        assert(it != context_.current_attrs.end());
+        return it->second;
+      }
+      case Term::Kind::kAttrOfVar:
+        assert(false && "val(.,.) in store formula");
+        return 0;
+    }
+    return 0;
+  }
+
+  const StoreContext& context_;
+  std::vector<DataValue> domain_;
+};
+
+Status Validate(const StoreContext& context, const Formula& formula) {
+  if (!formula.valid()) return InvalidArgument("empty formula");
+  if (context.store == nullptr) {
+    return InvalidArgument("store context has no store");
+  }
+  const Store* store = context.store;
+  return ValidateStoreFormula(
+      formula, [store](const std::string& name) { return store->ArityOf(name); });
+}
+
+}  // namespace
+
+Result<std::vector<DataValue>> ActiveDomain(const StoreContext& context,
+                                            const Formula& formula) {
+  TREEWALK_RETURN_IF_ERROR(Validate(context, formula));
+  std::vector<DataValue> domain = context.store->ActiveDomain();
+  for (const auto& [name, value] : context.current_attrs) {
+    domain.push_back(value);
+  }
+  TREEWALK_RETURN_IF_ERROR(CollectConstants(context, formula, domain));
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+Result<bool> EvalStoreSentence(const StoreContext& context,
+                               const Formula& formula) {
+  if (formula.valid() && !formula.FreeVariables().empty()) {
+    return InvalidArgument("store sentence has free variables");
+  }
+  TREEWALK_ASSIGN_OR_RETURN(std::vector<DataValue> domain,
+                            ActiveDomain(context, formula));
+  StoreEvaluator evaluator(context, std::move(domain));
+  std::map<std::string, DataValue> env;
+  return evaluator.Eval(formula, env);
+}
+
+Result<Relation> EvalStoreFormula(const StoreContext& context,
+                                  const Formula& formula,
+                                  const std::vector<std::string>& vars) {
+  TREEWALK_ASSIGN_OR_RETURN(std::vector<DataValue> domain,
+                            ActiveDomain(context, formula));
+  for (const std::string& v : formula.FreeVariables()) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      return InvalidArgument("free variable '" + v +
+                             "' missing from the tuple variable list");
+    }
+  }
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    for (std::size_t j = i + 1; j < vars.size(); ++j) {
+      if (vars[i] == vars[j]) {
+        return InvalidArgument("duplicate tuple variable '" + vars[i] + "'");
+      }
+    }
+  }
+
+  StoreEvaluator evaluator(context, domain);
+  Relation result(static_cast<int>(vars.size()));
+  if (vars.empty()) {
+    std::map<std::string, DataValue> env;
+    if (evaluator.Eval(formula, env)) result.Insert({});
+    return result;
+  }
+
+  std::map<std::string, DataValue> env;
+  std::vector<std::size_t> odometer(vars.size(), 0);
+  if (domain.empty()) return result;  // no tuples over an empty domain
+  while (true) {
+    Tuple tuple;
+    tuple.reserve(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      env[vars[i]] = domain[odometer[i]];
+      tuple.push_back(domain[odometer[i]]);
+    }
+    if (evaluator.Eval(formula, env)) result.Insert(tuple);
+    std::size_t slot = vars.size() - 1;
+    while (true) {
+      if (++odometer[slot] < domain.size()) break;
+      odometer[slot] = 0;
+      if (slot == 0) return result;
+      --slot;
+    }
+  }
+}
+
+}  // namespace treewalk

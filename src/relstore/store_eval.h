@@ -1,0 +1,53 @@
+#ifndef TREEWALK_RELSTORE_STORE_EVAL_H_
+#define TREEWALK_RELSTORE_STORE_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/interner.h"
+#include "src/common/result.h"
+#include "src/logic/formula.h"
+#include "src/relstore/store.h"
+
+namespace treewalk {
+
+/// Evaluation context for the store logic of Section 3: the formula sees
+/// the relational storage, the attribute values of the automaton's
+/// current node (the attr(.) terms), and its own constants.  All
+/// quantification ranges over the *active domain*: values in the store,
+/// the current attribute values, and the constants appearing in the
+/// formula.
+struct StoreContext {
+  const Store* store = nullptr;
+  /// Attribute name -> value at the automaton's current node.
+  std::map<std::string, DataValue> current_attrs;
+  /// Interner used to resolve string constants; may be null when the
+  /// formula has none.
+  ValueInterner* values = nullptr;
+};
+
+/// The active domain of a formula under a context (sorted, unique).
+/// Exposed for tests and for the PSPACE simulation's accounting.
+Result<std::vector<DataValue>> ActiveDomain(const StoreContext& context,
+                                            const Formula& formula);
+
+/// Evaluates a store sentence (no free variables): the guards xi of
+/// Definition 3.1.
+Result<bool> EvalStoreSentence(const StoreContext& context,
+                               const Formula& formula);
+
+/// Evaluates a store formula with free variables `vars` (in tuple order):
+/// returns the relation { d-bar in active-domain^|vars| : psi(d-bar) }.
+/// This is the register-update semantics of Definition 3.1 rule form 2.
+///
+/// Every free variable of the formula must appear in `vars`; `vars` may
+/// list extra variables (they become unconstrained columns over the
+/// active domain).
+Result<Relation> EvalStoreFormula(const StoreContext& context,
+                                  const Formula& formula,
+                                  const std::vector<std::string>& vars);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_RELSTORE_STORE_EVAL_H_

@@ -1,0 +1,42 @@
+#ifndef TREEWALK_SIMULATION_CONFIG_GRAPH_H_
+#define TREEWALK_SIMULATION_CONFIG_GRAPH_H_
+
+#include <cstdint>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/program.h"
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+struct ConfigGraphResult {
+  bool accepted = false;
+  /// Distinct configurations [u, q, tau] materialized.  For tw^l this is
+  /// polynomial in |t| — the crux of Theorem 7.1(2).
+  std::size_t configs = 0;
+  /// atp() call configurations resolved through the memo table (each is
+  /// evaluated once, however many callers it has).
+  std::size_t memoized_calls = 0;
+  std::int64_t steps = 0;
+};
+
+/// Evaluates a tree-walking program by materializing its configuration
+/// graph with memoized subcomputation outcomes — the PTIME evaluation
+/// strategy of Theorem 7.1(2).  Unlike the direct interpreter, which
+/// re-runs a subcomputation for every atp() call site, each start
+/// configuration is resolved exactly once; a subcomputation that reaches
+/// itself (unbounded regress) is rejected, which coincides with the
+/// direct semantics because an atp() whose subcomputation rejects makes
+/// the caller reject.
+///
+/// Accepts any program class (for tw^r the graph is a chain and this
+/// degenerates to the interpreter); the polynomial configuration bound
+/// holds for tw and tw^l.
+Result<ConfigGraphResult> EvaluateViaConfigGraph(const Program& program,
+                                                 const Tree& input,
+                                                 RunOptions options = {});
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_SIMULATION_CONFIG_GRAPH_H_

@@ -1,0 +1,45 @@
+#ifndef TREEWALK_SIMULATION_LOGSPACE_SIM_H_
+#define TREEWALK_SIMULATION_LOGSPACE_SIM_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+#include "src/xtm/machine.h"
+#include "src/xtm/run.h"
+
+namespace treewalk {
+
+struct LogspaceSimResult {
+  bool accepted = false;
+  /// Transitions of the simulated machine.
+  std::int64_t tm_steps = 0;
+  /// Tree-walking moves spent by the pebble machinery — the quantity
+  /// Theorem 7.1(1) bounds polynomially.
+  std::int64_t walk_steps = 0;
+  /// Highest tape cell the machine touched.
+  std::size_t tape_cells = 0;
+};
+
+/// Runs a deterministic, register-free xTM through the Theorem 7.1(1)
+/// construction: the work tape is *not* stored — its contents are encoded
+/// as the document-order ranks of pebbles (one value pebble per bit-plane
+/// of the tape alphabet, plus a head pebble), and every read/write is
+/// done by pebble rank arithmetic (halving for bit tests, +/- 2^i for bit
+/// writes).
+///
+/// The machine must fit the regime of the theorem: if a tape-as-number
+/// rank would exceed the number of nodes (the machine uses more than
+/// ~log2 |t| cells), the run aborts with kResourceExhausted — exactly the
+/// paper's "at most log2 |t| space" assumption.  Machines with registers
+/// or universal states are rejected with kFailedPrecondition.
+///
+/// Equivalence with the direct semantics (RunXtm) on every input is the
+/// E7 experiment.
+Result<LogspaceSimResult> RunLogspaceSimulation(const Xtm& machine,
+                                                const Tree& input,
+                                                XtmOptions options = {});
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_SIMULATION_LOGSPACE_SIM_H_

@@ -1,0 +1,170 @@
+#include "src/simulation/pebbles.h"
+
+#include <cassert>
+
+namespace treewalk {
+
+PebbleMachine::PebbleMachine(const Tree& tree, int num_pebbles)
+    : tree_(&tree), num_pebbles_(num_pebbles) {
+  assert(num_pebbles >= 0);
+  // Three internal scratch pebbles beyond the user-visible ones.
+  pebbles_.assign(static_cast<std::size_t>(num_pebbles) + 3, tree.root());
+}
+
+bool PebbleMachine::AtRoot(int p) const {
+  return pebbles_[static_cast<std::size_t>(p)] == tree_->root();
+}
+
+bool PebbleMachine::Equal(int p, int q) const {
+  return pebbles_[static_cast<std::size_t>(p)] ==
+         pebbles_[static_cast<std::size_t>(q)];
+}
+
+void PebbleMachine::Place(int p, int q) {
+  pebbles_[static_cast<std::size_t>(p)] =
+      pebbles_[static_cast<std::size_t>(q)];
+  ++steps_;
+}
+
+void PebbleMachine::MoveToRoot(int p) {
+  pebbles_[static_cast<std::size_t>(p)] = tree_->root();
+  ++steps_;
+}
+
+Status PebbleMachine::DocNext(int p) {
+  NodeId u = pebbles_[static_cast<std::size_t>(p)];
+  // Walk: first child, else nearest ancestor-or-self next sibling.  Each
+  // local move costs one step.
+  if (tree_->FirstChild(u) != kNoNode) {
+    ++steps_;
+    pebbles_[static_cast<std::size_t>(p)] = tree_->FirstChild(u);
+    return Status::Ok();
+  }
+  for (NodeId v = u; v != kNoNode; v = tree_->Parent(v)) {
+    ++steps_;
+    if (tree_->NextSibling(v) != kNoNode) {
+      pebbles_[static_cast<std::size_t>(p)] = tree_->NextSibling(v);
+      return Status::Ok();
+    }
+  }
+  return ResourceExhausted("pebble advanced past the last node");
+}
+
+Status PebbleMachine::DocPrev(int p) {
+  NodeId u = pebbles_[static_cast<std::size_t>(p)];
+  if (u == tree_->root()) {
+    return ResourceExhausted("pebble retreated past the root");
+  }
+  ++steps_;
+  NodeId left = tree_->PrevSibling(u);
+  if (left == kNoNode) {
+    pebbles_[static_cast<std::size_t>(p)] = tree_->Parent(u);
+    return Status::Ok();
+  }
+  while (tree_->LastChild(left) != kNoNode) {
+    ++steps_;
+    left = tree_->LastChild(left);
+  }
+  pebbles_[static_cast<std::size_t>(p)] = left;
+  return Status::Ok();
+}
+
+Status PebbleMachine::AdvanceBy(int p, int q) {
+  // Count rank(q) by walking a copy back to the root, advancing p in
+  // lockstep.
+  int counter = Scratch(0);
+  Place(counter, q);
+  while (!AtRoot(counter)) {
+    TREEWALK_RETURN_IF_ERROR(DocPrev(counter));
+    TREEWALK_RETURN_IF_ERROR(DocNext(p));
+  }
+  return Status::Ok();
+}
+
+Status PebbleMachine::RetreatBy(int p, int q) {
+  assert(p != q);
+  int counter = Scratch(0);
+  Place(counter, q);
+  while (!AtRoot(counter)) {
+    TREEWALK_RETURN_IF_ERROR(DocPrev(counter));
+    TREEWALK_RETURN_IF_ERROR(DocPrev(p));
+  }
+  return Status::Ok();
+}
+
+Status PebbleMachine::Halve(int p) {
+  // Walk lo up from the root and hi down from p toward each other; they
+  // meet (or become adjacent) at floor(rank(p) / 2).
+  int lo = Scratch(1);
+  int hi = Scratch(2);
+  MoveToRoot(lo);
+  Place(hi, p);
+  while (true) {
+    if (Equal(lo, hi)) break;
+    TREEWALK_RETURN_IF_ERROR(DocPrev(hi));
+    if (Equal(lo, hi)) break;
+    TREEWALK_RETURN_IF_ERROR(DocNext(lo));
+  }
+  Place(p, lo);
+  return Status::Ok();
+}
+
+Result<int> PebbleMachine::ParityOf(int p) {
+  int walker = Scratch(1);
+  Place(walker, p);
+  int parity = 0;
+  while (!AtRoot(walker)) {
+    TREEWALK_RETURN_IF_ERROR(DocPrev(walker));
+    parity ^= 1;
+  }
+  return parity;
+}
+
+Status PebbleMachine::SetToPowerOfTwo(int p, int i) {
+  MoveToRoot(p);
+  TREEWALK_RETURN_IF_ERROR(DocNext(p));  // rank 1
+  for (int k = 0; k < i; ++k) {
+    TREEWALK_RETURN_IF_ERROR(AdvanceBy(p, p));  // doubling
+  }
+  return Status::Ok();
+}
+
+Result<int> PebbleMachine::TestBit(int p, int bit) {
+  // Halve's internal `hi` pebble aliases `copy`; the aliasing is benign
+  // (the first Place(hi, copy) is a self-copy).
+  int copy = Scratch(2);
+  Place(copy, p);
+  for (int k = 0; k < bit; ++k) {
+    TREEWALK_RETURN_IF_ERROR(Halve(copy));
+  }
+  return ParityOf(copy);
+}
+
+Status PebbleMachine::WriteBit(int p, int bit, bool value) {
+  TREEWALK_ASSIGN_OR_RETURN(int current, TestBit(p, bit));
+  if ((current != 0) == value) return Status::Ok();
+  int power = Scratch(0);
+  // SetToPowerOfTwo/AdvanceBy both use Scratch(0) internally; inline the
+  // doubling against a second scratch to avoid aliasing.
+  // power := 1.
+  MoveToRoot(power);
+  TREEWALK_RETURN_IF_ERROR(DocNext(power));
+  int counter = Scratch(1);
+  for (int k = 0; k < bit; ++k) {
+    // power += power, counting via `counter` walking a snapshot.
+    Place(counter, power);
+    while (!AtRoot(counter)) {
+      TREEWALK_RETURN_IF_ERROR(DocPrev(counter));
+      TREEWALK_RETURN_IF_ERROR(DocNext(power));
+    }
+  }
+  // Apply: p += / -= power, again with the distinct counter.
+  Place(counter, power);
+  while (!AtRoot(counter)) {
+    TREEWALK_RETURN_IF_ERROR(DocPrev(counter));
+    TREEWALK_RETURN_IF_ERROR(value ? DocNext(p) : DocPrev(p));
+  }
+  return Status::Ok();
+}
+
+}  // namespace treewalk

@@ -1,0 +1,78 @@
+#ifndef TREEWALK_SIMULATION_PEBBLES_H_
+#define TREEWALK_SIMULATION_PEBBLES_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// The pebble machinery of Theorem 7.1(1)'s proof: with unique IDs, a
+/// tree-walking device can place a finite number of pebbles on nodes (by
+/// storing their IDs in registers) and do arithmetic on their
+/// *document-order ranks*.  The paper numbers nodes "in-order"; any total
+/// order with locally-computable successor works, and document (pre-)
+/// order is one (see DESIGN.md substitution 3).  Since Tree stores nodes
+/// in document order, rank(p) == NodeId(p), which tests exploit; the
+/// machine itself only uses local moves and honestly counts every move.
+///
+/// All operations run in O(n) moves or better; the step counter is the
+/// cost model for the LOGSPACE simulation's polynomial-overhead claim.
+class PebbleMachine {
+ public:
+  /// `num_pebbles` pebbles, all initially on the root (rank 0).
+  PebbleMachine(const Tree& tree, int num_pebbles);
+
+  int num_pebbles() const { return num_pebbles_; }
+  std::int64_t steps() const { return steps_; }
+  const Tree& tree() const { return *tree_; }
+
+  /// Current node of pebble `p` (its rank, by the storage invariant).
+  NodeId node(int p) const { return pebbles_[static_cast<std::size_t>(p)]; }
+
+  // --- O(1) primitives. ------------------------------------------------
+  bool AtRoot(int p) const;
+  bool Equal(int p, int q) const;
+  /// p := q (copying an ID between registers costs one step).
+  void Place(int p, int q);
+  void MoveToRoot(int p);
+
+  // --- Document-order steps (amortized O(1), worst case O(depth)). -----
+  /// Advances `p` to the next node in document order; error at the end.
+  Status DocNext(int p);
+  /// Retreats `p`; error at the root.
+  Status DocPrev(int p);
+
+  // --- Rank arithmetic (each O(n) moves). -------------------------------
+  /// rank(p) += rank(q).  p and q may alias (doubling).
+  Status AdvanceBy(int p, int q);
+  /// rank(p) -= rank(q); error if that would be negative.  p != q.
+  Status RetreatBy(int p, int q);
+  /// rank(p) := floor(rank(p) / 2), by walking two pebbles toward each
+  /// other (the proof's trick for reading tape bits).
+  Status Halve(int p);
+  /// rank(p) mod 2, by walking a copy to the root counting modulo two.
+  Result<int> ParityOf(int p);
+  /// rank(p) := 2^i; error if 2^i exceeds the tree (capacity n-1).
+  Status SetToPowerOfTwo(int p, int i);
+
+  // --- Tape-as-number operations (the heart of the simulation). --------
+  /// Bit `bit` of rank(p): halve a copy `bit` times, then take parity.
+  Result<int> TestBit(int p, int bit);
+  /// Sets bit `bit` of rank(p) to `value` (add/subtract 2^bit as needed).
+  Status WriteBit(int p, int bit, bool value);
+
+ private:
+  /// Index of an internal scratch pebble (allocated beyond the user's).
+  int Scratch(int i) const { return num_pebbles_ + i; }
+
+  const Tree* tree_;
+  int num_pebbles_;
+  std::vector<NodeId> pebbles_;
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_SIMULATION_PEBBLES_H_

@@ -1,0 +1,101 @@
+#include "src/simulation/pspace_compile.h"
+
+#include <string>
+
+#include "src/automata/builder.h"
+#include "src/tree/delimited.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+
+namespace {
+
+std::string TapeRel(int symbol) { return "T" + std::to_string(symbol); }
+
+/// Program-state name for the TM control state `q`.  The TM accept state
+/// maps to the program's final state.
+std::string RunState(const StringTm& tm, const std::string& q) {
+  return q == tm.accept_state ? "qf" : "run_" + q;
+}
+
+}  // namespace
+
+Result<Program> CompileStringTmToTwR(const StringTm& tm) {
+  TREEWALK_RETURN_IF_ERROR(tm.Validate());
+  ProgramBuilder b(ProgramClass::kTwR);
+  b.SetStates("b_start", "qf");
+  b.DeclareRegister("Next", 2);
+  b.DeclareRegister("P", 1);
+  b.DeclareRegister("Head", 1);
+  for (int s = 0; s < tm.alphabet_size; ++s) {
+    b.DeclareRegister(TapeRel(s), 1);
+  }
+
+  // ---- Phase 1: materialize Next / Head / T<s> by walking the chain.
+  b.OnMove(kTopLabel, "b_start", "true", "b_open", Move::kDown);
+  b.OnMove(kOpenLabel, "b_open", "true", "b_first", Move::kRight);
+  // First chain node: the head starts on cell 0.
+  b.OnUpdate("*", "b_first", "true", "b_next", "Head", "u = attr(id)",
+             {"u"});
+  // Every chain node: extend Next with (previous id, this id)...
+  b.OnUpdate("*", "b_next", "true", "b_prev", "Next",
+             "Next(u, v) | (P(u) & v = attr(id))", {"u", "v"});
+  // ...remember this id as the new predecessor...
+  b.OnUpdate("*", "b_prev", "true", "b_sym", "P", "u = attr(id)", {"u"});
+  // ...and file this cell under its symbol's tape relation.
+  for (int s = 0; s < tm.alphabet_size; ++s) {
+    b.OnUpdate("*", "b_sym",
+               "exists u (u = attr(a) & u = " + std::to_string(s) + ")",
+               "b_desc", TapeRel(s),
+               TapeRel(s) + "(u) | u = attr(id)", {"u"});
+  }
+  b.OnMove("*", "b_desc", "true", "b_next", Move::kDown);
+  // Descending from a chain node lands on its #open delimiter; skip to
+  // the next cell.
+  b.OnMove(kOpenLabel, "b_next", "true", "b_next", Move::kRight);
+  // The #leaf cap ends the build; hand over to the TM control.
+  b.OnMove(kLeafLabel, "b_next", "true", RunState(tm, tm.initial_state),
+           Move::kStay);
+
+  // ---- Phase 2: one guarded micro-pipeline per delta entry.
+  int pipeline = 0;
+  for (const auto& [key, action] : tm.delta) {
+    const auto& [q, read] = key;
+    const std::string tag = std::to_string(pipeline++);
+    const std::string guard =
+        "exists h (Head(h) & " + TapeRel(read) + "(h))";
+    const bool writes = action.write != -1 && action.write != read;
+    const bool moves = action.dir != StringTm::Dir::kStay;
+    const std::string done = RunState(tm, action.next_state);
+    const std::string after_write = moves ? "mv_" + tag : done;
+
+    if (writes) {
+      // Erase the old symbol under the head, then add the new one.
+      b.OnUpdate("*", RunState(tm, q), guard, "wr_" + tag, TapeRel(read),
+                 TapeRel(read) + "(u) & !(Head(u))", {"u"});
+      b.OnUpdate("*", "wr_" + tag, "true", after_write,
+                 TapeRel(action.write),
+                 TapeRel(action.write) + "(u) | Head(u)", {"u"});
+    } else {
+      // No tape change: an identity update carries the pipeline forward.
+      b.OnUpdate("*", RunState(tm, q), guard, after_write, "P", "P(u)",
+                 {"u"});
+    }
+    if (moves) {
+      const char* step = action.dir == StringTm::Dir::kRight
+                             ? "exists h (Head(h) & Next(h, u))"
+                             : "exists h (Head(h) & Next(u, h))";
+      b.OnUpdate("*", "mv_" + tag, "true", done, "Head", step, {"u"});
+    }
+  }
+  return b.Build();
+}
+
+Tree StringTmInputTree(const std::vector<int>& input) {
+  std::vector<DataValue> values(input.begin(), input.end());
+  Tree tree = StringTree(values, "s", "a");
+  AssignUniqueIds(tree);
+  return tree;
+}
+
+}  // namespace treewalk

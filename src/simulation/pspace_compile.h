@@ -1,0 +1,40 @@
+#ifndef TREEWALK_SIMULATION_PSPACE_COMPILE_H_
+#define TREEWALK_SIMULATION_PSPACE_COMPILE_H_
+
+#include <vector>
+
+#include "src/automata/program.h"
+#include "src/common/result.h"
+#include "src/simulation/string_tm.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// The Theorem 7.1(3) construction, made executable: compiles a linear-
+/// bounded string TM into a tw^r program (relational storage, *no*
+/// look-ahead) that accepts exactly the monadic trees whose attribute-"a"
+/// sequence the TM accepts.
+///
+/// The emitted program works in two phases:
+///   1. Build: one walk down the chain materializes the successor
+///      relation Next over the unique-ID attribute (via a one-value
+///      carry register P), the head position Head = {id of cell 0}, and
+///      the tape as unary relations T<s> = {ids of cells holding s}.
+///   2. Run: the TM's control is compiled into automaton states; each
+///      delta step is a guard "exists h (Head(h) & T<s>(h))" followed by
+///      FO register updates that rewrite the cell under the head and
+///      advance Head through Next.  Falling off the tape empties Head,
+///      after which no guard fires and the program sticks (rejects),
+///      matching the LBA semantics.
+///
+/// The input tree must be produced by StringTmInputTree() (or have the
+/// same shape: a monadic tree with attributes "a" and unique "id").
+Result<Program> CompileStringTmToTwR(const StringTm& tm);
+
+/// Builds the input encoding: a monadic tree whose nodes carry the tape
+/// symbols in attribute "a" and document-order unique IDs in "id".
+Tree StringTmInputTree(const std::vector<int>& input);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_SIMULATION_PSPACE_COMPILE_H_

@@ -1,0 +1,153 @@
+#include "src/simulation/string_tm.h"
+
+namespace treewalk {
+
+Status StringTm::Validate() const {
+  if (initial_state.empty() || accept_state.empty()) {
+    return InvalidArgument("string TM initial/accept states not set");
+  }
+  if (alphabet_size < 1) return InvalidArgument("empty tape alphabet");
+  for (const auto& [key, action] : delta) {
+    const auto& [state, read] = key;
+    if (state == accept_state) {
+      return InvalidArgument("no transition may leave the accept state");
+    }
+    if (read < 0 || read >= alphabet_size) {
+      return InvalidArgument("read symbol out of range in state " + state);
+    }
+    if (action.write < -1 || action.write >= alphabet_size) {
+      return InvalidArgument("write symbol out of range in state " + state);
+    }
+    if (action.next_state.empty()) {
+      return InvalidArgument("empty successor state in state " + state);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<StringTmResult> RunStringTm(const StringTm& tm,
+                                   const std::vector<int>& input,
+                                   std::int64_t max_steps) {
+  TREEWALK_RETURN_IF_ERROR(tm.Validate());
+  if (input.empty()) return InvalidArgument("empty input");
+  for (int symbol : input) {
+    if (symbol < 0 || symbol >= tm.alphabet_size) {
+      return InvalidArgument("input symbol out of range");
+    }
+  }
+
+  std::vector<int> tape = input;
+  std::size_t head = 0;
+  std::string state = tm.initial_state;
+  StringTmResult result;
+  while (true) {
+    if (state == tm.accept_state) {
+      result.accepted = true;
+      return result;
+    }
+    auto it = tm.delta.find({state, tape[head]});
+    if (it == tm.delta.end()) {
+      result.accepted = false;  // stuck
+      return result;
+    }
+    if (++result.steps > max_steps) {
+      return ResourceExhausted("string TM exceeded max_steps");
+    }
+    const StringTm::Action& action = it->second;
+    if (action.write != -1) tape[head] = action.write;
+    switch (action.dir) {
+      case StringTm::Dir::kStay:
+        break;
+      case StringTm::Dir::kLeft:
+        if (head == 0) {
+          result.accepted = false;  // fell off the tape
+          return result;
+        }
+        --head;
+        break;
+      case StringTm::Dir::kRight:
+        if (++head >= tape.size()) {
+          result.accepted = false;  // linear bounded: no extension
+          return result;
+        }
+        break;
+    }
+    state = action.next_state;
+  }
+}
+
+namespace {
+
+/// Symbols shared by the sample machines: 0/1 input bits, 2 crossed-off,
+/// 3 left end marker, 4 right end marker.
+constexpr int kCross = 2;
+constexpr int kLeftEnd = 3;
+constexpr int kRightEnd = 4;
+
+void Rule(StringTm& tm, const std::string& state, int read,
+          const std::string& next, int write = -1,
+          StringTm::Dir dir = StringTm::Dir::kStay) {
+  tm.delta[{state, read}] = StringTm::Action{next, write, dir};
+}
+
+}  // namespace
+
+StringTm PalindromeTm() {
+  using Dir = StringTm::Dir;
+  StringTm tm;
+  tm.initial_state = "q0";
+  tm.accept_state = "acc";
+  tm.alphabet_size = 5;
+  Rule(tm, "q0", kLeftEnd, "find", -1, Dir::kRight);
+  // `find`: at the leftmost unchecked cell.
+  Rule(tm, "find", 0, "seek0", kCross, Dir::kRight);
+  Rule(tm, "find", 1, "seek1", kCross, Dir::kRight);
+  Rule(tm, "find", kCross, "acc");     // everything checked
+  Rule(tm, "find", kRightEnd, "acc");  // empty input
+  for (int carry : {0, 1}) {
+    std::string seek = "seek" + std::to_string(carry);
+    std::string check = "check" + std::to_string(carry);
+    // Run right to the first crossed cell / right end...
+    Rule(tm, seek, 0, seek, -1, Dir::kRight);
+    Rule(tm, seek, 1, seek, -1, Dir::kRight);
+    Rule(tm, seek, kCross, check, -1, Dir::kLeft);
+    Rule(tm, seek, kRightEnd, check, -1, Dir::kLeft);
+    // ...and check the cell before it.
+    Rule(tm, check, carry, "rewind", kCross, Dir::kLeft);
+    Rule(tm, check, kCross, "acc");  // met the cell just crossed: middle
+    // mismatching bit: stuck, rejects.
+  }
+  Rule(tm, "rewind", 0, "rewind", -1, Dir::kLeft);
+  Rule(tm, "rewind", 1, "rewind", -1, Dir::kLeft);
+  Rule(tm, "rewind", kCross, "find", -1, Dir::kRight);
+  Rule(tm, "rewind", kLeftEnd, "find", -1, Dir::kRight);
+  return tm;
+}
+
+StringTm EqualCountTm() {
+  using Dir = StringTm::Dir;
+  StringTm tm;
+  tm.initial_state = "q0";
+  tm.accept_state = "acc";
+  tm.alphabet_size = 5;
+  Rule(tm, "q0", kLeftEnd, "scan", -1, Dir::kRight);
+  // `scan`: find the first unmatched bit.
+  Rule(tm, "scan", kCross, "scan", -1, Dir::kRight);
+  Rule(tm, "scan", 0, "find1", kCross, Dir::kRight);
+  Rule(tm, "scan", 1, "find0", kCross, Dir::kRight);
+  Rule(tm, "scan", kRightEnd, "acc");  // all bits matched
+  for (int want : {0, 1}) {
+    std::string find = "find" + std::to_string(want);
+    Rule(tm, find, 1 - want, find, -1, Dir::kRight);
+    Rule(tm, find, kCross, find, -1, Dir::kRight);
+    Rule(tm, find, want, "rewind", kCross, Dir::kLeft);
+    // Right end without a partner: stuck, rejects.
+  }
+  Rule(tm, "rewind", 0, "rewind", -1, Dir::kLeft);
+  Rule(tm, "rewind", 1, "rewind", -1, Dir::kLeft);
+  Rule(tm, "rewind", kCross, "rewind", -1, Dir::kLeft);
+  Rule(tm, "rewind", kLeftEnd, "scan", -1, Dir::kRight);
+  return tm;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,57 @@
+#ifndef TREEWALK_SIMULATION_STRING_TM_H_
+#define TREEWALK_SIMULATION_STRING_TM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace treewalk {
+
+/// A deterministic single-tape, linear-bounded Turing machine over small
+/// integer symbols: the machine runs in place on its input (it may
+/// overwrite but not extend the tape), so its space use is exactly n —
+/// the PSPACE^X regime that Theorem 7.1(3) encodes into a relational
+/// store.  Moving off either tape end rejects.
+struct StringTm {
+  enum class Dir { kLeft, kRight, kStay };
+
+  struct Action {
+    std::string next_state;
+    int write = -1;  ///< -1: keep the symbol
+    Dir dir = Dir::kStay;
+  };
+
+  std::string initial_state;
+  std::string accept_state;
+  int alphabet_size = 2;
+  /// delta: (state, read symbol) -> action.  Missing entries are stuck
+  /// (reject).
+  std::map<std::pair<std::string, int>, Action> delta;
+
+  Status Validate() const;
+};
+
+struct StringTmResult {
+  bool accepted = false;
+  std::int64_t steps = 0;
+};
+
+/// Reference semantics; `input` must be nonempty with symbols in range.
+Result<StringTmResult> RunStringTm(const StringTm& tm,
+                                   const std::vector<int>& input,
+                                   std::int64_t max_steps = 1'000'000);
+
+/// Sample machine: accepts iff the input (over {0, 1}) is a palindrome.
+/// Uses two marker symbols; the classic mark-ends-and-shrink loop.
+StringTm PalindromeTm();
+
+/// Sample machine: accepts iff the input over {0, 1} contains as many
+/// 0s as 1s.  Repeatedly crosses off one 0 and one 1.
+StringTm EqualCountTm();
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_SIMULATION_STRING_TM_H_

@@ -1,0 +1,71 @@
+#include "src/tree/delimited.h"
+
+#include <cassert>
+
+namespace treewalk {
+
+bool IsDelimiterLabel(std::string_view label) {
+  return label == kTopLabel || label == kOpenLabel || label == kCloseLabel ||
+         label == kLeafLabel;
+}
+
+DelimitedTree Delimit(const Tree& tree) {
+  assert(!tree.empty());
+  TreeBuilder wrapped;
+  std::vector<TreeBuilder::Ref> refs(tree.size(), -1);
+  TreeBuilder::Ref wtop = wrapped.AddRoot(kTopLabel);
+  wrapped.AddChild(wtop, kOpenLabel);
+
+  // Recursive copy keeping #open before and #close after child blocks.
+  struct Copier {
+    const Tree& tree;
+    TreeBuilder& out;
+    std::vector<TreeBuilder::Ref>& refs;
+
+    TreeBuilder::Ref Copy(NodeId u, TreeBuilder::Ref parent) {
+      TreeBuilder::Ref ref = out.AddChild(parent, tree.LabelName(tree.label(u)));
+      refs[static_cast<std::size_t>(u)] = ref;
+      for (AttrId a = 0; a < static_cast<AttrId>(tree.num_attributes()); ++a) {
+        out.SetAttr(ref, tree.attributes().NameOf(a), tree.attr(a, u));
+      }
+      if (tree.IsLeaf(u)) {
+        out.AddChild(ref, kLeafLabel);
+      } else {
+        out.AddChild(ref, kOpenLabel);
+        for (NodeId c = tree.FirstChild(u); c != kNoNode;
+             c = tree.NextSibling(c)) {
+          Copy(c, ref);
+        }
+        out.AddChild(ref, kCloseLabel);
+      }
+      return ref;
+    }
+  };
+  Copier copier{tree, wrapped, refs};
+  copier.Copy(tree.root(), wtop);
+  wrapped.AddChild(wtop, kCloseLabel);
+
+  std::vector<NodeId> ref_to_node;
+  DelimitedTree result;
+  result.tree = wrapped.Build(&ref_to_node);
+
+  // Delimiters carry kBottom in every attribute column.
+  result.to_delimited.assign(tree.size(), kNoNode);
+  result.to_original.assign(result.tree.size(), kNoNode);
+  for (NodeId u = 0; u < static_cast<NodeId>(tree.size()); ++u) {
+    NodeId d = ref_to_node[static_cast<std::size_t>(
+        refs[static_cast<std::size_t>(u)])];
+    result.to_delimited[static_cast<std::size_t>(u)] = d;
+    result.to_original[static_cast<std::size_t>(d)] = u;
+  }
+  for (NodeId d = 0; d < static_cast<NodeId>(result.tree.size()); ++d) {
+    if (result.to_original[static_cast<std::size_t>(d)] != kNoNode) continue;
+    for (AttrId a = 0; a < static_cast<AttrId>(result.tree.num_attributes());
+         ++a) {
+      result.tree.set_attr(a, d, kBottom);
+    }
+  }
+  return result;
+}
+
+}  // namespace treewalk

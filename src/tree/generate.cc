@@ -1,0 +1,208 @@
+#include "src/tree/generate.h"
+
+#include <cassert>
+
+#include "src/tree/traversal.h"
+
+namespace treewalk {
+
+Tree RandomTree(std::mt19937& rng, const RandomTreeOptions& options) {
+  assert(options.num_nodes >= 1);
+  assert(!options.labels.empty());
+  TreeBuilder builder;
+  std::uniform_int_distribution<std::size_t> label_dist(
+      0, options.labels.size() - 1);
+
+  std::vector<TreeBuilder::Ref> open;  // nodes that may still take children
+  std::vector<int> child_count;
+  TreeBuilder::Ref root = builder.AddRoot(options.labels[label_dist(rng)]);
+  open.push_back(root);
+  child_count.push_back(0);
+
+  for (int i = 1; i < options.num_nodes; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, open.size() - 1);
+    std::size_t slot = pick(rng);
+    TreeBuilder::Ref parent = open[slot];
+    TreeBuilder::Ref child =
+        builder.AddChild(parent, options.labels[label_dist(rng)]);
+    if (++child_count[slot] >= options.max_children) {
+      open[slot] = open.back();
+      child_count[slot] = child_count.back();
+      open.pop_back();
+      child_count.pop_back();
+    }
+    open.push_back(child);
+    child_count.push_back(0);
+  }
+
+  Tree tree = builder.Build();
+  std::uniform_int_distribution<DataValue> value_dist(0,
+                                                      options.value_range - 1);
+  for (const std::string& attr : options.attributes) {
+    AttrId a = tree.AddAttribute(attr);
+    for (NodeId u = 0; u < static_cast<NodeId>(tree.size()); ++u) {
+      tree.set_attr(a, u, value_dist(rng));
+    }
+  }
+  return tree;
+}
+
+namespace {
+
+void FullTreeRec(TreeBuilder& builder, TreeBuilder::Ref node, int arity,
+                 int depth, std::string_view label) {
+  if (depth == 0) return;
+  for (int i = 0; i < arity; ++i) {
+    FullTreeRec(builder, builder.AddChild(node, label), arity, depth - 1,
+                label);
+  }
+}
+
+}  // namespace
+
+Tree FullTree(int arity, int depth, std::string_view label) {
+  TreeBuilder builder;
+  FullTreeRec(builder, builder.AddRoot(label), arity, depth, label);
+  return builder.Build();
+}
+
+Tree RandomString(std::mt19937& rng, int n, DataValue value_range,
+                  std::string_view label, std::string_view attr) {
+  assert(n >= 1);
+  std::uniform_int_distribution<DataValue> dist(0, value_range - 1);
+  std::vector<DataValue> values(static_cast<std::size_t>(n));
+  for (DataValue& v : values) v = dist(rng);
+  TreeBuilder builder;
+  TreeBuilder::Ref node = builder.AddRoot(label);
+  builder.SetAttr(node, attr, values[0]);
+  for (int i = 1; i < n; ++i) {
+    node = builder.AddChild(node, label);
+    builder.SetAttr(node, attr, values[static_cast<std::size_t>(i)]);
+  }
+  return builder.Build();
+}
+
+namespace {
+
+/// All forests (ordered sequences of trees) with exactly `n` nodes
+/// total, as lists of builder-subtree blueprints.  A blueprint is a
+/// label index plus child blueprints.
+struct Blueprint {
+  std::size_t label;
+  std::vector<Blueprint> children;
+};
+
+void BuildBlueprint(const Blueprint& bp, TreeBuilder& builder,
+                    TreeBuilder::Ref parent,
+                    const std::vector<std::string>& labels) {
+  TreeBuilder::Ref node = parent < 0
+                              ? builder.AddRoot(labels[bp.label])
+                              : builder.AddChild(parent, labels[bp.label]);
+  for (const Blueprint& child : bp.children) {
+    BuildBlueprint(child, builder, node, labels);
+  }
+}
+
+std::vector<std::vector<Blueprint>> EnumerateForests(int n,
+                                                     std::size_t num_labels);
+
+std::vector<Blueprint> EnumerateBlueprints(int n, std::size_t num_labels) {
+  std::vector<Blueprint> out;
+  if (n < 1) return out;
+  for (const std::vector<Blueprint>& children :
+       EnumerateForests(n - 1, num_labels)) {
+    for (std::size_t label = 0; label < num_labels; ++label) {
+      out.push_back(Blueprint{label, children});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<Blueprint>> EnumerateForests(int n,
+                                                     std::size_t num_labels) {
+  std::vector<std::vector<Blueprint>> out;
+  if (n == 0) {
+    out.push_back({});
+    return out;
+  }
+  // First tree takes k nodes, the rest form a forest of n - k.
+  for (int k = 1; k <= n; ++k) {
+    std::vector<Blueprint> firsts = EnumerateBlueprints(k, num_labels);
+    std::vector<std::vector<Blueprint>> rests =
+        EnumerateForests(n - k, num_labels);
+    for (const Blueprint& first : firsts) {
+      for (const std::vector<Blueprint>& rest : rests) {
+        std::vector<Blueprint> forest = {first};
+        forest.insert(forest.end(), rest.begin(), rest.end());
+        out.push_back(std::move(forest));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Tree> EnumerateTrees(int num_nodes,
+                                 const std::vector<std::string>& labels) {
+  std::vector<Tree> out;
+  for (const Blueprint& bp : EnumerateBlueprints(num_nodes, labels.size())) {
+    TreeBuilder builder;
+    BuildBlueprint(bp, builder, -1, labels);
+    out.push_back(builder.Build());
+  }
+  return out;
+}
+
+Tree Example32Tree(std::mt19937& rng, int num_nodes, bool uniform) {
+  assert(num_nodes >= 3);
+  // Random attach process with the root forced to "delta" and the last
+  // node forced under the root, so the root always has >= 2 leaf
+  // descendants and the non-uniform case is always realizable.
+  TreeBuilder builder;
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::vector<TreeBuilder::Ref> nodes;
+  nodes.push_back(builder.AddRoot("delta"));
+  for (int i = 1; i < num_nodes; ++i) {
+    TreeBuilder::Ref parent;
+    if (i == num_nodes - 1) {
+      parent = nodes.front();
+    } else {
+      std::uniform_int_distribution<std::size_t> pick(0, nodes.size() - 1);
+      parent = nodes[pick(rng)];
+    }
+    nodes.push_back(
+        builder.AddChild(parent, coin(rng) != 0 ? "delta" : "sigma"));
+  }
+  Tree tree = builder.Build();
+  AttrId a = tree.AddAttribute("a");
+  Symbol delta = tree.FindLabel("delta");
+
+  // Make the property hold: every leaf under any delta node gets the
+  // common value of the top-most delta ancestor's region.
+  std::vector<DataValue> region(tree.size(), -1);
+  std::uniform_int_distribution<DataValue> value_dist(0, 63);
+  for (NodeId u = 0; u < static_cast<NodeId>(tree.size()); ++u) {
+    NodeId p = tree.Parent(u);
+    if (p != kNoNode && region[static_cast<std::size_t>(p)] >= 0) {
+      region[static_cast<std::size_t>(u)] =
+          region[static_cast<std::size_t>(p)];
+    } else if (tree.label(u) == delta) {
+      region[static_cast<std::size_t>(u)] = value_dist(rng);
+    }
+    if (tree.IsLeaf(u) && region[static_cast<std::size_t>(u)] >= 0) {
+      tree.set_attr(a, u, region[static_cast<std::size_t>(u)]);
+    }
+  }
+
+  if (!uniform) {
+    // Poison: the root is a delta node with >= 2 leaf descendants by
+    // construction; flip its last leaf to a fresh value.
+    std::vector<NodeId> leaves = Leaves(tree);
+    assert(leaves.size() >= 2);
+    tree.set_attr(a, leaves.back(), tree.attr(a, leaves.back()) + 1000);
+  }
+  return tree;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,55 @@
+#ifndef TREEWALK_TREE_GENERATE_H_
+#define TREEWALK_TREE_GENERATE_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Parameters for random attributed trees.
+struct RandomTreeOptions {
+  /// Exact number of nodes to generate.
+  int num_nodes = 16;
+  /// Maximum children per node; the shape is a uniformly random attach-
+  /// to-random-node process truncated by this bound.
+  int max_children = 4;
+  /// Labels to draw uniformly from (Sigma).
+  std::vector<std::string> labels = {"a", "b"};
+  /// Attribute columns to create (A).
+  std::vector<std::string> attributes = {"a"};
+  /// Attribute values are drawn uniformly from [0, value_range).
+  DataValue value_range = 8;
+};
+
+/// Generates a random attributed tree.  Deterministic given `rng` state.
+Tree RandomTree(std::mt19937& rng, const RandomTreeOptions& options);
+
+/// Complete `arity`-ary tree of the given depth (depth 0 = single node),
+/// all nodes labeled `label`, no attributes.
+Tree FullTree(int arity, int depth, std::string_view label = "a");
+
+/// Random string (monadic tree) of length `n` with attribute values drawn
+/// from [0, value_range).
+Tree RandomString(std::mt19937& rng, int n, DataValue value_range,
+                  std::string_view label = "s", std::string_view attr = "a");
+
+/// All attribute-free trees with exactly `num_nodes` nodes and labels
+/// drawn from `labels` — Catalan(num_nodes - 1) shapes times
+/// |labels|^num_nodes labelings, so keep inputs tiny (num_nodes <= 5
+/// with two labels is ~2k trees).  Used by exhaustive equivalence tests
+/// (Proposition 7.2).
+std::vector<Tree> EnumerateTrees(int num_nodes,
+                                 const std::vector<std::string>& labels);
+
+/// The paper's Example 3.2 workload: a tree with sigma/delta labels where
+/// for every delta node all leaf descendants carry the same value of
+/// attribute "a" iff `uniform` (one leaf is poisoned otherwise).
+Tree Example32Tree(std::mt19937& rng, int num_nodes, bool uniform);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_TREE_GENERATE_H_

@@ -1,0 +1,42 @@
+#ifndef TREEWALK_TREE_TERM_IO_H_
+#define TREEWALK_TREE_TERM_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Parses the compact term syntax for attributed trees:
+///
+///   tree     := node
+///   node     := LABEL attrs? children?
+///   attrs    := '[' attr (',' attr)* ']'
+///   attr     := NAME '=' (INT | STRING)
+///   children := '(' node (',' node)* ')'
+///
+/// Example: `a[id=0](b[id=1, name="x"], c[id=2](d[id=3]))`.
+/// Labels and names match [A-Za-z_#][A-Za-z0-9_#-]*; STRING is
+/// double-quoted.  Whitespace is insignificant.
+Result<Tree> ParseTerm(std::string_view source);
+
+/// Renders `tree` in the syntax accepted by ParseTerm().  Attributes with
+/// value 0 everywhere in a node are still printed (attributes are total);
+/// pass `skip_zero_attrs` to omit zero-valued entries for readability.
+std::string PrintTerm(const Tree& tree, bool skip_zero_attrs = true);
+
+/// Convenience for monadic trees (the "strings" of Section 4): builds the
+/// chain sigma(sigma(...)) whose attribute `attr` carries `values`
+/// top-down.  `values` must be non-empty.
+Tree StringTree(const std::vector<DataValue>& values,
+                std::string_view label = "s", std::string_view attr = "a");
+
+/// Inverse of StringTree: reads attribute `attr` down the leftmost chain.
+std::vector<DataValue> StringValues(const Tree& tree,
+                                    std::string_view attr = "a");
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_TREE_TERM_IO_H_

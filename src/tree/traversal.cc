@@ -1,0 +1,66 @@
+#include "src/tree/traversal.h"
+
+#include <algorithm>
+
+namespace treewalk {
+
+NodeId DocumentNext(const Tree& tree, NodeId u) {
+  if (tree.FirstChild(u) != kNoNode) return tree.FirstChild(u);
+  for (NodeId v = u; v != kNoNode; v = tree.Parent(v)) {
+    if (tree.NextSibling(v) != kNoNode) return tree.NextSibling(v);
+  }
+  return kNoNode;
+}
+
+NodeId DocumentPrev(const Tree& tree, NodeId u) {
+  NodeId left = tree.PrevSibling(u);
+  if (left == kNoNode) return tree.Parent(u);
+  while (tree.LastChild(left) != kNoNode) left = tree.LastChild(left);
+  return left;
+}
+
+std::vector<NodeId> PostOrder(const Tree& tree) {
+  std::vector<NodeId> out;
+  out.reserve(tree.size());
+  if (tree.empty()) return out;
+  // Iterative post-order via document order of mirrored tree: simplest is
+  // explicit stack.
+  std::vector<std::pair<NodeId, bool>> stack = {{tree.root(), false}};
+  while (!stack.empty()) {
+    auto [u, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      out.push_back(u);
+      continue;
+    }
+    stack.emplace_back(u, true);
+    // Push children right-to-left so leftmost is processed first.
+    for (NodeId c = tree.LastChild(u); c != kNoNode; c = tree.PrevSibling(c)) {
+      stack.emplace_back(c, false);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> CollectWhere(const Tree& tree,
+                                 const std::function<bool(NodeId)>& pred) {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < static_cast<NodeId>(tree.size()); ++u) {
+    if (pred(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<NodeId> Leaves(const Tree& tree) {
+  return CollectWhere(tree, [&](NodeId u) { return tree.IsLeaf(u); });
+}
+
+int Height(const Tree& tree) {
+  int height = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(tree.size()); ++u) {
+    height = std::max(height, tree.Depth(u));
+  }
+  return height;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,34 @@
+#ifndef TREEWALK_TREE_TRAVERSAL_H_
+#define TREEWALK_TREE_TRAVERSAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Successor of `u` in document (pre-)order using only local moves, or
+/// kNoNode past the last node.  This is the order the Section 7 pebble
+/// arithmetic counts in.
+NodeId DocumentNext(const Tree& tree, NodeId u);
+
+/// Predecessor of `u` in document order, or kNoNode at the root.
+NodeId DocumentPrev(const Tree& tree, NodeId u);
+
+/// All nodes in post-order.
+std::vector<NodeId> PostOrder(const Tree& tree);
+
+/// Nodes satisfying `pred`, in document order.
+std::vector<NodeId> CollectWhere(const Tree& tree,
+                                 const std::function<bool(NodeId)>& pred);
+
+/// All leaves, in document order.
+std::vector<NodeId> Leaves(const Tree& tree);
+
+/// Height of the tree (a single node has height 0).
+int Height(const Tree& tree);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_TREE_TRAVERSAL_H_

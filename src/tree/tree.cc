@@ -1,0 +1,131 @@
+#include "src/tree/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treewalk {
+
+int Tree::Depth(NodeId u) const {
+  int depth = 0;
+  for (NodeId p = Parent(u); p != kNoNode; p = Parent(p)) ++depth;
+  return depth;
+}
+
+AttrId Tree::AddAttribute(std::string_view name) {
+  std::int64_t existing = attrs_.Find(name);
+  if (existing >= 0) return existing;
+  AttrId id = attrs_.Intern(name);
+  attr_values_.emplace_back(nodes_.size(), DataValue{0});
+  return id;
+}
+
+std::vector<DataValue> Tree::ActiveDomain() const {
+  std::vector<DataValue> out;
+  for (const auto& column : attr_values_) {
+    out.insert(out.end(), column.begin(), column.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+AttrId AssignUniqueIds(Tree& tree, std::string_view name) {
+  AttrId id = tree.AddAttribute(name);
+  for (NodeId u = 0; u < static_cast<NodeId>(tree.size()); ++u) {
+    tree.set_attr(id, u, u);
+  }
+  return id;
+}
+
+TreeBuilder::Ref TreeBuilder::AddRoot(std::string_view label) {
+  assert(protos_.empty() && "AddRoot called twice");
+  protos_.push_back(Proto{std::string(label), {}, {}});
+  return 0;
+}
+
+TreeBuilder::Ref TreeBuilder::AddChild(Ref parent, std::string_view label) {
+  assert(parent >= 0 && parent < static_cast<Ref>(protos_.size()));
+  Ref ref = static_cast<Ref>(protos_.size());
+  protos_.push_back(Proto{std::string(label), {}, {}});
+  protos_[static_cast<std::size_t>(parent)].children.push_back(ref);
+  return ref;
+}
+
+void TreeBuilder::SetAttr(Ref node, std::string_view name, DataValue value) {
+  assert(node >= 0 && node < static_cast<Ref>(protos_.size()));
+  protos_[static_cast<std::size_t>(node)].attrs.emplace_back(std::string(name),
+                                                             value);
+}
+
+void TreeBuilder::SetAttrString(Ref node, std::string_view name,
+                                std::string_view text) {
+  SetAttr(node, name, values_->ValueFor(text));
+}
+
+Tree TreeBuilder::Build(std::vector<NodeId>* ref_to_node) const {
+  Tree tree;
+  tree.values_ = values_;
+  if (protos_.empty()) return tree;
+
+  // Lay nodes out in document order with an explicit DFS.
+  std::vector<NodeId> mapping(protos_.size(), kNoNode);
+  tree.nodes_.reserve(protos_.size());
+
+  struct Frame {
+    Ref ref;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+
+  auto emit = [&](Ref ref, NodeId parent) {
+    NodeId id = static_cast<NodeId>(tree.nodes_.size());
+    mapping[static_cast<std::size_t>(ref)] = id;
+    Tree::Node node;
+    node.label = tree.labels_.Intern(protos_[static_cast<std::size_t>(ref)].label);
+    node.parent = parent;
+    if (parent != kNoNode) {
+      Tree::Node& p = tree.nodes_[static_cast<std::size_t>(parent)];
+      node.child_index = p.num_children;
+      node.prev_sibling = p.last_child;
+      if (p.last_child != kNoNode) {
+        tree.nodes_[static_cast<std::size_t>(p.last_child)].next_sibling = id;
+      } else {
+        p.first_child = id;
+      }
+      p.last_child = id;
+      ++p.num_children;
+    }
+    tree.nodes_.push_back(node);
+    return id;
+  };
+
+  emit(0, kNoNode);
+  stack.push_back(Frame{0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Proto& proto = protos_[static_cast<std::size_t>(frame.ref)];
+    if (frame.next_child < proto.children.size()) {
+      Ref child = proto.children[frame.next_child++];
+      emit(child, mapping[static_cast<std::size_t>(frame.ref)]);
+      stack.push_back(Frame{child});
+    } else {
+      NodeId id = mapping[static_cast<std::size_t>(frame.ref)];
+      tree.nodes_[static_cast<std::size_t>(id)].subtree_end =
+          static_cast<NodeId>(tree.nodes_.size());
+      stack.pop_back();
+    }
+  }
+
+  // Attribute columns.
+  for (std::size_t ref = 0; ref < protos_.size(); ++ref) {
+    for (const auto& [name, value] : protos_[ref].attrs) {
+      AttrId a = tree.AddAttribute(name);
+      tree.set_attr(a, mapping[ref], value);
+    }
+  }
+
+  if (ref_to_node != nullptr) *ref_to_node = std::move(mapping);
+  return tree;
+}
+
+}  // namespace treewalk

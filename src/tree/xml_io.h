@@ -1,0 +1,28 @@
+#ifndef TREEWALK_TREE_XML_IO_H_
+#define TREEWALK_TREE_XML_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Parses a small XML subset into an attributed tree: elements with
+/// attributes, self-closing tags, comments (`<!-- -->`), and an optional
+/// `<?xml ...?>` declaration.  Text content is not modeled (the paper
+/// represents mixed content with dummy nodes, which a caller can add);
+/// non-whitespace text is rejected.  Attribute values that parse as
+/// decimal integers become numeric data values; all other values are
+/// interned strings.  Entities supported: &lt; &gt; &amp; &quot; &apos;.
+Result<Tree> ParseXml(std::string_view source);
+
+/// Serializes `tree` as XML.  String-valued and kBottom attributes render
+/// as text; numeric values as decimals.  Labels must be valid XML names
+/// (delimiter labels like "#open" are therefore not serializable).
+Result<std::string> WriteXml(const Tree& tree, bool indent = true);
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_TREE_XML_IO_H_

@@ -1,0 +1,116 @@
+#include <string>
+#include <vector>
+
+#include "src/xpath/xpath.h"
+
+namespace treewalk {
+
+namespace {
+
+/// Accumulates the quantifier-free core and the auxiliary variables to be
+/// existentially bound in front (Section 2.3's compilation shape:
+/// "exists y2 exists y3 (x -< y & ... )").
+class FoCompiler {
+ public:
+  std::string Fresh() { return "_v" + std::to_string(counter_++); }
+
+  void Bind(const std::string& var) { bound_.push_back(var); }
+
+  /// phi(from, to) for one step's axis.
+  static Formula AxisAtom(XPathStep::Axis axis, const std::string& from,
+                          const std::string& to) {
+    return axis == XPathStep::Axis::kChild ? Formula::Edge(from, to)
+                                           : Formula::Descendant(from, to);
+  }
+
+  Formula StepTests(const XPathStep& step, const std::string& var) {
+    std::vector<Formula> parts;
+    if (!step.label.empty()) {
+      parts.push_back(Formula::Label(var, step.label));
+    }
+    for (const XPathPredicate& pred : step.predicates) {
+      parts.push_back(Predicate(pred, var));
+    }
+    return Formula::AndAll(parts);
+  }
+
+  Formula Predicate(const XPathPredicate& pred, const std::string& var) {
+    switch (pred.kind) {
+      case XPathPredicate::Kind::kPath: {
+        // Existence of a selected node: compile the nested union with a
+        // fresh target variable; all of its variables join the prefix.
+        std::string target = Fresh();
+        Bind(target);
+        return Union(*pred.path, var, target);
+      }
+      case XPathPredicate::Kind::kAttrEqAttr:
+        return Formula::Eq(Term::AttrOf(pred.attr, var),
+                           Term::AttrOf(pred.other_attr, var));
+      case XPathPredicate::Kind::kAttrEqConst:
+        return Formula::Eq(Term::AttrOf(pred.attr, var), pred.literal);
+    }
+    return Formula::False();
+  }
+
+  Formula Path(const XPathPath& path, const std::string& x,
+               const std::string& y) {
+    std::vector<Formula> parts;
+    std::string prev = x;
+    for (std::size_t i = 0; i < path.steps.size(); ++i) {
+      const XPathStep& step = path.steps[i];
+      bool is_last = i + 1 == path.steps.size();
+      std::string var = is_last ? y : Fresh();
+      if (!is_last) Bind(var);
+      if (i == 0 && path.absolute) {
+        // From the virtual document node: child = the root itself,
+        // descendant = any node (no structural constraint).
+        if (step.axis == XPathStep::Axis::kChild) {
+          parts.push_back(Formula::Root(var));
+        }
+      } else {
+        parts.push_back(AxisAtom(step.axis, prev, var));
+      }
+      parts.push_back(StepTests(step, var));
+      prev = var;
+    }
+    return Formula::AndAll(parts);
+  }
+
+  Formula Union(const XPath& xpath, const std::string& x,
+                const std::string& y) {
+    std::vector<Formula> branches;
+    branches.reserve(xpath.paths.size());
+    for (const XPathPath& path : xpath.paths) {
+      branches.push_back(Path(path, x, y));
+    }
+    return Formula::OrAll(branches);
+  }
+
+  const std::vector<std::string>& bound() const { return bound_; }
+
+ private:
+  int counter_ = 0;
+  std::vector<std::string> bound_;
+};
+
+}  // namespace
+
+Result<Formula> CompileXPathToFo(const XPath& xpath, const std::string& x,
+                                 const std::string& y) {
+  if (xpath.paths.empty()) return InvalidArgument("empty xpath");
+  for (const XPathPath& path : xpath.paths) {
+    if (path.steps.empty()) return InvalidArgument("empty path");
+  }
+  FoCompiler compiler;
+  Formula core = compiler.Union(xpath, x, y);
+  Formula out = core;
+  // Wrap the collected auxiliaries; reverse order keeps the outermost
+  // quantifier the first-allocated variable (cosmetic only).
+  for (auto it = compiler.bound().rbegin(); it != compiler.bound().rend();
+       ++it) {
+    out = Formula::Exists(*it, out);
+  }
+  return out;
+}
+
+}  // namespace treewalk

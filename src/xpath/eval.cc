@@ -1,0 +1,125 @@
+#include <algorithm>
+
+#include "src/xpath/xpath.h"
+
+namespace treewalk {
+
+namespace {
+
+Result<bool> PredicateHolds(const Tree& tree, NodeId node,
+                            const XPathPredicate& pred);
+
+Result<std::vector<NodeId>> EvalPath(const Tree& tree, const XPathPath& path,
+                                     NodeId context) {
+  std::vector<NodeId> frontier;
+  for (std::size_t i = 0; i < path.steps.size(); ++i) {
+    const XPathStep& step = path.steps[i];
+    std::vector<NodeId> candidates;
+    if (i == 0 && path.absolute) {
+      // The virtual document node is the parent of the root: its children
+      // are {root}; its strict descendants are all nodes.
+      if (step.axis == XPathStep::Axis::kChild) {
+        candidates.push_back(tree.root());
+      } else {
+        for (NodeId v = 0; v < static_cast<NodeId>(tree.size()); ++v) {
+          candidates.push_back(v);
+        }
+      }
+    } else {
+      std::vector<NodeId> context_storage;
+      const std::vector<NodeId>* sources = &frontier;
+      if (i == 0) {
+        context_storage.push_back(context);
+        sources = &context_storage;
+      }
+      for (NodeId u : *sources) {
+        if (step.axis == XPathStep::Axis::kChild) {
+          for (NodeId c = tree.FirstChild(u); c != kNoNode;
+               c = tree.NextSibling(c)) {
+            candidates.push_back(c);
+          }
+        } else {
+          for (NodeId v = u + 1; v < tree.SubtreeEnd(u); ++v) {
+            candidates.push_back(v);
+          }
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+    }
+
+    Symbol label =
+        step.label.empty() ? -1 : tree.FindLabel(step.label);
+    std::vector<NodeId> selected;
+    for (NodeId v : candidates) {
+      if (!step.label.empty() &&
+          (label < 0 || tree.label(v) != label)) {
+        continue;
+      }
+      bool keep = true;
+      for (const XPathPredicate& pred : step.predicates) {
+        TREEWALK_ASSIGN_OR_RETURN(bool holds, PredicateHolds(tree, v, pred));
+        if (!holds) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) selected.push_back(v);
+    }
+    frontier = std::move(selected);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+Result<bool> PredicateHolds(const Tree& tree, NodeId node,
+                            const XPathPredicate& pred) {
+  switch (pred.kind) {
+    case XPathPredicate::Kind::kPath: {
+      TREEWALK_ASSIGN_OR_RETURN(std::vector<NodeId> hits,
+                                EvalXPath(tree, *pred.path, node));
+      return !hits.empty();
+    }
+    case XPathPredicate::Kind::kAttrEqAttr: {
+      AttrId a = tree.FindAttribute(pred.attr);
+      AttrId b = tree.FindAttribute(pred.other_attr);
+      if (a == kNoAttr || b == kNoAttr) {
+        return InvalidArgument("tree lacks attribute '" +
+                               (a == kNoAttr ? pred.attr : pred.other_attr) +
+                               "'");
+      }
+      return tree.attr(a, node) == tree.attr(b, node);
+    }
+    case XPathPredicate::Kind::kAttrEqConst: {
+      AttrId a = tree.FindAttribute(pred.attr);
+      if (a == kNoAttr) {
+        return InvalidArgument("tree lacks attribute '" + pred.attr + "'");
+      }
+      DataValue want = pred.literal.kind == Term::Kind::kStrConst
+                           ? tree.values().ValueFor(pred.literal.text)
+                           : pred.literal.value;
+      return tree.attr(a, node) == want;
+    }
+  }
+  return Internal("unknown predicate kind");
+}
+
+}  // namespace
+
+Result<std::vector<NodeId>> EvalXPath(const Tree& tree, const XPath& xpath,
+                                      NodeId context) {
+  if (!tree.Valid(context)) return InvalidArgument("invalid context node");
+  std::vector<NodeId> out;
+  for (const XPathPath& path : xpath.paths) {
+    if (path.steps.empty()) return InvalidArgument("empty path");
+    TREEWALK_ASSIGN_OR_RETURN(std::vector<NodeId> hits,
+                              EvalPath(tree, path, context));
+    out.insert(out.end(), hits.begin(), hits.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,96 @@
+#ifndef TREEWALK_XPATH_XPATH_H_
+#define TREEWALK_XPATH_XPATH_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/logic/formula.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// The XPath fragment of Section 2.3: union, child (/), descendant (//),
+/// filters ([...]), element tests, wildcard — extended with the attribute
+/// comparisons FO(exists*) supports (@a = @b, @a = literal).
+///
+///   xpath    := path ('|' path)*
+///   path     := '/'? step (('/' | '//') step)*
+///            |  '//' step (('/' | '//') step)*
+///   step     := (NAME | '*') predicate*
+///   predicate:= '[' (xpath | attrcmp) ']'
+///   attrcmp  := '@' NAME '=' ('@' NAME | INT | STRING)
+///
+/// Semantics (standard, child-axis based): a path denotes a binary
+/// relation between a context node and selected nodes.  A leading '/'
+/// re-roots the context ("/a" selects the root if labeled a); a leading
+/// '//' selects matching nodes anywhere below-or-at the root.  A relative
+/// path's first step moves to children of the context ("a/b": children b
+/// of children a).  A filter [p] keeps nodes from which the relative
+/// path p selects at least one node; [@a = ...] tests attribute values.
+
+/// One filter predicate.
+struct XPathPredicate;
+
+/// One location step.  Note: a *relative* path whose first step uses
+/// the descendant axis is representable in the AST (and the evaluator
+/// and compiler honor it) but has no concrete syntax — a leading '//'
+/// is absolute, as in XPath — so ParseXPath never produces it and
+/// XPathToString cannot round-trip it.
+struct XPathStep {
+  enum class Axis { kChild, kDescendant };
+  Axis axis = Axis::kChild;
+  /// Element test; empty string means wildcard '*'.
+  std::string label;
+  std::vector<XPathPredicate> predicates;
+};
+
+/// One '|'-branch: an optionally absolute chain of steps.
+struct XPathPath {
+  bool absolute = false;
+  std::vector<XPathStep> steps;
+};
+
+/// A full expression: the union of its paths.
+struct XPath {
+  std::vector<XPathPath> paths;
+};
+
+struct XPathPredicate {
+  enum class Kind { kPath, kAttrEqAttr, kAttrEqConst };
+  Kind kind = Kind::kPath;
+  /// kPath: the nested relative path (existential).
+  std::shared_ptr<const XPath> path;
+  /// kAttrEq*: left attribute name.
+  std::string attr;
+  /// kAttrEqAttr: right attribute name.
+  std::string other_attr;
+  /// kAttrEqConst: right literal.
+  Term literal;
+};
+
+/// Parses the fragment grammar above.
+Result<XPath> ParseXPath(std::string_view source);
+
+/// Renders back to source syntax.
+std::string XPathToString(const XPath& xpath);
+
+/// Direct evaluator: all nodes selected from `context`, in document
+/// order.
+Result<std::vector<NodeId>> EvalXPath(const Tree& tree, const XPath& xpath,
+                                      NodeId context);
+
+/// Compiles into an FO(exists*) selector phi(x, y) over tau_{Sigma,A}
+/// (Section 2.3's abstraction): for every tree, EvalXPath(t, p, u)
+/// equals SelectNodes(t, CompileXPathToFo(p), u).  The result is
+/// existential prenex with free variables {x, y} (x may be unused for
+/// absolute paths).
+Result<Formula> CompileXPathToFo(const XPath& xpath,
+                                 const std::string& x = "x",
+                                 const std::string& y = "y");
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_XPATH_XPATH_H_

@@ -1,0 +1,161 @@
+#include "src/xtm/library.h"
+
+#include <string>
+
+#include "src/tree/delimited.h"
+
+namespace treewalk {
+
+namespace {
+
+/// Convenience transition factory.
+XtmTransition T(std::string state, std::string label, int read,
+                std::string next, Move tree_move, int write = -1,
+                TapeMove tape_move = TapeMove::kStay) {
+  XtmTransition t;
+  t.state = std::move(state);
+  t.label = std::move(label);
+  t.read = read;
+  t.next_state = std::move(next);
+  t.tree_move = tree_move;
+  t.write = write;
+  t.tape_move = tape_move;
+  return t;
+}
+
+/// Installs the delimiter-guided DFS skeleton (same shape as the
+/// tree-walking library): descend from `fwd`, turn at #leaf / #close into
+/// `back`, advance right from `back`.
+void AddDfs(Xtm& m, const std::string& fwd, const std::string& back) {
+  m.transitions.push_back(
+      T(fwd, std::string(kTopLabel), -1, fwd, Move::kDown));
+  m.transitions.push_back(
+      T(fwd, std::string(kOpenLabel), -1, fwd, Move::kRight));
+  m.transitions.push_back(T(fwd, "*", -1, fwd, Move::kDown));
+  m.transitions.push_back(
+      T(fwd, std::string(kLeafLabel), -1, back, Move::kUp));
+  m.transitions.push_back(
+      T(fwd, std::string(kCloseLabel), -1, back, Move::kUp));
+  m.transitions.push_back(T(back, "*", -1, fwd, Move::kRight));
+}
+
+}  // namespace
+
+Xtm XtmParity(std::string_view label) {
+  const std::string lab(label);
+  Xtm m;
+  m.initial_state = "fwd_e";
+  m.accept_state = "acc";
+  AddDfs(m, "fwd_e", "back_e");
+  AddDfs(m, "fwd_o", "back_o");
+  m.transitions.push_back(T("fwd_e", lab, -1, "fwd_o", Move::kDown));
+  m.transitions.push_back(T("fwd_o", lab, -1, "fwd_e", Move::kDown));
+  m.transitions.push_back(
+      T("back_e", std::string(kTopLabel), -1, "acc", Move::kStay));
+  return m;
+}
+
+Xtm XtmCountMod4(std::string_view label) {
+  // Tape symbols: 0 blank, 1 bit-zero, 2 bit-one, 3 left-end marker.
+  const std::string lab(label);
+  Xtm m;
+  m.initial_state = "init";
+  m.accept_state = "acc";
+  m.tape_alphabet_size = 4;
+  // Initialization: plant the marker at cell 0, step right to the LSB.
+  m.transitions.push_back(T("init", std::string(kTopLabel), 0, "fwd",
+                            Move::kStay, /*write=*/3, TapeMove::kRight));
+  AddDfs(m, "fwd", "back");
+  // At a counted node (head is at the LSB): binary increment, then
+  // rewind to the LSB and descend.
+  m.transitions.push_back(
+      T("inc", lab, 2, "inc", Move::kStay, /*write=*/1, TapeMove::kRight));
+  m.transitions.push_back(
+      T("inc", lab, 0, "rew", Move::kStay, /*write=*/2, TapeMove::kStay));
+  m.transitions.push_back(
+      T("inc", lab, 1, "rew", Move::kStay, /*write=*/2, TapeMove::kStay));
+  m.transitions.push_back(
+      T("rew", lab, 1, "rew", Move::kStay, -1, TapeMove::kLeft));
+  m.transitions.push_back(
+      T("rew", lab, 2, "rew", Move::kStay, -1, TapeMove::kLeft));
+  m.transitions.push_back(
+      T("rew", lab, 3, "fwd", Move::kDown, -1, TapeMove::kRight));
+  // Entering a counted node forward redirects into the increment.
+  m.transitions.push_back(T("fwd", lab, -1, "inc", Move::kStay));
+  // Final check: back at #top, head at the LSB; accept iff bits 0 and 1
+  // are not one (count % 4 == 0).
+  m.transitions.push_back(T("back", std::string(kTopLabel), 0, "acc",
+                            Move::kStay));
+  m.transitions.push_back(T("back", std::string(kTopLabel), 1, "chk2",
+                            Move::kStay, -1, TapeMove::kRight));
+  m.transitions.push_back(T("chk2", std::string(kTopLabel), 0, "acc",
+                            Move::kStay));
+  m.transitions.push_back(T("chk2", std::string(kTopLabel), 1, "acc",
+                            Move::kStay));
+  // read 2 anywhere in the check: stuck, rejects.
+  return m;
+}
+
+Xtm XtmDyck(std::string_view open, std::string_view close) {
+  // Tape symbols: 0 blank, 1 pebble, 3 left-end marker.  Invariant: the
+  // head rests on the first blank after the pebbles.
+  Xtm m;
+  m.initial_state = "init";
+  m.accept_state = "acc";
+  m.tape_alphabet_size = 4;
+  m.transitions.push_back(T("init", std::string(kTopLabel), 0, "fwd",
+                            Move::kStay, /*write=*/3, TapeMove::kRight));
+  AddDfs(m, "fwd", "back");
+  // Open: push a pebble and descend.
+  m.transitions.push_back(T("fwd", std::string(open), -1, "fwd", Move::kDown,
+                            /*write=*/1, TapeMove::kRight));
+  // Close: pop a pebble (underflow reads the marker and gets stuck).
+  m.transitions.push_back(T("fwd", std::string(close), -1, "pop",
+                            Move::kStay, -1, TapeMove::kLeft));
+  m.transitions.push_back(T("pop", std::string(close), 1, "fwd", Move::kDown,
+                            /*write=*/0, TapeMove::kStay));
+  // End of walk: balanced iff one step left of the head is the marker.
+  m.transitions.push_back(T("back", std::string(kTopLabel), -1, "fin",
+                            Move::kStay, -1, TapeMove::kLeft));
+  m.transitions.push_back(
+      T("fin", std::string(kTopLabel), 3, "acc", Move::kStay));
+  return m;
+}
+
+Xtm XtmBooleanCircuit(std::string_view attr) {
+  Xtm m;
+  m.initial_state = "start";
+  m.accept_state = "acc";
+  m.num_registers = 1;  // register 0 stays 0; literals test attr != reg0
+  m.universal_states = {"and_pick"};
+  m.transitions.push_back(
+      T("start", std::string(kTopLabel), -1, "start2", Move::kDown));
+  m.transitions.push_back(
+      T("start2", std::string(kOpenLabel), -1, "eval", Move::kRight));
+  // Dispatch at a node under evaluation.
+  m.transitions.push_back(T("eval", "and", -1, "and_enter", Move::kDown));
+  m.transitions.push_back(
+      T("and_enter", std::string(kOpenLabel), -1, "and_pick", Move::kRight));
+  m.transitions.push_back(T("eval", "or", -1, "or_enter", Move::kDown));
+  m.transitions.push_back(
+      T("or_enter", std::string(kOpenLabel), -1, "or_pick", Move::kRight));
+  // Literal: applicable only when attr != 0 (register 0 holds 0).
+  XtmTransition lit = T("eval", "lit", -1, "acc", Move::kStay);
+  lit.guard.kind = XtmGuard::Kind::kRegNotEqualsAttr;
+  lit.guard.reg = 0;
+  lit.guard.attr = std::string(attr);
+  m.transitions.push_back(lit);
+  // Child selection: "or" existentially picks one child, "and"
+  // universally requires every child; both use the eval-or-skip pair,
+  // instantiated only at circuit labels so #close terminates the scan
+  // (stuck existential = false, stuck universal = true).
+  for (const char* pick : {"or_pick", "and_pick"}) {
+    for (const char* child : {"and", "or", "lit"}) {
+      m.transitions.push_back(T(pick, child, -1, "eval", Move::kStay));
+      m.transitions.push_back(T(pick, child, -1, pick, Move::kRight));
+    }
+  }
+  return m;
+}
+
+}  // namespace treewalk

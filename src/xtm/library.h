@@ -1,0 +1,35 @@
+#ifndef TREEWALK_XTM_LIBRARY_H_
+#define TREEWALK_XTM_LIBRARY_H_
+
+#include <string_view>
+
+#include "src/xtm/machine.h"
+
+namespace treewalk {
+
+/// Deterministic, constant-space: accepts iff the number of
+/// `label`-nodes is even.  DFS walk, no tape use.
+Xtm XtmParity(std::string_view label);
+
+/// Deterministic, logarithmic-space: counts `label`-nodes in binary on
+/// the work tape (cell 0 is a left-end marker, LSB at cell 1) and
+/// accepts iff the count is divisible by 4.  The tape usage of a run is
+/// O(log #occurrences) — the LOGSPACE^X regime of Theorem 7.1(1).
+Xtm XtmCountMod4(std::string_view label);
+
+/// Deterministic, linear-space: reads the document-order sequence of
+/// `open`/`close` labels as a bracket string and accepts iff it is
+/// balanced (unary counter on the tape; never negative, zero at the
+/// end).  Space grows with maximal nesting — the PSPACE^X regime.
+Xtm XtmDyck(std::string_view open, std::string_view close);
+
+/// Alternating, constant-space: evaluates an AND/OR circuit tree with
+/// labels "and", "or", "lit" where a literal's truth is attribute
+/// `attr` != 0.  "and" nodes are universal over their children, "or"
+/// nodes existential — the ALOGSPACE^X = PTIME^X regime of
+/// Theorem 7.1(2).
+Xtm XtmBooleanCircuit(std::string_view attr = "v");
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_XTM_LIBRARY_H_

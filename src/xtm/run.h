@@ -1,0 +1,46 @@
+#ifndef TREEWALK_XTM_RUN_H_
+#define TREEWALK_XTM_RUN_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+#include "src/xtm/machine.h"
+
+namespace treewalk {
+
+struct XtmOptions {
+  std::int64_t max_steps = 1'000'000;
+  /// Alternating evaluation: maximum number of distinct configurations
+  /// memoized before aborting with kResourceExhausted.
+  std::size_t max_configs = 1'000'000;
+};
+
+/// Resource accounting for the complexity classes of Section 6:
+/// `steps` realizes the PTIME^X / EXPTIME^X measures, `space` (work-tape
+/// cells visited) the LOGSPACE^X / PSPACE^X measures.
+struct XtmResult {
+  bool accepted = false;
+  std::int64_t steps = 0;
+  std::size_t space = 0;
+  std::size_t configs = 0;  ///< alternating runs only
+};
+
+/// Runs a deterministic xTM on (the delimitation of) `input`.  Errors
+/// with kNondeterminism if two transitions apply to one configuration.
+/// Looping runs end with kResourceExhausted once max_steps transitions
+/// are spent (xTM configurations include the unbounded tape, so cycle
+/// detection is by budget, not by memoization).
+Result<XtmResult> RunXtm(const Xtm& machine, const Tree& input,
+                         XtmOptions options = {});
+
+/// Runs an alternating xTM: acceptance is the least fixpoint over the
+/// AND/OR configuration graph (ALOGSPACE^X / APSPACE^X of Section 6,
+/// with the paper's correspondences ALOGSPACE = PTIME and
+/// APSPACE = EXPTIME).  Cycles contribute non-acceptance.
+Result<XtmResult> RunXtmAlternating(const Xtm& machine, const Tree& input,
+                                    XtmOptions options = {});
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_XTM_RUN_H_

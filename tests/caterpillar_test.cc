@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/caterpillar/caterpillar.h"
+#include "src/tree/generate.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+namespace {
+
+Tree T(const char* term) {
+  auto t = ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << term;
+  return *t;
+}
+
+Caterpillar C(const char* src) {
+  auto c = ParseCaterpillar(src);
+  EXPECT_TRUE(c.ok()) << src << ": " << c.status();
+  return *c;
+}
+
+bool Accepts(const Tree& t, const char* expr) {
+  auto r = CaterpillarAccepts(t, C(expr));
+  EXPECT_TRUE(r.ok()) << expr << ": " << r.status();
+  return r.ok() && *r;
+}
+
+TEST(ParseCaterpillar, AtomsAndOperators) {
+  Caterpillar c = C("down right* (up | isleaf) b");
+  EXPECT_EQ(c.ToString(), "down right* (up | isleaf) b");
+  EXPECT_EQ(C("(down right)*").ToString(), "(down right)*");
+  EXPECT_EQ(C("()").ToString(), "()");
+  EXPECT_EQ(C("down**").ToString(), "(down*)*");
+}
+
+TEST(ParseCaterpillar, Errors) {
+  EXPECT_FALSE(ParseCaterpillar("").ok());
+  EXPECT_FALSE(ParseCaterpillar("(down").ok());
+  EXPECT_FALSE(ParseCaterpillar("down )").ok());
+  EXPECT_FALSE(ParseCaterpillar("*").ok());
+  EXPECT_FALSE(ParseCaterpillar("down | | up").ok());
+}
+
+TEST(CaterpillarAccepts, TestsAtRoot) {
+  Tree t = T("a(b, c)");
+  EXPECT_TRUE(Accepts(t, "isroot"));
+  EXPECT_TRUE(Accepts(t, "a"));
+  EXPECT_FALSE(Accepts(t, "b"));
+  EXPECT_FALSE(Accepts(t, "isleaf"));
+  EXPECT_TRUE(Accepts(T("a"), "isleaf"));
+}
+
+TEST(CaterpillarAccepts, MovesCompose) {
+  Tree t = T("a(b, c(d))");
+  EXPECT_TRUE(Accepts(t, "down b"));
+  EXPECT_TRUE(Accepts(t, "down right c down d"));
+  EXPECT_FALSE(Accepts(t, "down right right"));
+  EXPECT_TRUE(Accepts(t, "down right down up c"));
+  EXPECT_FALSE(Accepts(t, "up"));
+}
+
+TEST(CaterpillarAccepts, StarSearchesArbitrarilyDeep) {
+  // The classic caterpillar: some leaf labeled "needle".
+  const char* expr = "(down | right)* isleaf needle";
+  EXPECT_TRUE(Accepts(T("a(b, c(x, needle), d)"), expr));
+  EXPECT_TRUE(Accepts(T("needle"), expr));
+  EXPECT_FALSE(Accepts(T("a(b, needle(c))"), expr));  // not a leaf
+  EXPECT_FALSE(Accepts(T("a(b, c)"), expr));
+}
+
+TEST(CaterpillarAccepts, FirstLastTests) {
+  Tree t = T("a(b, c, d)");
+  EXPECT_TRUE(Accepts(t, "down isfirst b"));
+  EXPECT_FALSE(Accepts(t, "down isfirst c"));
+  EXPECT_TRUE(Accepts(t, "down right right islast d"));
+  EXPECT_TRUE(Accepts(t, "isfirst islast a"));  // the root is both
+}
+
+TEST(CaterpillarAccepts, AlternationBranches) {
+  const char* expr = "down (b | c) isleaf";
+  EXPECT_TRUE(Accepts(T("a(b)"), expr));
+  EXPECT_TRUE(Accepts(T("a(c)"), expr));
+  EXPECT_FALSE(Accepts(T("a(d)"), expr));
+}
+
+TEST(CaterpillarAccepts, EpsilonMatchesImmediately) {
+  EXPECT_TRUE(Accepts(T("a"), "()"));
+  EXPECT_TRUE(Accepts(T("a"), "()*"));
+}
+
+TEST(CaterpillarAccepts, ErrorsOnEmptyTree) {
+  EXPECT_FALSE(CaterpillarAccepts(Tree(), C("isroot")).ok());
+}
+
+TEST(CaterpillarSelect, CollectsEndNodes) {
+  Tree t = T("a(b, c(d, e))");
+  auto leaves = CaterpillarSelect(t, C("(down | right)* isleaf"), 0);
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(*leaves, (std::vector<NodeId>{1, 3, 4}));
+  auto from_c = CaterpillarSelect(t, C("down"), 2);
+  ASSERT_TRUE(from_c.ok());
+  EXPECT_EQ(*from_c, (std::vector<NodeId>{3}));
+  EXPECT_FALSE(CaterpillarSelect(t, C("down"), 99).ok());
+}
+
+/// The caterpillar "some node labeled L" agrees with the tw program
+/// HasLabelProgram on random trees — two tree-walking formalisms, one
+/// language (the Section 1 lineage).
+TEST(Caterpillar, AgreesWithHasLabelProgram) {
+  auto program = HasLabelProgram("b");
+  ASSERT_TRUE(program.ok());
+  Caterpillar expr = C("(down | right)* b");
+  std::mt19937 rng(31);
+  RandomTreeOptions options;
+  options.num_nodes = 20;
+  options.labels = {"a", "b", "c"};
+  options.attributes = {};
+  for (int trial = 0; trial < 25; ++trial) {
+    Tree t = RandomTree(rng, options);
+    auto walker = Accepts(*program, t);
+    auto cat = CaterpillarAccepts(t, expr);
+    ASSERT_TRUE(walker.ok() && cat.ok());
+    EXPECT_EQ(*walker, *cat) << "trial " << trial;
+  }
+}
+
+TEST(Caterpillar, ExhaustiveAgreementOnTinyTrees) {
+  auto program = AllLeavesLabelProgram("b");
+  ASSERT_TRUE(program.ok());
+  // "not (some leaf is not b)" is inexpressible without complement;
+  // instead check the dual language via the has-a-non-b-leaf
+  // caterpillar and compare negated verdicts.
+  Caterpillar bad_leaf = C("(down | right)* isleaf a");
+  for (int n = 1; n <= 4; ++n) {
+    for (const Tree& t : EnumerateTrees(n, {"a", "b"})) {
+      auto walker = Accepts(*program, t);
+      auto cat = CaterpillarAccepts(t, bad_leaf);
+      ASSERT_TRUE(walker.ok() && cat.ok());
+      EXPECT_EQ(*walker, !*cat) << PrintTerm(t);
+    }
+  }
+}
+
+TEST(Caterpillar, StatsCountPairs) {
+  CaterpillarRunStats stats;
+  Tree t = FullTree(2, 3);
+  auto r = CaterpillarAccepts(t, C("(down | right)* isleaf"), &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_GT(stats.pairs_explored, t.size());
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/common/interner.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace treewalk {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad token");
+}
+
+TEST(Status, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Nondeterminism("x").code(), StatusCode::kNondeterminism);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(InvalidArgument("a"), InvalidArgument("a"));
+  EXPECT_FALSE(InvalidArgument("a") == InvalidArgument("b"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  TREEWALK_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TREEWALK_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(Result, ValueAndStatus) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  Result<int> e = Half(3);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnChains) {
+  ASSERT_TRUE(Quarter(12).ok());
+  EXPECT_EQ(Quarter(12).value(), 3);
+  EXPECT_FALSE(Quarter(10).ok());  // 5 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Interner, AssignsDenseHandles) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("a"), 0);
+  EXPECT_EQ(interner.Intern("b"), 1);
+  EXPECT_EQ(interner.Intern("a"), 0);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.NameOf(1), "b");
+}
+
+TEST(Interner, FindWithoutInsert) {
+  Interner interner;
+  interner.Intern("x");
+  EXPECT_EQ(interner.Find("x"), 0);
+  EXPECT_EQ(interner.Find("y"), -1);
+  EXPECT_TRUE(interner.Contains(0));
+  EXPECT_FALSE(interner.Contains(1));
+  EXPECT_FALSE(interner.Contains(-1));
+}
+
+TEST(ValueInterner, StringsLandInReservedRange) {
+  ValueInterner values;
+  DataValue v = values.ValueFor("hello");
+  EXPECT_TRUE(ValueInterner::IsString(v));
+  EXPECT_FALSE(ValueInterner::IsString(42));
+  EXPECT_FALSE(ValueInterner::IsString(-42));
+  EXPECT_EQ(values.ValueFor("hello"), v);
+  EXPECT_NE(values.ValueFor("world"), v);
+}
+
+TEST(ValueInterner, RenderCoversAllValueKinds) {
+  ValueInterner values;
+  DataValue v = values.ValueFor("abc");
+  EXPECT_EQ(values.Render(v), "abc");
+  EXPECT_EQ(values.Render(7), "7");
+  EXPECT_EQ(values.Render(-7), "-7");
+  EXPECT_EQ(values.Render(kBottom), "_|_");
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "src/tree/delimited.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+namespace {
+
+TEST(Delimit, PaperExampleShape) {
+  // Section 3's example: t = a(b, c, d).
+  auto t = ParseTerm("a(b, c, d)");
+  ASSERT_TRUE(t.ok());
+  DelimitedTree d = Delimit(*t);
+  // #top(#open, a(#open, b(#leaf), c(#leaf), d(#leaf), #close), #close)
+  EXPECT_EQ(PrintTerm(d.tree),
+            "#top(#open, a(#open, b(#leaf), c(#leaf), d(#leaf), #close), "
+            "#close)");
+}
+
+TEST(Delimit, SingleNodeTree) {
+  auto t = ParseTerm("a");
+  ASSERT_TRUE(t.ok());
+  DelimitedTree d = Delimit(*t);
+  EXPECT_EQ(PrintTerm(d.tree), "#top(#open, a(#leaf), #close)");
+}
+
+TEST(Delimit, MappingIsConsistentBothWays) {
+  auto t = ParseTerm("a(b(c), d)");
+  ASSERT_TRUE(t.ok());
+  DelimitedTree d = Delimit(*t);
+  ASSERT_EQ(d.to_delimited.size(), t->size());
+  ASSERT_EQ(d.to_original.size(), d.tree.size());
+  for (NodeId u = 0; u < static_cast<NodeId>(t->size()); ++u) {
+    NodeId v = d.to_delimited[static_cast<std::size_t>(u)];
+    ASSERT_NE(v, kNoNode);
+    EXPECT_EQ(d.to_original[static_cast<std::size_t>(v)], u);
+    EXPECT_EQ(d.tree.LabelName(d.tree.label(v)), t->LabelName(t->label(u)));
+  }
+}
+
+TEST(Delimit, DelimiterCountIsLinear) {
+  // Every original node contributes exactly 2 delimiters (#open/#close or
+  // a single #leaf... leaves contribute 1), plus 3 for the top wrapper.
+  auto t = ParseTerm("a(b, c(d, e), f)");
+  ASSERT_TRUE(t.ok());
+  DelimitedTree d = Delimit(*t);
+  std::size_t leaves = 4;     // b, d, e, f
+  std::size_t internal = 2;   // a, c
+  EXPECT_EQ(d.tree.size(), t->size() + leaves + 2 * internal + 3);
+}
+
+TEST(Delimit, AttributesCopiedAndDelimitersCarryBottom) {
+  auto t = ParseTerm("a[x=3](b[x=7])");
+  ASSERT_TRUE(t.ok());
+  DelimitedTree d = Delimit(*t);
+  AttrId x = d.tree.FindAttribute("x");
+  ASSERT_NE(x, kNoAttr);
+  for (NodeId v = 0; v < static_cast<NodeId>(d.tree.size()); ++v) {
+    if (d.IsDelimiter(v)) {
+      EXPECT_EQ(d.tree.attr(x, v), kBottom);
+    }
+  }
+  NodeId a = d.to_delimited[0];
+  NodeId b = d.to_delimited[1];
+  EXPECT_EQ(d.tree.attr(x, a), 3);
+  EXPECT_EQ(d.tree.attr(x, b), 7);
+}
+
+TEST(Delimit, WalkVisibleTests) {
+  auto t = ParseTerm("a(b(c), d)");
+  ASSERT_TRUE(t.ok());
+  DelimitedTree d = Delimit(*t);
+  const Tree& dt = d.tree;
+  // An original leaf's first child is #leaf.
+  NodeId c = d.to_delimited[2];
+  ASSERT_NE(dt.FirstChild(c), kNoNode);
+  EXPECT_EQ(dt.LabelName(dt.label(dt.FirstChild(c))), kLeafLabel);
+  // An original first child's left sibling is #open.
+  NodeId b = d.to_delimited[1];
+  EXPECT_EQ(dt.LabelName(dt.label(dt.PrevSibling(b))), kOpenLabel);
+  // An original last child's right sibling is #close.
+  NodeId dd = d.to_delimited[3];
+  EXPECT_EQ(dt.LabelName(dt.label(dt.NextSibling(dd))), kCloseLabel);
+  // The original root sits under #top.
+  NodeId a = d.to_delimited[0];
+  EXPECT_EQ(dt.LabelName(dt.label(dt.Parent(a))), kTopLabel);
+}
+
+TEST(IsDelimiterLabel, RecognizesAllFour) {
+  EXPECT_TRUE(IsDelimiterLabel(kTopLabel));
+  EXPECT_TRUE(IsDelimiterLabel(kOpenLabel));
+  EXPECT_TRUE(IsDelimiterLabel(kCloseLabel));
+  EXPECT_TRUE(IsDelimiterLabel(kLeafLabel));
+  EXPECT_FALSE(IsDelimiterLabel("a"));
+  EXPECT_FALSE(IsDelimiterLabel("#other"));
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/logic/formula.h"
+#include "src/logic/parser.h"
+
+namespace treewalk {
+namespace {
+
+TEST(Formula, FactoriesBuildExpectedKinds) {
+  Formula f = Formula::And(Formula::True(), Formula::Not(Formula::False()));
+  EXPECT_EQ(f.node().kind, FormulaKind::kAnd);
+  EXPECT_EQ(f.node().children[0].node().kind, FormulaKind::kTrue);
+  EXPECT_EQ(f.node().children[1].node().kind, FormulaKind::kNot);
+}
+
+TEST(Formula, ToStringRendersConnectives) {
+  Formula f = Formula::Implies(Formula::Root("x"), Formula::Leaf("x"));
+  EXPECT_EQ(f.ToString(), "(root(x) -> leaf(x))");
+  Formula g = Formula::Exists("y", Formula::Edge("x", "y"));
+  EXPECT_EQ(g.ToString(), "exists y E(x, y)");
+}
+
+TEST(Formula, FreeVariablesRespectBinding) {
+  Formula f = Formula::Exists(
+      "y", Formula::And(Formula::Edge("x", "y"), Formula::Leaf("z")));
+  EXPECT_EQ(f.FreeVariables(), (std::set<std::string>{"x", "z"}));
+}
+
+TEST(Formula, FreeVariablesSeeThroughValTerms) {
+  Formula f = Formula::Eq(Term::AttrOf("a", "x"), Term::Int(3));
+  EXPECT_EQ(f.FreeVariables(), (std::set<std::string>{"x"}));
+}
+
+TEST(Formula, ShadowedVariableStaysBoundInside) {
+  // exists x (E(x,y) & exists x leaf(x)) -- free: y only.
+  Formula f = Formula::Exists(
+      "x", Formula::And(Formula::Edge("x", "y"),
+                        Formula::Exists("x", Formula::Leaf("x"))));
+  EXPECT_EQ(f.FreeVariables(), (std::set<std::string>{"y"}));
+}
+
+TEST(Formula, IsExistentialPrenex) {
+  EXPECT_TRUE(Formula::True().IsExistentialPrenex());
+  Formula ex = Formula::Exists(
+      "y", Formula::Exists("z", Formula::And(Formula::Edge("x", "y"),
+                                             Formula::Edge("y", "z"))));
+  EXPECT_TRUE(ex.IsExistentialPrenex());
+  // Negation of a quantifier-free body is fine.
+  EXPECT_TRUE(
+      Formula::Exists("y", Formula::Not(Formula::Leaf("y")))
+          .IsExistentialPrenex());
+  // A universal anywhere breaks it.
+  EXPECT_FALSE(
+      Formula::Forall("y", Formula::Leaf("y")).IsExistentialPrenex());
+  // A nested exists (not prenex) breaks it.
+  EXPECT_FALSE(Formula::Not(Formula::Exists("y", Formula::Leaf("y")))
+                   .IsExistentialPrenex());
+  EXPECT_FALSE(
+      Formula::Exists("y", Formula::And(Formula::Leaf("y"),
+                                        Formula::Exists("z",
+                                                        Formula::Leaf("z"))))
+          .IsExistentialPrenex());
+}
+
+TEST(Formula, SizeCountsNodes) {
+  Formula f = Formula::And(Formula::True(), Formula::False());
+  EXPECT_EQ(f.Size(), 3u);
+  EXPECT_EQ(Formula::Exists("x", f).Size(), 4u);
+}
+
+TEST(ValidateTreeFormula, AcceptsVocabulary) {
+  Formula f = Formula::AndAll({
+      Formula::Edge("x", "y"),
+      Formula::Sibling("x", "y"),
+      Formula::Descendant("x", "y"),
+      Formula::Label("x", "a"),
+      Formula::Root("x"),
+      Formula::Leaf("x"),
+      Formula::First("x"),
+      Formula::Last("x"),
+      Formula::Succ("x", "y"),
+      Formula::VarEq("x", "y"),
+      Formula::Eq(Term::AttrOf("a", "x"), Term::AttrOf("b", "y")),
+      Formula::Eq(Term::AttrOf("a", "x"), Term::Int(5)),
+      Formula::Eq(Term::AttrOf("a", "x"), Term::Str("d")),
+  });
+  EXPECT_TRUE(ValidateTreeFormula(f).ok());
+}
+
+TEST(ValidateTreeFormula, RejectsStoreAtoms) {
+  Formula f = Formula::Relation("X", {Term::Var("x")});
+  EXPECT_EQ(ValidateTreeFormula(f).code(), StatusCode::kInvalidArgument);
+  Formula g = Formula::Eq(Term::CurrentAttr("a"), Term::Int(1));
+  EXPECT_EQ(ValidateTreeFormula(g).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTreeFormula, RejectsSortMixing) {
+  // Node variable compared with a data value.
+  Formula f = Formula::Eq(Term::Var("x"), Term::Int(3));
+  EXPECT_FALSE(ValidateTreeFormula(f).ok());
+  Formula g = Formula::Eq(Term::AttrOf("a", "x"), Term::Var("y"));
+  EXPECT_FALSE(ValidateTreeFormula(g).ok());
+}
+
+TEST(ValidateStoreFormula, ChecksArity) {
+  auto arity = [](const std::string& name) -> int {
+    if (name == "X") return 2;
+    if (name == "Y") return 1;
+    return -1;
+  };
+  Formula good = Formula::And(
+      Formula::Relation("X", {Term::Var("u"), Term::Var("v")}),
+      Formula::Relation("Y", {Term::CurrentAttr("a")}));
+  EXPECT_TRUE(ValidateStoreFormula(good, arity).ok());
+
+  Formula bad_arity = Formula::Relation("X", {Term::Var("u")});
+  EXPECT_FALSE(ValidateStoreFormula(bad_arity, arity).ok());
+
+  Formula unknown = Formula::Relation("Z", {Term::Var("u")});
+  EXPECT_EQ(ValidateStoreFormula(unknown, arity).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ValidateStoreFormula, RejectsTreeAtoms) {
+  auto arity = [](const std::string&) { return -1; };
+  EXPECT_FALSE(ValidateStoreFormula(Formula::Edge("x", "y"), arity).ok());
+  EXPECT_FALSE(ValidateStoreFormula(Formula::Leaf("x"), arity).ok());
+  EXPECT_FALSE(ValidateStoreFormula(
+                   Formula::Eq(Term::AttrOf("a", "x"), Term::Int(1)), arity)
+                   .ok());
+}
+
+TEST(ValidateStoreFormula, AcceptsQuantifiedStoreLogic) {
+  auto arity = [](const std::string& name) { return name == "X1" ? 1 : -1; };
+  // forall x forall y (X1(x) & X1(y) -> x = y) -- the xi of Example 3.2.
+  Formula f = Formula::Forall(
+      "x", Formula::Forall(
+               "y", Formula::Implies(
+                        Formula::And(
+                            Formula::Relation("X1", {Term::Var("x")}),
+                            Formula::Relation("X1", {Term::Var("y")})),
+                        Formula::VarEq("x", "y"))));
+  EXPECT_TRUE(ValidateStoreFormula(f, arity).ok());
+}
+
+TEST(Formula, AndAllOrAllEmpty) {
+  EXPECT_EQ(Formula::AndAll({}).node().kind, FormulaKind::kTrue);
+  EXPECT_EQ(Formula::OrAll({}).node().kind, FormulaKind::kFalse);
+}
+
+TEST(Formula, RoundTripThroughParser) {
+  const char* sources[] = {
+      "exists y (desc(x, y) & leaf(y))",
+      "forall x (val(a, x) = 5 | val(a, x) = val(b, x))",
+      "(root(x) -> (leaf(x) <-> first(x)))",
+      "!(sib(x, y)) & succ(x, y)",
+      "X1(u, v) & u = attr(a)",
+  };
+  for (const char* source : sources) {
+    auto f = ParseFormula(source);
+    ASSERT_TRUE(f.ok()) << source << ": " << f.status();
+    auto round = ParseFormula(f->ToString());
+    ASSERT_TRUE(round.ok()) << f->ToString();
+    EXPECT_EQ(round->ToString(), f->ToString()) << source;
+  }
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "src/tree/generate.h"
+#include "src/tree/traversal.h"
+
+namespace treewalk {
+namespace {
+
+TEST(RandomTree, RespectsNodeCountAndArity) {
+  std::mt19937 rng(1);
+  RandomTreeOptions options;
+  options.num_nodes = 200;
+  options.max_children = 3;
+  Tree t = RandomTree(rng, options);
+  EXPECT_EQ(t.size(), 200u);
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    EXPECT_LE(t.ChildCount(u), 3);
+  }
+}
+
+TEST(RandomTree, AttributeValuesInRange) {
+  std::mt19937 rng(2);
+  RandomTreeOptions options;
+  options.num_nodes = 50;
+  options.value_range = 4;
+  options.attributes = {"p", "q"};
+  Tree t = RandomTree(rng, options);
+  for (const char* name : {"p", "q"}) {
+    AttrId a = t.FindAttribute(name);
+    ASSERT_NE(a, kNoAttr);
+    for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+      EXPECT_GE(t.attr(a, u), 0);
+      EXPECT_LT(t.attr(a, u), 4);
+    }
+  }
+}
+
+TEST(RandomTree, DeterministicGivenSeed) {
+  RandomTreeOptions options;
+  options.num_nodes = 40;
+  std::mt19937 rng1(42), rng2(42);
+  Tree t1 = RandomTree(rng1, options);
+  Tree t2 = RandomTree(rng2, options);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (NodeId u = 0; u < static_cast<NodeId>(t1.size()); ++u) {
+    EXPECT_EQ(t1.Parent(u), t2.Parent(u));
+    EXPECT_EQ(t1.LabelName(t1.label(u)), t2.LabelName(t2.label(u)));
+  }
+}
+
+TEST(FullTree, SizeIsGeometricSum) {
+  Tree t = FullTree(2, 3);
+  EXPECT_EQ(t.size(), 15u);  // 1 + 2 + 4 + 8
+  EXPECT_EQ(Height(t), 3);
+  Tree single = FullTree(3, 0);
+  EXPECT_EQ(single.size(), 1u);
+}
+
+TEST(FullTree, EveryInternalNodeHasExactArity) {
+  Tree t = FullTree(3, 2);
+  EXPECT_EQ(t.size(), 13u);
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    if (!t.IsLeaf(u)) {
+      EXPECT_EQ(t.ChildCount(u), 3);
+    }
+  }
+}
+
+TEST(RandomString, IsMonadic) {
+  std::mt19937 rng(3);
+  Tree t = RandomString(rng, 25, 5);
+  EXPECT_EQ(t.size(), 25u);
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    EXPECT_LE(t.ChildCount(u), 1);
+  }
+}
+
+bool Example32PropertyHolds(const Tree& t) {
+  Symbol delta = t.FindLabel("delta");
+  AttrId a = t.FindAttribute("a");
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    if (t.label(u) != delta) continue;
+    std::set<DataValue> values;
+    for (NodeId v = u + 1; v < t.SubtreeEnd(u); ++v) {
+      if (t.IsLeaf(v)) values.insert(t.attr(a, v));
+    }
+    if (values.size() > 1) return false;
+  }
+  return true;
+}
+
+TEST(Example32Tree, UniformSatisfiesProperty) {
+  std::mt19937 rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = Example32Tree(rng, 30, /*uniform=*/true);
+    EXPECT_TRUE(Example32PropertyHolds(t)) << "trial " << trial;
+  }
+}
+
+TEST(Example32Tree, PoisonedViolatesProperty) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = Example32Tree(rng, 30, /*uniform=*/false);
+    EXPECT_FALSE(Example32PropertyHolds(t)) << "trial " << trial;
+  }
+}
+
+TEST(Example32Tree, MinimumSize) {
+  std::mt19937 rng(6);
+  Tree t = Example32Tree(rng, 3, /*uniform=*/false);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(Example32PropertyHolds(t));
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/hyperset/hyperset.h"
+#include "src/logic/parser.h"
+#include "src/logic/tree_eval.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+namespace {
+
+TEST(Hyperset, AtomsAreCanonical) {
+  Hyperset h = Hyperset::Atoms({5, 3, 5, 9});
+  EXPECT_EQ(h.level(), 1);
+  EXPECT_EQ(h.atoms(), (std::vector<DataValue>{3, 5, 9}));
+  EXPECT_EQ(h, Hyperset::Atoms({9, 3, 5}));
+}
+
+TEST(Hyperset, OfBuildsHigherLevels) {
+  auto h = Hyperset::Of({Hyperset::Atoms({1 + 4}), Hyperset::Atoms({})});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->level(), 2);
+  EXPECT_EQ(h->size(), 2u);
+  // Duplicates collapse.
+  auto dup = Hyperset::Of({Hyperset::Atoms({5}), Hyperset::Atoms({5})});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->size(), 1u);
+}
+
+TEST(Hyperset, OfRejectsMixedLevelsAndEmpty) {
+  auto two = Hyperset::Of({Hyperset::Atoms({5})});
+  ASSERT_TRUE(two.ok());
+  EXPECT_FALSE(Hyperset::Of({Hyperset::Atoms({5}), *two}).ok());
+  EXPECT_FALSE(Hyperset::Of({}).ok());
+}
+
+TEST(Hyperset, ToString) {
+  EXPECT_EQ(Hyperset::Atoms({7, 5}).ToString(), "{5, 7}");
+  auto nested = Hyperset::Of({Hyperset::Atoms({5})});
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->ToString(), "{{5}}");
+  EXPECT_EQ(Hyperset(3).ToString(), "{}");
+}
+
+TEST(EncodeHyperset, Level1) {
+  EXPECT_EQ(EncodeHyperset(Hyperset::Atoms({7, 5})),
+            (std::vector<DataValue>{1, 5, 7}));
+  EXPECT_EQ(EncodeHyperset(Hyperset::Atoms({})),
+            (std::vector<DataValue>{1}));
+}
+
+TEST(EncodeHyperset, Level2) {
+  auto h = Hyperset::Of({Hyperset::Atoms({5}), Hyperset::Atoms({6, 7})});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(EncodeHyperset(*h),
+            (std::vector<DataValue>{2, 1, 5, 2, 1, 6, 7}));
+  EXPECT_TRUE(EncodeHyperset(Hyperset(2)).empty());
+}
+
+TEST(DecodeHyperset, RoundTripsAllSmallHypersets) {
+  const std::vector<DataValue> domain = {5, 6, 7};
+  for (int level = 1; level <= 3; ++level) {
+    std::vector<Hyperset> all = EnumerateHypersets(
+        level, level == 3 ? std::vector<DataValue>{5} : domain);
+    for (const Hyperset& h : all) {
+      auto back = DecodeHyperset(level, EncodeHyperset(h));
+      ASSERT_TRUE(back.ok()) << h.ToString() << ": " << back.status();
+      EXPECT_EQ(*back, h) << h.ToString();
+    }
+  }
+}
+
+TEST(DecodeHyperset, RejectsMalformedEncodings) {
+  // Missing the level-1 marker.
+  EXPECT_FALSE(DecodeHyperset(1, {5, 6}).ok());
+  // Atom colliding with a marker (2 is a marker at level 2).
+  EXPECT_FALSE(DecodeHyperset(2, {2, 1, 5, 2}).ok());
+  // Level-2 marker alone without a member encoding.
+  EXPECT_FALSE(DecodeHyperset(2, {2}).ok());
+  // Trailing garbage after a level-1 encoding... is impossible (all
+  // values are atoms); at level 2, a stray atom before any marker:
+  EXPECT_FALSE(DecodeHyperset(2, {5}).ok());
+}
+
+TEST(DecodeHyperset, AcceptsNonCanonicalMemberOrder) {
+  // {{5},{6}} encoded with members out of order decodes canonically.
+  auto h = DecodeHyperset(2, {2, 1, 6, 2, 1, 5});
+  ASSERT_TRUE(h.ok());
+  auto expected = Hyperset::Of({Hyperset::Atoms({5}), Hyperset::Atoms({6})});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(*h, *expected);
+}
+
+TEST(EnumerateHypersets, TowerCounts) {
+  const std::vector<DataValue> domain = {5, 6};
+  // exp_1(2) = 4 subsets; exp_2(2) = 2^4 = 16; exp_3(2) = 2^16.
+  EXPECT_EQ(EnumerateHypersets(1, domain).size(), 4u);
+  EXPECT_EQ(EnumerateHypersets(2, domain).size(), 16u);
+  // All distinct.
+  auto two = EnumerateHypersets(2, domain);
+  for (std::size_t i = 1; i < two.size(); ++i) {
+    EXPECT_NE(two[i - 1], two[i]);
+  }
+}
+
+TEST(InLm, Level1) {
+  const DataValue kHash = -1;
+  auto f = EncodeHyperset(Hyperset::Atoms({5, 7}));
+  auto g1 = EncodeHyperset(Hyperset::Atoms({7, 5}));
+  auto g2 = EncodeHyperset(Hyperset::Atoms({5, 8}));
+  EXPECT_TRUE(InLm(1, SplitString(f, g1, kHash), kHash));
+  EXPECT_FALSE(InLm(1, SplitString(f, g2, kHash), kHash));
+  // No separator / two separators.
+  EXPECT_FALSE(InLm(1, f, kHash));
+  auto two_hash = SplitString(f, SplitString(f, g1, kHash), kHash);
+  EXPECT_FALSE(InLm(1, two_hash, kHash));
+  // Malformed halves.
+  EXPECT_FALSE(InLm(1, SplitString({5}, g1, kHash), kHash));
+}
+
+TEST(InLm, Level2) {
+  const DataValue kHash = -1;
+  auto a = Hyperset::Of({Hyperset::Atoms({5}), Hyperset::Atoms({6})});
+  auto b = Hyperset::Of({Hyperset::Atoms({5, 6})});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto fa = EncodeHyperset(*a);
+  auto fb = EncodeHyperset(*b);
+  EXPECT_TRUE(InLm(2, SplitString(fa, fa, kHash), kHash));
+  EXPECT_FALSE(InLm(2, SplitString(fa, fb, kHash), kHash));
+  // Note: {5} union {6} and {5,6} have the same flat symbol set -- only
+  // the nesting distinguishes them, which is the census's point.
+}
+
+TEST(L1Sentence, AgreesWithInLmOnLevel1) {
+  const DataValue kHash = -1;
+  auto sentence = ParseFormula(L1Sentence(kHash));
+  ASSERT_TRUE(sentence.ok()) << sentence.status();
+
+  const std::vector<DataValue> domain = {5, 6, 7};
+  std::vector<Hyperset> all = EnumerateHypersets(1, domain);
+  for (const Hyperset& x : all) {
+    for (const Hyperset& y : all) {
+      std::vector<DataValue> s =
+          SplitString(EncodeHyperset(x), EncodeHyperset(y), kHash);
+      Tree t = StringTree(s);
+      auto fo = EvalTreeSentence(t, *sentence);
+      ASSERT_TRUE(fo.ok()) << fo.status();
+      EXPECT_EQ(*fo, InLm(1, s, kHash))
+          << x.ToString() << " # " << y.ToString();
+    }
+  }
+}
+
+TEST(L1Sentence, RejectsFormatViolations) {
+  const DataValue kHash = -1;
+  auto sentence = ParseFormula(L1Sentence(kHash));
+  ASSERT_TRUE(sentence.ok());
+  // Missing marker at the front.
+  std::vector<std::vector<DataValue>> bad = {
+      {5, kHash, 1, 5},        // f does not start with 1
+      {1, 5, kHash, 5},        // g does not start with 1
+      {1, 5},                  // no separator
+      {1, kHash, 1, kHash, 1},  // two separators
+      {1, 5, 1, kHash, 1, 5},  // stray marker inside f
+  };
+  for (const auto& s : bad) {
+    Tree t = StringTree(s);
+    auto fo = EvalTreeSentence(t, *sentence);
+    ASSERT_TRUE(fo.ok());
+    EXPECT_FALSE(*fo) << ::testing::PrintToString(s);
+    EXPECT_FALSE(InLm(1, s, kHash));
+  }
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/tree/generate.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+namespace {
+
+Tree T(const char* term) {
+  auto t = ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << term;
+  return *t;
+}
+
+bool MustAccept(const Program& p, const Tree& t) {
+  auto r = Accepts(p, t);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && *r;
+}
+
+// --- Example 3.2. -----------------------------------------------------
+
+class Example32Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto p = Example32Program();
+    ASSERT_TRUE(p.ok()) << p.status();
+    program_ = std::make_unique<Program>(std::move(p).value());
+  }
+  std::unique_ptr<Program> program_;
+};
+
+TEST_F(Example32Test, AcceptsUniformDelta) {
+  EXPECT_TRUE(MustAccept(*program_, T("delta[a=9](sigma[a=5], sigma[a=5])")));
+}
+
+TEST_F(Example32Test, RejectsNonUniformDelta) {
+  EXPECT_FALSE(MustAccept(*program_,
+                          T("delta[a=9](sigma[a=5], sigma[a=6])")));
+}
+
+TEST_F(Example32Test, SigmaNodesAreUnconstrained) {
+  EXPECT_TRUE(MustAccept(*program_, T("sigma[a=0](sigma[a=1], sigma[a=2])")));
+}
+
+TEST_F(Example32Test, NestedDeltasCheckedIndependently) {
+  // Outer delta sees leaves {5, 5}; inner delta sees {5}.
+  EXPECT_TRUE(MustAccept(
+      *program_,
+      T("delta[a=0](delta[a=1](sigma[a=5]), sigma[a=5])")));
+  // Inner delta uniform but outer is not.
+  EXPECT_FALSE(MustAccept(
+      *program_,
+      T("delta[a=0](delta[a=1](sigma[a=5]), sigma[a=6])")));
+  // Outer uniform values, inner not... impossible: inner leaves are a
+  // subset of outer leaves; instead: deep delta with mixed leaves under a
+  // sigma root is still caught (deltas anywhere are checked).
+  EXPECT_FALSE(MustAccept(
+      *program_,
+      T("sigma[a=0](delta[a=1](sigma[a=5], sigma[a=6]))")));
+}
+
+TEST_F(Example32Test, DeltaLeafIsVacuouslyFine) {
+  EXPECT_TRUE(MustAccept(*program_, T("sigma[a=0](delta[a=7])")));
+}
+
+TEST_F(Example32Test, MatchesGeneratorOracle) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree good = Example32Tree(rng, 20, /*uniform=*/true);
+    EXPECT_TRUE(MustAccept(*program_, good)) << "trial " << trial;
+    Tree bad = Example32Tree(rng, 20, /*uniform=*/false);
+    EXPECT_FALSE(MustAccept(*program_, bad)) << "trial " << trial;
+  }
+}
+
+TEST_F(Example32Test, CustomAttributeName) {
+  auto p = Example32Program("price");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(
+      MustAccept(*p, T("delta[price=1](sigma[price=3], sigma[price=3])")));
+  EXPECT_FALSE(
+      MustAccept(*p, T("delta[price=1](sigma[price=3], sigma[price=4])")));
+}
+
+// --- HasLabelProgram (plain tw DFS). -----------------------------------
+
+TEST(HasLabelProgram, FindsLabelAnywhere) {
+  auto p = HasLabelProgram("needle");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(MustAccept(*p, T("needle")));
+  EXPECT_TRUE(MustAccept(*p, T("a(b, c(needle), d)")));
+  EXPECT_TRUE(MustAccept(*p, T("a(b, c, d(e(f(needle))))")));
+  EXPECT_FALSE(MustAccept(*p, T("a(b, c(x), d)")));
+  EXPECT_FALSE(MustAccept(*p, T("a")));
+}
+
+TEST(HasLabelProgram, WalksWholeTreeBeforeRejecting) {
+  auto p = HasLabelProgram("needle");
+  ASSERT_TRUE(p.ok());
+  Interpreter interp(*p);
+  Tree t = FullTree(2, 4);  // 31 nodes, no needle
+  auto r = interp.Run(t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->accepted);
+  // The DFS must have taken at least one step per delimited node.
+  EXPECT_GT(r->stats.steps, static_cast<std::int64_t>(t.size()));
+}
+
+TEST(HasLabelProgram, OracleOnRandomTrees) {
+  auto p = HasLabelProgram("b");
+  ASSERT_TRUE(p.ok());
+  std::mt19937 rng(5);
+  RandomTreeOptions options;
+  options.num_nodes = 25;
+  options.labels = {"a", "b", "c"};
+  options.attributes = {};
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = RandomTree(rng, options);
+    bool expected = t.FindLabel("b") >= 0;
+    // FindLabel can return a symbol no node uses only if interned without
+    // use; RandomTree interns on use, so this is exact.
+    EXPECT_EQ(MustAccept(*p, t), expected) << "trial " << trial;
+  }
+}
+
+// --- ParityProgram. -----------------------------------------------------
+
+TEST(ParityProgram, CountsLabelOccurrences) {
+  auto p = ParityProgram("b");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(MustAccept(*p, T("a")));              // zero b's
+  EXPECT_FALSE(MustAccept(*p, T("b")));             // one
+  EXPECT_TRUE(MustAccept(*p, T("b(b)")));           // two
+  EXPECT_FALSE(MustAccept(*p, T("a(b, c(b), b)"))); // three
+  EXPECT_TRUE(MustAccept(*p, T("a(b, c(b), b(b))")));  // four
+}
+
+TEST(ParityProgram, OracleOnRandomTrees) {
+  auto p = ParityProgram("a");
+  ASSERT_TRUE(p.ok());
+  std::mt19937 rng(7);
+  RandomTreeOptions options;
+  options.num_nodes = 30;
+  options.labels = {"a", "b"};
+  options.attributes = {};
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = RandomTree(rng, options);
+    Symbol a = t.FindLabel("a");
+    int count = 0;
+    for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+      if (t.label(u) == a) ++count;
+    }
+    EXPECT_EQ(MustAccept(*p, t), count % 2 == 0) << "trial " << trial;
+  }
+}
+
+// --- RootValueAtSomeLeafProgram (tw^l). ---------------------------------
+
+TEST(RootValueAtSomeLeaf, Basics) {
+  auto p = RootValueAtSomeLeafProgram();
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(MustAccept(*p, T("r[a=5](x[a=1], y[a=5])")));
+  EXPECT_FALSE(MustAccept(*p, T("r[a=5](x[a=1], y[a=2])")));
+  // Inner nodes with the value don't count; only leaves.
+  EXPECT_FALSE(MustAccept(*p, T("r[a=5](x[a=5](y[a=1]))")));
+  // A single-node tree: the root is its own leaf.
+  EXPECT_TRUE(MustAccept(*p, T("r[a=5]")));
+}
+
+TEST(RootValueAtSomeLeaf, OracleOnRandomTrees) {
+  auto p = RootValueAtSomeLeafProgram();
+  ASSERT_TRUE(p.ok());
+  std::mt19937 rng(11);
+  RandomTreeOptions options;
+  options.num_nodes = 20;
+  options.value_range = 4;  // collisions likely
+  for (int trial = 0; trial < 25; ++trial) {
+    Tree t = RandomTree(rng, options);
+    AttrId a = t.FindAttribute("a");
+    DataValue root_value = t.attr(a, t.root());
+    bool expected = false;
+    for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+      if (t.IsLeaf(u) && t.attr(a, u) == root_value) expected = true;
+    }
+    EXPECT_EQ(MustAccept(*p, t), expected) << "trial " << trial;
+  }
+}
+
+// --- AllLabelValuesEqualRootProgram (tw^r). -----------------------------
+
+TEST(AllLabelValuesEqualRoot, Basics) {
+  auto p = AllLabelValuesEqualRootProgram("item");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(MustAccept(*p, T("r[a=5](item[a=5], x[a=9](item[a=5]))")));
+  EXPECT_FALSE(MustAccept(*p, T("r[a=5](item[a=5], x[a=9](item[a=6]))")));
+  // No item nodes: vacuously true.
+  EXPECT_TRUE(MustAccept(*p, T("r[a=5](x[a=1])")));
+}
+
+TEST(AllLabelValuesEqualRoot, OracleOnRandomTrees) {
+  auto p = AllLabelValuesEqualRootProgram("b");
+  ASSERT_TRUE(p.ok());
+  std::mt19937 rng(13);
+  RandomTreeOptions options;
+  options.num_nodes = 18;
+  options.labels = {"a", "b"};
+  options.value_range = 3;
+  for (int trial = 0; trial < 25; ++trial) {
+    Tree t = RandomTree(rng, options);
+    AttrId a = t.FindAttribute("a");
+    Symbol b = t.FindLabel("b");
+    DataValue root_value = t.attr(a, t.root());
+    bool expected = true;
+    for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+      if (t.label(u) == b && t.attr(a, u) != root_value) expected = false;
+    }
+    EXPECT_EQ(MustAccept(*p, t), expected) << "trial " << trial;
+  }
+}
+
+
+// --- ExponentialCounterProgram (Theorem 7.1(4) regime). -----------------
+
+TEST(ExponentialCounter, TakesExactlyTwoToTheNMinusOneIncrements) {
+  auto p = ExponentialCounterProgram();
+  ASSERT_TRUE(p.ok()) << p.status();
+  for (int n : {1, 2, 3, 4, 5}) {
+    Tree t = StringTree(std::vector<DataValue>(static_cast<std::size_t>(n),
+                                               0));
+    AssignUniqueIds(t);
+    RunOptions options;
+    options.max_steps = 10'000'000;
+    Interpreter interp(*p, options);
+    auto r = interp.Run(t);
+    ASSERT_TRUE(r.ok()) << n << ": " << r.status();
+    EXPECT_TRUE(r->accepted) << n;
+    // Steps: setup walk (linear) + 2^n - 1 increments.
+    std::int64_t increments = (std::int64_t{1} << n) - 1;
+    EXPECT_GE(r->stats.steps, increments) << n;
+    EXPECT_LE(r->stats.steps, increments + 8 * n + 16) << n;
+    // The store stays polynomial: Less has n(n-1)/2 pairs, Seen and X
+    // at most n values each.
+    EXPECT_LE(r->stats.max_store_tuples,
+              static_cast<std::size_t>(n * (n - 1) / 2 + 2 * n));
+  }
+}
+
+TEST(ExponentialCounter, WorksOnBranchyShapes) {
+  auto p = ExponentialCounterProgram();
+  ASSERT_TRUE(p.ok());
+  auto t = ParseTerm("a(b, c(d), e)");
+  ASSERT_TRUE(t.ok());
+  Tree tree = *t;
+  AssignUniqueIds(tree);
+  RunOptions options;
+  options.max_steps = 10'000'000;
+  auto r = Accepts(*p, tree, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/logic/normalize.h"
+#include "src/logic/parser.h"
+#include "src/logic/tree_eval.h"
+#include "src/relstore/store_eval.h"
+#include "src/tree/generate.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+namespace {
+
+Formula F(const char* src) {
+  auto r = ParseFormula(src);
+  EXPECT_TRUE(r.ok()) << src << ": " << r.status();
+  return *r;
+}
+
+TEST(ToNegationNormalForm, EliminatesConnectives) {
+  struct Case {
+    const char* in;
+    const char* out;
+  } cases[] = {
+      {"!(root(x) & leaf(x))", "(!(root(x)) | !(leaf(x)))"},
+      {"!(root(x) | leaf(x))", "(!(root(x)) & !(leaf(x)))"},
+      {"root(x) -> leaf(x)", "(!(root(x)) | leaf(x))"},
+      {"!(root(x) -> leaf(x))", "(root(x) & !(leaf(x)))"},
+      {"!(!(root(x)))", "root(x)"},
+      {"!(exists y E(x, y))", "forall y !(E(x, y))"},
+      {"!(forall y E(x, y))", "exists y !(E(x, y))"},
+      {"!(true)", "false"},
+      {"!(false)", "true"},
+  };
+  for (const Case& c : cases) {
+    Formula nnf = ToNegationNormalForm(F(c.in));
+    EXPECT_EQ(nnf.ToString(), c.out) << c.in;
+    EXPECT_TRUE(IsNegationNormalForm(nnf)) << c.in;
+  }
+}
+
+TEST(ToNegationNormalForm, ExpandsIff) {
+  Formula nnf = ToNegationNormalForm(F("root(x) <-> leaf(x)"));
+  EXPECT_TRUE(IsNegationNormalForm(nnf));
+  EXPECT_EQ(nnf.ToString(),
+            "((root(x) & leaf(x)) | (!(root(x)) & !(leaf(x))))");
+  Formula neg = ToNegationNormalForm(F("!(root(x) <-> leaf(x))"));
+  EXPECT_TRUE(IsNegationNormalForm(neg));
+  EXPECT_EQ(neg.ToString(),
+            "((root(x) & !(leaf(x))) | (!(root(x)) & leaf(x)))");
+}
+
+TEST(IsNegationNormalForm, Recognizer) {
+  EXPECT_TRUE(IsNegationNormalForm(F("root(x) & !(leaf(x))")));
+  EXPECT_FALSE(IsNegationNormalForm(F("!(root(x) & leaf(x))")));
+  EXPECT_FALSE(IsNegationNormalForm(F("root(x) -> leaf(x)")));
+  EXPECT_FALSE(IsNegationNormalForm(F("root(x) <-> leaf(x)")));
+  EXPECT_TRUE(IsNegationNormalForm(F("forall y (leaf(y) | !(root(y)))")));
+}
+
+/// Semantic equivalence on tree models, across a spread of handwritten
+/// formulas covering every connective.
+TEST(ToNegationNormalForm, PreservesTreeSemantics) {
+  const char* sentences[] = {
+      "forall x (val(a, x) = 1 -> exists y (E(x, y) & val(a, y) = 0))",
+      "!(forall x (leaf(x) <-> !(exists y E(x, y))))",
+      "exists x (root(x) & !(leaf(x) -> val(a, x) = 2))",
+      "forall x forall y ((desc(x, y) & leaf(y)) -> "
+      "(val(a, x) = val(a, y) <-> x = y))",
+      "!(exists x (first(x) & last(x) & !(root(x))))",
+  };
+  std::mt19937 rng(3);
+  RandomTreeOptions options;
+  options.num_nodes = 8;
+  options.value_range = 3;
+  for (int trial = 0; trial < 12; ++trial) {
+    Tree t = RandomTree(rng, options);
+    for (const char* src : sentences) {
+      Formula original = F(src);
+      Formula nnf = ToNegationNormalForm(original);
+      ASSERT_TRUE(IsNegationNormalForm(nnf)) << src;
+      auto a = EvalTreeSentence(t, original);
+      auto b = EvalTreeSentence(t, nnf);
+      ASSERT_TRUE(a.ok() && b.ok()) << src;
+      EXPECT_EQ(*a, *b) << src << " trial " << trial;
+    }
+  }
+}
+
+/// Semantic equivalence on store models (guards).
+TEST(ToNegationNormalForm, PreservesStoreSemantics) {
+  auto store = Store::Create({{"X", 1}, {"R", 2}});
+  ASSERT_TRUE(store.ok());
+  store->Find("X")->Insert({1});
+  store->Find("X")->Insert({3});
+  store->Find("R")->Insert({1, 2});
+  StoreContext context;
+  context.store = &*store;
+  const char* sentences[] = {
+      "forall u (X(u) -> exists v R(u, v))",
+      "!(forall u forall v (X(u) & X(v) -> u = v))",
+      "exists u (X(u) <-> exists v R(v, u))",
+  };
+  for (const char* src : sentences) {
+    Formula original = F(src);
+    Formula nnf = ToNegationNormalForm(original);
+    auto a = EvalStoreSentence(context, original);
+    auto b = EvalStoreSentence(context, nnf);
+    ASSERT_TRUE(a.ok() && b.ok()) << src;
+    EXPECT_EQ(*a, *b) << src;
+  }
+}
+
+TEST(ToNegationNormalForm, Idempotent) {
+  Formula f = F("!(root(x) <-> (leaf(x) -> first(x)))");
+  Formula once = ToNegationNormalForm(f);
+  Formula twice = ToNegationNormalForm(once);
+  EXPECT_EQ(once.ToString(), twice.ToString());
+}
+
+}  // namespace
+}  // namespace treewalk

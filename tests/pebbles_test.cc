@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/simulation/pebbles.h"
+#include "src/tree/generate.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+namespace {
+
+Tree Sample() {
+  auto t = ParseTerm("a(b, c(d, e), f)");  // 6 nodes, ranks 0..5
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(PebbleMachine, StartsAtRoot) {
+  Tree t = Sample();
+  PebbleMachine m(t, 2);
+  EXPECT_TRUE(m.AtRoot(0));
+  EXPECT_TRUE(m.Equal(0, 1));
+  EXPECT_EQ(m.node(0), 0);
+}
+
+TEST(PebbleMachine, DocNextWalksRanksInOrder) {
+  Tree t = Sample();
+  PebbleMachine m(t, 1);
+  for (NodeId expected = 1; expected < 6; ++expected) {
+    ASSERT_TRUE(m.DocNext(0).ok());
+    EXPECT_EQ(m.node(0), expected);
+  }
+  EXPECT_EQ(m.DocNext(0).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PebbleMachine, DocPrevInverts) {
+  Tree t = Sample();
+  PebbleMachine m(t, 1);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(m.DocNext(0).ok());
+  for (NodeId expected = 4; expected >= 0; --expected) {
+    ASSERT_TRUE(m.DocPrev(0).ok());
+    EXPECT_EQ(m.node(0), expected);
+  }
+  EXPECT_FALSE(m.DocPrev(0).ok());
+}
+
+TEST(PebbleMachine, AdvanceByAddsRanks) {
+  Tree t = Sample();
+  PebbleMachine m(t, 2);
+  // p := 2, q := 3, p += q -> 5.
+  ASSERT_TRUE(m.DocNext(0).ok());
+  ASSERT_TRUE(m.DocNext(0).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(m.DocNext(1).ok());
+  ASSERT_TRUE(m.AdvanceBy(0, 1).ok());
+  EXPECT_EQ(m.node(0), 5);
+  EXPECT_EQ(m.node(1), 3);  // q untouched
+}
+
+TEST(PebbleMachine, AdvanceByAliasedDoubles) {
+  Tree t = Sample();
+  PebbleMachine m(t, 1);
+  ASSERT_TRUE(m.DocNext(0).ok());
+  ASSERT_TRUE(m.DocNext(0).ok());  // rank 2
+  ASSERT_TRUE(m.AdvanceBy(0, 0).ok());
+  EXPECT_EQ(m.node(0), 4);
+}
+
+TEST(PebbleMachine, RetreatBySubtracts) {
+  Tree t = Sample();
+  PebbleMachine m(t, 2);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(m.DocNext(0).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(m.DocNext(1).ok());
+  ASSERT_TRUE(m.RetreatBy(0, 1).ok());
+  EXPECT_EQ(m.node(0), 3);
+  // Underflow errors.
+  ASSERT_TRUE(m.RetreatBy(0, 1).ok());  // 1
+  EXPECT_FALSE(m.RetreatBy(0, 1).ok());
+}
+
+TEST(PebbleMachine, HalveComputesFloor) {
+  // Use a chain so every rank up to 9 exists.
+  Tree t = StringTree(std::vector<DataValue>(10, 0));
+  for (int r = 0; r <= 9; ++r) {
+    PebbleMachine m(t, 1);
+    for (int i = 0; i < r; ++i) ASSERT_TRUE(m.DocNext(0).ok());
+    ASSERT_TRUE(m.Halve(0).ok());
+    EXPECT_EQ(m.node(0), r / 2) << "rank " << r;
+  }
+}
+
+TEST(PebbleMachine, ParityOf) {
+  Tree t = StringTree(std::vector<DataValue>(8, 0));
+  PebbleMachine m(t, 1);
+  for (int r = 0; r < 8; ++r) {
+    auto parity = m.ParityOf(0);
+    ASSERT_TRUE(parity.ok());
+    EXPECT_EQ(*parity, r % 2) << "rank " << r;
+    if (r < 7) {
+      ASSERT_TRUE(m.DocNext(0).ok());
+    }
+  }
+}
+
+TEST(PebbleMachine, SetToPowerOfTwo) {
+  Tree t = StringTree(std::vector<DataValue>(20, 0));
+  PebbleMachine m(t, 1);
+  for (int i = 0; i <= 4; ++i) {
+    ASSERT_TRUE(m.SetToPowerOfTwo(0, i).ok()) << i;
+    EXPECT_EQ(m.node(0), 1 << i) << i;
+  }
+  EXPECT_FALSE(m.SetToPowerOfTwo(0, 5).ok());  // 32 > 19
+}
+
+TEST(PebbleMachine, TestBitReadsBinaryRank) {
+  Tree t = StringTree(std::vector<DataValue>(16, 0));
+  PebbleMachine m(t, 1);
+  for (int r = 0; r < 16; ++r) {
+    for (int bit = 0; bit < 4; ++bit) {
+      auto b = m.TestBit(0, bit);
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*b, (r >> bit) & 1) << "rank " << r << " bit " << bit;
+    }
+    if (r < 15) {
+      ASSERT_TRUE(m.DocNext(0).ok());
+    }
+  }
+}
+
+TEST(PebbleMachine, WriteBitEditsBinaryRank) {
+  Tree t = StringTree(std::vector<DataValue>(16, 0));
+  PebbleMachine m(t, 1);
+  // 0 -> set bit 2 -> 4 -> set bit 0 -> 5 -> clear bit 2 -> 1.
+  ASSERT_TRUE(m.WriteBit(0, 2, true).ok());
+  EXPECT_EQ(m.node(0), 4);
+  ASSERT_TRUE(m.WriteBit(0, 0, true).ok());
+  EXPECT_EQ(m.node(0), 5);
+  ASSERT_TRUE(m.WriteBit(0, 2, false).ok());
+  EXPECT_EQ(m.node(0), 1);
+  // Idempotent writes change nothing.
+  ASSERT_TRUE(m.WriteBit(0, 0, true).ok());
+  EXPECT_EQ(m.node(0), 1);
+  // Overflow: setting bit 4 would need rank 17 > 15.
+  EXPECT_FALSE(m.WriteBit(0, 4, true).ok());
+}
+
+TEST(PebbleMachine, WorksOnArbitraryShapes) {
+  std::mt19937 rng(5);
+  RandomTreeOptions options;
+  options.num_nodes = 40;
+  Tree t = RandomTree(rng, options);
+  PebbleMachine m(t, 1);
+  // Walk to rank 21, halve twice -> 5, parity 1.
+  for (int i = 0; i < 21; ++i) ASSERT_TRUE(m.DocNext(0).ok());
+  ASSERT_TRUE(m.Halve(0).ok());
+  EXPECT_EQ(m.node(0), 10);
+  ASSERT_TRUE(m.Halve(0).ok());
+  EXPECT_EQ(m.node(0), 5);
+  auto parity = m.ParityOf(0);
+  ASSERT_TRUE(parity.ok());
+  EXPECT_EQ(*parity, 1);
+}
+
+TEST(PebbleMachine, StepsAreCounted) {
+  Tree t = StringTree(std::vector<DataValue>(32, 0));
+  PebbleMachine m(t, 1);
+  std::int64_t before = m.steps();
+  ASSERT_TRUE(m.DocNext(0).ok());
+  EXPECT_GT(m.steps(), before);
+  before = m.steps();
+  ASSERT_TRUE(m.AdvanceBy(0, 0).ok());
+  // Doubling rank 1 costs O(rank) moves, not zero.
+  EXPECT_GT(m.steps(), before);
+}
+
+TEST(PebbleMachine, StepGrowthIsLinearPerOp) {
+  // An O(n) bound per arithmetic op: steps for Halve on rank n scale
+  // roughly linearly, not quadratically.
+  auto cost = [](int n) {
+    Tree t = StringTree(std::vector<DataValue>(static_cast<std::size_t>(n), 0));
+    PebbleMachine m(t, 1);
+    for (int i = 0; i < n - 1; ++i) EXPECT_TRUE(m.DocNext(0).ok());
+    std::int64_t before = m.steps();
+    EXPECT_TRUE(m.Halve(0).ok());
+    return m.steps() - before;
+  };
+  std::int64_t c64 = cost(64);
+  std::int64_t c128 = cost(128);
+  EXPECT_LT(c128, 4 * c64);  // ~2x for linear
+  EXPECT_GT(c128, c64);
+}
+
+}  // namespace
+}  // namespace treewalk

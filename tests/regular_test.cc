@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/regular/library.h"
+#include "src/tree/generate.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+namespace {
+
+Tree T(const char* term) {
+  auto t = ParseTerm(term);
+  EXPECT_TRUE(t.ok()) << term;
+  return *t;
+}
+
+// --- NFA / HRegex. ------------------------------------------------------
+
+bool Matches(const HRegex& r, const std::vector<int>& word) {
+  Nfa nfa(r);
+  std::vector<std::vector<int>> sets;
+  for (int w : word) sets.push_back({w});
+  return nfa.AcceptsSomeWord(sets);
+}
+
+TEST(Nfa, Epsilon) {
+  HRegex r = HRegex::Epsilon();
+  EXPECT_TRUE(Matches(r, {}));
+  EXPECT_FALSE(Matches(r, {0}));
+}
+
+TEST(Nfa, SymConcatAltStar) {
+  HRegex r = HRegex::Concat(HRegex::Sym(0), HRegex::Sym(1));
+  EXPECT_TRUE(Matches(r, {0, 1}));
+  EXPECT_FALSE(Matches(r, {0}));
+  EXPECT_FALSE(Matches(r, {1, 0}));
+
+  HRegex alt = HRegex::Alt(HRegex::Sym(0), HRegex::Sym(1));
+  EXPECT_TRUE(Matches(alt, {0}));
+  EXPECT_TRUE(Matches(alt, {1}));
+  EXPECT_FALSE(Matches(alt, {}));
+
+  HRegex star = HRegex::Star(HRegex::Sym(0));
+  EXPECT_TRUE(Matches(star, {}));
+  EXPECT_TRUE(Matches(star, {0, 0, 0}));
+  EXPECT_FALSE(Matches(star, {0, 1}));
+}
+
+TEST(Nfa, SeqAndAnyOf) {
+  HRegex r = HRegex::Seq({HRegex::Sym(0), HRegex::Sym(1), HRegex::Sym(0)});
+  EXPECT_TRUE(Matches(r, {0, 1, 0}));
+  EXPECT_FALSE(Matches(r, {0, 1}));
+  EXPECT_TRUE(Matches(HRegex::Seq({}), {}));
+
+  HRegex any = HRegex::AnyOf({0, 2});
+  EXPECT_TRUE(Matches(any, {}));
+  EXPECT_TRUE(Matches(any, {0, 2, 0}));
+  EXPECT_FALSE(Matches(any, {1}));
+}
+
+TEST(Nfa, AcceptsSomeWordWithSets) {
+  // (0 1): child 1 can be {0,1}, child 2 must offer 1.
+  HRegex r = HRegex::Concat(HRegex::Sym(0), HRegex::Sym(1));
+  Nfa nfa(r);
+  EXPECT_TRUE(nfa.AcceptsSomeWord({{0, 1}, {1}}));
+  EXPECT_FALSE(nfa.AcceptsSomeWord({{1}, {1}}));
+  EXPECT_FALSE(nfa.AcceptsSomeWord({{0}, {}}));
+}
+
+// --- Hedge automata vs walking programs (Proposition 7.2). --------------
+
+TEST(HedgeAutomaton, ParityOnExamples) {
+  HedgeAutomaton a = ParityHedge("b");
+  EXPECT_TRUE(*a.Accepts(T("a")));
+  EXPECT_FALSE(*a.Accepts(T("b")));
+  EXPECT_TRUE(*a.Accepts(T("b(b)")));
+  EXPECT_FALSE(*a.Accepts(T("a(b, c(b), b)")));
+}
+
+TEST(HedgeAutomaton, StatesAtExposesTheRun) {
+  HedgeAutomaton a = ParityHedge("b");
+  Tree t = T("a(b, b)");
+  auto root_states = a.StatesAt(t, 0);
+  ASSERT_TRUE(root_states.ok());
+  EXPECT_EQ(*root_states, (std::vector<int>{0}));  // two b's: even
+  auto leaf_states = a.StatesAt(t, 1);
+  ASSERT_TRUE(leaf_states.ok());
+  EXPECT_EQ(*leaf_states, (std::vector<int>{1}));  // one b: odd
+}
+
+TEST(HedgeAutomaton, HasLabelOnExamples) {
+  HedgeAutomaton a = HasLabelHedge("needle");
+  EXPECT_TRUE(*a.Accepts(T("needle")));
+  EXPECT_TRUE(*a.Accepts(T("a(b, c(needle))")));
+  EXPECT_FALSE(*a.Accepts(T("a(b, c)")));
+}
+
+TEST(HedgeAutomaton, AllLeavesLabelOnExamples) {
+  HedgeAutomaton a = AllLeavesLabelHedge("x");
+  EXPECT_TRUE(*a.Accepts(T("x")));
+  EXPECT_TRUE(*a.Accepts(T("a(x, b(x, x))")));
+  EXPECT_FALSE(*a.Accepts(T("a(x, b(x, y))")));
+  EXPECT_FALSE(*a.Accepts(T("y")));
+  // Internal labels are unconstrained, including the checked label.
+  EXPECT_TRUE(*a.Accepts(T("x(x)")));
+  EXPECT_FALSE(*a.Accepts(T("x(y)")));
+}
+
+TEST(HedgeAutomaton, EmptyTreeIsAnError) {
+  HedgeAutomaton a = ParityHedge("b");
+  EXPECT_FALSE(a.Accepts(Tree()).ok());
+}
+
+/// Proposition 7.2's A-empty regime, exhaustively: on every attribute-
+/// free tree with up to 5 nodes over {a, b}, each tree-walking program
+/// agrees with its hedge-automaton partner.
+class Prop72Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop72Test, WalkingEqualsRegularExhaustively) {
+  int n = GetParam();
+  std::vector<Tree> trees = EnumerateTrees(n, {"a", "b"});
+  ASSERT_FALSE(trees.empty());
+
+  auto parity_p = ParityProgram("b");
+  auto has_p = HasLabelProgram("b");
+  auto leaves_p = AllLeavesLabelProgram("b");
+  ASSERT_TRUE(parity_p.ok() && has_p.ok() && leaves_p.ok());
+  HedgeAutomaton parity_h = ParityHedge("b");
+  HedgeAutomaton has_h = HasLabelHedge("b");
+  HedgeAutomaton leaves_h = AllLeavesLabelHedge("b");
+
+  for (const Tree& t : trees) {
+    auto check = [&](const Program& p, const HedgeAutomaton& h,
+                     const char* what) {
+      auto walking = Accepts(p, t);
+      auto regular = h.Accepts(t);
+      ASSERT_TRUE(walking.ok()) << what << ": " << walking.status();
+      ASSERT_TRUE(regular.ok()) << what << ": " << regular.status();
+      EXPECT_EQ(*walking, *regular) << what << " on " << PrintTerm(t);
+    };
+    check(*parity_p, parity_h, "parity");
+    check(*has_p, has_h, "has-label");
+    check(*leaves_p, leaves_h, "all-leaves");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, Prop72Test, ::testing::Range(1, 6));
+
+TEST(Prop72, RandomLargerTrees) {
+  std::mt19937 rng(19);
+  RandomTreeOptions options;
+  options.num_nodes = 30;
+  options.labels = {"a", "b"};
+  options.attributes = {};
+  auto parity_p = ParityProgram("b");
+  ASSERT_TRUE(parity_p.ok());
+  HedgeAutomaton parity_h = ParityHedge("b");
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree t = RandomTree(rng, options);
+    auto walking = Accepts(*parity_p, t);
+    auto regular = parity_h.Accepts(t);
+    ASSERT_TRUE(walking.ok() && regular.ok());
+    EXPECT_EQ(*walking, *regular) << "trial " << trial;
+  }
+}
+
+
+// --- Boolean closure (union / intersection). ----------------------------
+
+bool CountParityEven(const Tree& t, const char* label) {
+  Symbol s = t.FindLabel(label);
+  int count = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    if (s >= 0 && t.label(u) == s) ++count;
+  }
+  return count % 2 == 0;
+}
+
+bool ContainsLabel(const Tree& t, const char* label) {
+  return t.FindLabel(label) >= 0;
+}
+
+TEST(HedgeAutomaton, IntersectionMatchesConjunctionOracle) {
+  HedgeAutomaton even_b = ParityHedge("b");
+  HedgeAutomaton has_b = HasLabelHedge("b");
+  HedgeAutomaton both = HedgeAutomaton::Intersect(even_b, has_b);
+  for (int n = 1; n <= 4; ++n) {
+    for (const Tree& t : EnumerateTrees(n, {"a", "b"})) {
+      bool expected = CountParityEven(t, "b") && ContainsLabel(t, "b");
+      auto r = both.Accepts(t);
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(*r, expected) << PrintTerm(t);
+    }
+  }
+}
+
+TEST(HedgeAutomaton, UnionMatchesDisjunctionOracle) {
+  HedgeAutomaton all_b_leaves = AllLeavesLabelHedge("b");
+  HedgeAutomaton has_a = HasLabelHedge("a");
+  HedgeAutomaton either = HedgeAutomaton::Union(all_b_leaves, has_a);
+  for (int n = 1; n <= 4; ++n) {
+    for (const Tree& t : EnumerateTrees(n, {"a", "b"})) {
+      bool all_b = true;
+      for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+        if (t.IsLeaf(u) && t.LabelName(t.label(u)) != "b") all_b = false;
+      }
+      bool expected = all_b || ContainsLabel(t, "a");
+      auto r = either.Accepts(t);
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(*r, expected) << PrintTerm(t);
+    }
+  }
+}
+
+TEST(HedgeAutomaton, NestedBooleanCombinations) {
+  // (even #b AND some b) OR (all leaves b), on random trees.
+  HedgeAutomaton combo = HedgeAutomaton::Union(
+      HedgeAutomaton::Intersect(ParityHedge("b"), HasLabelHedge("b")),
+      AllLeavesLabelHedge("b"));
+  std::mt19937 rng(61);
+  RandomTreeOptions options;
+  options.num_nodes = 12;
+  options.labels = {"a", "b"};
+  options.attributes = {};
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree t = RandomTree(rng, options);
+    bool all_b = true;
+    for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+      if (t.IsLeaf(u) && t.LabelName(t.label(u)) != "b") all_b = false;
+    }
+    bool expected = (CountParityEven(t, "b") && ContainsLabel(t, "b")) ||
+                    all_b;
+    auto r = combo.Accepts(t);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(*r, expected) << "trial " << trial;
+  }
+}
+
+TEST(EnumerateTrees, CountsMatchCatalanTimesLabelings) {
+  // #trees(n) = Catalan(n-1) * 2^n for two labels.
+  EXPECT_EQ(EnumerateTrees(1, {"a", "b"}).size(), 2u);       // 1 * 2
+  EXPECT_EQ(EnumerateTrees(2, {"a", "b"}).size(), 4u);       // 1 * 4
+  EXPECT_EQ(EnumerateTrees(3, {"a", "b"}).size(), 16u);      // 2 * 8
+  EXPECT_EQ(EnumerateTrees(4, {"a", "b"}).size(), 80u);      // 5 * 16
+  EXPECT_EQ(EnumerateTrees(5, {"a", "b"}).size(), 448u);     // 14 * 32
+  EXPECT_EQ(EnumerateTrees(3, {"a"}).size(), 2u);            // shapes only
+}
+
+TEST(EnumerateTrees, AllDistinct) {
+  std::vector<Tree> trees = EnumerateTrees(4, {"a", "b"});
+  std::set<std::string> terms;
+  for (const Tree& t : trees) {
+    EXPECT_TRUE(terms.insert(PrintTerm(t)).second) << PrintTerm(t);
+    EXPECT_EQ(t.size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace treewalk

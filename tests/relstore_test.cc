@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "src/logic/parser.h"
+#include "src/relstore/store_eval.h"
+
+namespace treewalk {
+namespace {
+
+Formula F(const char* src) {
+  auto r = ParseFormula(src);
+  EXPECT_TRUE(r.ok()) << src << ": " << r.status();
+  return *r;
+}
+
+TEST(Relation, ConstructionDeduplicatesAndSorts) {
+  Relation r(2, {{3, 1}, {1, 2}, {3, 1}, {0, 0}});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.tuples()[0], (Tuple{0, 0}));
+  EXPECT_EQ(r.tuples()[2], (Tuple{3, 1}));
+}
+
+TEST(Relation, ContainsAndInsert) {
+  Relation r(1);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Insert({5}));
+  EXPECT_FALSE(r.Insert({5}));
+  EXPECT_TRUE(r.Insert({2}));
+  EXPECT_TRUE(r.Contains({5}));
+  EXPECT_FALSE(r.Contains({7}));
+  EXPECT_EQ(r.tuples()[0], (Tuple{2}));
+}
+
+TEST(Relation, UnionWith) {
+  Relation a(1, {{1}, {3}});
+  Relation b(1, {{2}, {3}});
+  a.UnionWith(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.Contains({2}));
+}
+
+TEST(Relation, ValuesAndSingleton) {
+  Relation r(2, {{1, 9}, {9, 4}});
+  EXPECT_EQ(r.Values(), (std::vector<DataValue>{1, 4, 9}));
+  Relation s = Relation::Singleton(7);
+  EXPECT_EQ(s.arity(), 1);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains({7}));
+}
+
+TEST(Relation, NullaryAsBoolean) {
+  Relation f(0);
+  EXPECT_TRUE(f.empty());
+  Relation t(0, {{}});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Contains({}));
+}
+
+TEST(Relation, ToString) {
+  Relation r(2, {{1, 2}});
+  EXPECT_EQ(r.ToString(), "{(1, 2)}");
+  EXPECT_EQ(Relation(1).ToString(), "{}");
+}
+
+TEST(Store, CreateAndLookup) {
+  auto s = Store::Create({{"X1", 1}, {"X2", 2}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_relations(), 2u);
+  EXPECT_EQ(s->IndexOf("X2"), 1);
+  EXPECT_EQ(s->IndexOf("nope"), -1);
+  EXPECT_EQ(s->ArityOf("X2"), 2);
+  EXPECT_EQ(s->ArityOf("nope"), -1);
+  EXPECT_NE(s->Find("X1"), nullptr);
+  EXPECT_EQ(s->Find("zz"), nullptr);
+}
+
+TEST(Store, CreateRejectsDuplicatesAndNegativeArity) {
+  EXPECT_FALSE(Store::Create({{"X", 1}, {"X", 2}}).ok());
+  EXPECT_FALSE(Store::Create({{"X", -1}}).ok());
+}
+
+TEST(Store, ReplaceChecksArity) {
+  auto s = Store::Create({{"X", 1}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->Replace(0, Relation(1, {{4}})).ok());
+  EXPECT_TRUE(s->At(0).Contains({4}));
+  EXPECT_FALSE(s->Replace(0, Relation(2)).ok());
+  EXPECT_FALSE(s->Replace(5, Relation(1)).ok());
+}
+
+TEST(Store, ActiveDomainAndTotals) {
+  auto s = Store::Create({{"X", 1}, {"Y", 2}});
+  ASSERT_TRUE(s.ok());
+  s->Find("X")->Insert({3});
+  s->Find("Y")->Insert({1, 3});
+  s->Find("Y")->Insert({5, 1});
+  EXPECT_EQ(s->ActiveDomain(), (std::vector<DataValue>{1, 3, 5}));
+  EXPECT_EQ(s->TotalTuples(), 3u);
+}
+
+TEST(Store, ComparableForMemoization) {
+  auto a = Store::Create({{"X", 1}});
+  auto b = Store::Create({{"X", 1}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  b->Find("X")->Insert({1});
+  EXPECT_NE(*a, *b);
+}
+
+class StoreEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = Store::Create({{"X", 1}, {"R", 2}});
+    ASSERT_TRUE(s.ok());
+    store_ = std::move(s).value();
+    store_.Find("X")->Insert({1});
+    store_.Find("X")->Insert({2});
+    store_.Find("R")->Insert({1, 2});
+    store_.Find("R")->Insert({2, 3});
+    context_.store = &store_;
+    context_.current_attrs = {{"a", 7}};
+    context_.values = &values_;
+  }
+
+  Store store_;
+  ValueInterner values_;
+  StoreContext context_;
+};
+
+TEST_F(StoreEvalTest, ActiveDomainGathersEverything) {
+  // Store: {1,2,3}; current attr: 7; constant: 9.
+  auto d = ActiveDomain(context_, F("exists x (X(x) & x = 9)"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, (std::vector<DataValue>{1, 2, 3, 7, 9}));
+}
+
+TEST_F(StoreEvalTest, SentenceEvaluation) {
+  auto t = EvalStoreSentence(context_, F("exists x X(x)"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t);
+  auto f = EvalStoreSentence(context_, F("forall x X(x)"));
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(*f);  // 3, 7 are in the domain but not in X
+  auto attr = EvalStoreSentence(context_, F("exists x x = attr(a)"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(*attr);
+}
+
+TEST_F(StoreEvalTest, Example32Guard) {
+  // xi: forall x forall y (X(x) & X(y) -> x = y): X is not a singleton.
+  Formula xi = F("forall x forall y (X(x) & X(y) -> x = y)");
+  auto r = EvalStoreSentence(context_, xi);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  store_.Replace(0, Relation(1, {{5}}));
+  auto r2 = EvalStoreSentence(context_, xi);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);
+  // The empty relation vacuously passes (matching the paper's xi, which
+  // only rejects two *distinct* elements).
+  store_.Replace(0, Relation(1));
+  auto r3 = EvalStoreSentence(context_, xi);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(*r3);
+}
+
+TEST_F(StoreEvalTest, FormulaDefinesRelation) {
+  // Successor pairs within R joined on middle: {x,z | exists y R(x,y) & R(y,z)}
+  auto r = EvalStoreFormula(context_, F("exists y (R(x, y) & R(y, z))"),
+                            {"x", "z"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->tuples(), (std::vector<Tuple>{{1, 3}}));
+}
+
+TEST_F(StoreEvalTest, TupleOrderFollowsVarsList) {
+  auto r = EvalStoreFormula(context_, F("R(x, y)"), {"y", "x"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples(), (std::vector<Tuple>{{2, 1}, {3, 2}}));
+}
+
+TEST_F(StoreEvalTest, CurrentAttrInUpdate) {
+  // The Example 3.2 leaf rule: define {attr(a)}.
+  auto r = EvalStoreFormula(context_, F("x = attr(a)"), {"x"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tuples(), (std::vector<Tuple>{{7}}));
+}
+
+TEST_F(StoreEvalTest, ExtraUnconstrainedVariables) {
+  auto r = EvalStoreFormula(context_, F("X(x)"), {"x", "free"});
+  ASSERT_TRUE(r.ok());
+  // 2 values in X times 4 active-domain values ({1,2,3} from the store
+  // plus the current attribute 7; the formula has no constants).
+  EXPECT_EQ(r->size(), 8u);
+}
+
+TEST_F(StoreEvalTest, NullaryFormula) {
+  auto t = EvalStoreFormula(context_, F("exists x X(x)"), {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->arity(), 0);
+  EXPECT_EQ(t->size(), 1u);
+  auto f = EvalStoreFormula(context_, F("false"), {});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->empty());
+}
+
+TEST_F(StoreEvalTest, StringConstants) {
+  store_.Find("X")->Insert({values_.ValueFor("hello")});
+  auto r = EvalStoreSentence(context_, F("exists x (X(x) & x = \"hello\")"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  auto r2 = EvalStoreSentence(context_, F("exists x (X(x) & x = \"bye\")"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);
+}
+
+TEST_F(StoreEvalTest, Errors) {
+  // Unknown relation.
+  EXPECT_FALSE(EvalStoreSentence(context_, F("Z(1)")).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(EvalStoreSentence(context_, F("X(1, 2)")).ok());
+  // Tree atom.
+  EXPECT_FALSE(EvalStoreSentence(context_, F("exists x leaf(x)")).ok());
+  // Free variable in a sentence.
+  EXPECT_FALSE(EvalStoreSentence(context_, F("X(x)")).ok());
+  // Free variable missing from tuple list.
+  EXPECT_FALSE(EvalStoreFormula(context_, F("R(x, y)"), {"x"}).ok());
+  // Duplicate tuple variable.
+  EXPECT_FALSE(EvalStoreFormula(context_, F("R(x, y)"), {"x", "x"}).ok());
+  // Unknown current attribute.
+  EXPECT_FALSE(EvalStoreSentence(context_, F("exists x x = attr(zz)")).ok());
+  // Missing interner.
+  StoreContext no_interner;
+  no_interner.store = &store_;
+  EXPECT_FALSE(EvalStoreSentence(no_interner, F("exists x x = \"s\"")).ok());
+}
+
+TEST(StoreEval, EmptyDomainFormulaIsEmpty) {
+  auto s = Store::Create({{"X", 1}});
+  ASSERT_TRUE(s.ok());
+  StoreContext context;
+  context.store = &*s;
+  auto r = EvalStoreFormula(context, F("x = x"), {"x"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  // A universally quantified sentence over the empty domain holds.
+  auto t = EvalStoreSentence(context, F("forall x X(x)"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t);
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,254 @@
+// Randomized round-trip properties for the textual formats: random ASTs
+// print into parseable text whose re-print is a fixpoint, and random
+// trees survive term serialization structurally intact.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/logic/parser.h"
+#include "src/logic/tree_eval.h"
+#include "src/tree/generate.h"
+#include "src/tree/term_io.h"
+#include "src/xpath/xpath.h"
+
+namespace treewalk {
+namespace {
+
+// --- Random formula generator. -----------------------------------------
+
+class FormulaGen {
+ public:
+  explicit FormulaGen(unsigned seed) : rng_(seed) {}
+
+  /// A random tree-vocabulary formula of the given depth with free
+  /// variables drawn from vars_.
+  Formula Gen(int depth) {
+    std::uniform_int_distribution<int> pick(0, depth > 0 ? 7 : 1);
+    switch (pick(rng_)) {
+      case 0:
+        return Atom();
+      case 1:
+        return Atom();
+      case 2:
+        return Formula::Not(Gen(depth - 1));
+      case 3:
+        return Formula::And(Gen(depth - 1), Gen(depth - 1));
+      case 4:
+        return Formula::Or(Gen(depth - 1), Gen(depth - 1));
+      case 5:
+        return Formula::Implies(Gen(depth - 1), Gen(depth - 1));
+      case 6:
+        return Formula::Exists(Var(), Gen(depth - 1));
+      default:
+        return Formula::Forall(Var(), Gen(depth - 1));
+    }
+  }
+
+ private:
+  std::string Var() {
+    std::uniform_int_distribution<int> pick(0, 3);
+    static const char* kVars[] = {"x", "y", "z", "w"};
+    return kVars[pick(rng_)];
+  }
+
+  Formula Atom() {
+    std::uniform_int_distribution<int> pick(0, 9);
+    switch (pick(rng_)) {
+      case 0:
+        return Formula::Edge(Var(), Var());
+      case 1:
+        return Formula::Sibling(Var(), Var());
+      case 2:
+        return Formula::Descendant(Var(), Var());
+      case 3:
+        return Formula::Label(Var(), "sigma");
+      case 4:
+        return Formula::Root(Var());
+      case 5:
+        return Formula::Leaf(Var());
+      case 6:
+        return Formula::Succ(Var(), Var());
+      case 7:
+        return Formula::VarEq(Var(), Var());
+      case 8:
+        return Formula::Eq(Term::AttrOf("a", Var()), Term::Int(3));
+      default:
+        return Formula::Eq(Term::AttrOf("a", Var()),
+                           Term::AttrOf("b", Var()));
+    }
+  }
+
+  std::mt19937 rng_;
+};
+
+TEST(RoundTrip, RandomFormulasPrintParseStably) {
+  for (unsigned seed = 0; seed < 60; ++seed) {
+    FormulaGen gen(seed);
+    Formula f = gen.Gen(4);
+    std::string printed = f.ToString();
+    auto parsed = ParseFormula(printed);
+    ASSERT_TRUE(parsed.ok()) << printed << ": " << parsed.status();
+    EXPECT_EQ(parsed->ToString(), printed) << "seed " << seed;
+    // Tree-vocabulary validity survives the round trip.
+    EXPECT_EQ(ValidateTreeFormula(f).ok(),
+              ValidateTreeFormula(*parsed).ok());
+  }
+}
+
+TEST(RoundTrip, RandomFormulasEvaluateIdentically) {
+  std::mt19937 tree_rng(5);
+  RandomTreeOptions options;
+  options.num_nodes = 6;
+  options.labels = {"sigma", "delta"};
+  options.attributes = {"a", "b"};
+  options.value_range = 3;
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    FormulaGen gen(1000 + seed);
+    Formula f = gen.Gen(3);
+    auto parsed = ParseFormula(f.ToString());
+    ASSERT_TRUE(parsed.ok());
+    Tree t = RandomTree(tree_rng, options);
+    NodeEnv env = {{"x", 0}, {"y", 1}, {"z", 2}, {"w", 3}};
+    auto a = EvalTreeFormula(t, f, env);
+    auto b = EvalTreeFormula(t, *parsed, env);
+    ASSERT_TRUE(a.ok() && b.ok()) << f.ToString();
+    EXPECT_EQ(*a, *b) << f.ToString();
+  }
+}
+
+// --- Random XPath generator. ---------------------------------------------
+
+class XPathGen {
+ public:
+  explicit XPathGen(unsigned seed) : rng_(seed) {}
+
+  XPath Gen(int depth) {
+    XPath out;
+    std::uniform_int_distribution<int> branches(1, 2);
+    int n = branches(rng_);
+    for (int i = 0; i < n; ++i) out.paths.push_back(GenPath(depth));
+    return out;
+  }
+
+ private:
+  XPathPath GenPath(int depth) {
+    XPathPath path;
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::uniform_int_distribution<int> steps(1, 3);
+    path.absolute = coin(rng_) != 0;
+    int n = steps(rng_);
+    for (int i = 0; i < n; ++i) path.steps.push_back(GenStep(depth));
+    // A relative path whose first step uses the descendant axis has no
+    // concrete syntax (a leading '//' is absolute), so it cannot round
+    // trip; the printable fragment forces kChild there.
+    if (!path.absolute) path.steps.front().axis = XPathStep::Axis::kChild;
+    return path;
+  }
+
+  XPathStep GenStep(int depth) {
+    XPathStep step;
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::uniform_int_distribution<int> label(0, 2);
+    static const char* kLabels[] = {"a", "b", "c"};
+    step.axis = coin(rng_) != 0 ? XPathStep::Axis::kChild
+                                : XPathStep::Axis::kDescendant;
+    if (coin(rng_) != 0) step.label = kLabels[label(rng_)];
+    if (depth > 0 && coin(rng_) != 0) {
+      step.predicates.push_back(GenPredicate(depth - 1));
+    }
+    return step;
+  }
+
+  XPathPredicate GenPredicate(int depth) {
+    XPathPredicate pred;
+    std::uniform_int_distribution<int> pick(0, 2);
+    switch (pick(rng_)) {
+      case 0: {
+        pred.kind = XPathPredicate::Kind::kPath;
+        XPath nested = Gen(depth);
+        for (XPathPath& p : nested.paths) {
+          p.absolute = false;
+          p.steps.front().axis = XPathStep::Axis::kChild;
+        }
+        pred.path = std::make_shared<const XPath>(std::move(nested));
+        break;
+      }
+      case 1:
+        pred.kind = XPathPredicate::Kind::kAttrEqAttr;
+        pred.attr = "p";
+        pred.other_attr = "q";
+        break;
+      default:
+        pred.kind = XPathPredicate::Kind::kAttrEqConst;
+        pred.attr = "p";
+        pred.literal = Term::Int(1);
+        break;
+    }
+    return pred;
+  }
+
+  std::mt19937 rng_;
+};
+
+TEST(RoundTrip, RandomXPathsPrintParseStably) {
+  for (unsigned seed = 0; seed < 60; ++seed) {
+    XPathGen gen(seed);
+    XPath p = gen.Gen(2);
+    std::string printed = XPathToString(p);
+    auto parsed = ParseXPath(printed);
+    ASSERT_TRUE(parsed.ok()) << printed << ": " << parsed.status();
+    EXPECT_EQ(XPathToString(*parsed), printed) << "seed " << seed;
+  }
+}
+
+TEST(RoundTrip, RandomXPathsEvaluateIdenticallyAfterRoundTrip) {
+  std::mt19937 tree_rng(9);
+  RandomTreeOptions options;
+  options.num_nodes = 10;
+  options.labels = {"a", "b", "c"};
+  options.attributes = {"p", "q"};
+  options.value_range = 2;
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    XPathGen gen(500 + seed);
+    XPath p = gen.Gen(1);
+    auto parsed = ParseXPath(XPathToString(p));
+    ASSERT_TRUE(parsed.ok());
+    Tree t = RandomTree(tree_rng, options);
+    auto a = EvalXPath(t, p, t.root());
+    auto b = EvalXPath(t, *parsed, t.root());
+    ASSERT_TRUE(a.ok() && b.ok()) << XPathToString(p);
+    EXPECT_EQ(*a, *b) << XPathToString(p);
+  }
+}
+
+// --- Tree term round trips. ----------------------------------------------
+
+TEST(RoundTrip, RandomTreesSurviveTermSerialization) {
+  std::mt19937 rng(13);
+  RandomTreeOptions options;
+  options.num_nodes = 25;
+  options.labels = {"alpha", "beta", "g_1"};
+  options.attributes = {"a", "count"};
+  options.value_range = 100;
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = RandomTree(rng, options);
+    std::string printed = PrintTerm(t, /*skip_zero_attrs=*/false);
+    auto parsed = ParseTerm(printed);
+    ASSERT_TRUE(parsed.ok()) << printed;
+    ASSERT_EQ(parsed->size(), t.size());
+    for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+      EXPECT_EQ(parsed->LabelName(parsed->label(u)),
+                t.LabelName(t.label(u)));
+      EXPECT_EQ(parsed->Parent(u), t.Parent(u));
+      for (AttrId a = 0; a < static_cast<AttrId>(t.num_attributes()); ++a) {
+        AttrId pa = parsed->FindAttribute(t.attributes().NameOf(a));
+        ASSERT_NE(pa, kNoAttr);
+        EXPECT_EQ(parsed->attr(pa, u), t.attr(a, u));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/tree/term_io.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+namespace {
+
+TEST(ParseTerm, SingleNode) {
+  auto r = ParseTerm("a");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->LabelName(r->label(0)), "a");
+}
+
+TEST(ParseTerm, NestedChildren) {
+  auto r = ParseTerm("a(b, c(d, e), f)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Tree& t = *r;
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.ChildCount(0), 3);
+  EXPECT_EQ(t.LabelName(t.label(t.FirstChild(2))), "d");
+}
+
+TEST(ParseTerm, NumericAttributes) {
+  auto r = ParseTerm("a[id=0](b[id=1, a=-5])");
+  ASSERT_TRUE(r.ok()) << r.status();
+  AttrId id = r->FindAttribute("id");
+  AttrId a = r->FindAttribute("a");
+  EXPECT_EQ(r->attr(id, 1), 1);
+  EXPECT_EQ(r->attr(a, 1), -5);
+}
+
+TEST(ParseTerm, StringAttributes) {
+  auto r = ParseTerm(R"(item[name="nut", kind="bolt\"x"])");
+  ASSERT_TRUE(r.ok()) << r.status();
+  AttrId name = r->FindAttribute("name");
+  EXPECT_EQ(r->values().Render(r->attr(name, 0)), "nut");
+  AttrId kind = r->FindAttribute("kind");
+  EXPECT_EQ(r->values().Render(r->attr(kind, 0)), "bolt\"x");
+}
+
+TEST(ParseTerm, WhitespaceInsensitive) {
+  auto r = ParseTerm("  a (\n b\t[ x = 3 ] ,c )  ");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ParseTerm, EmptyAttributeList) {
+  auto r = ParseTerm("a[]");
+  ASSERT_TRUE(r.ok()) << r.status();
+}
+
+TEST(ParseTerm, DelimiterLabels) {
+  auto r = ParseTerm("#top(#open, a, #close)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->LabelName(r->label(0)), "#top");
+}
+
+TEST(ParseTerm, Errors) {
+  EXPECT_FALSE(ParseTerm("").ok());
+  EXPECT_FALSE(ParseTerm("a(").ok());
+  EXPECT_FALSE(ParseTerm("a(b,)").ok());
+  EXPECT_FALSE(ParseTerm("a)b").ok());
+  EXPECT_FALSE(ParseTerm("a[x]").ok());
+  EXPECT_FALSE(ParseTerm("a[x=]").ok());
+  EXPECT_FALSE(ParseTerm("a[x=\"unterminated]").ok());
+  EXPECT_FALSE(ParseTerm("a b").ok());
+  EXPECT_FALSE(ParseTerm("1a").ok());
+}
+
+TEST(PrintTerm, RoundTripsShape) {
+  const std::string src = "a[id=1](b[id=2], c[id=3](d[id=4]))";
+  auto t = ParseTerm(src);
+  ASSERT_TRUE(t.ok());
+  std::string printed = PrintTerm(*t);
+  auto t2 = ParseTerm(printed);
+  ASSERT_TRUE(t2.ok()) << printed << " -> " << t2.status();
+  EXPECT_EQ(PrintTerm(*t2), printed);
+  EXPECT_EQ(t2->size(), t->size());
+}
+
+TEST(PrintTerm, SkipsZeroAttributesByDefault) {
+  auto t = ParseTerm("a[x=0](b[x=7])");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(PrintTerm(*t), "a(b[x=7])");
+  EXPECT_EQ(PrintTerm(*t, /*skip_zero_attrs=*/false), "a[x=0](b[x=7])");
+}
+
+TEST(StringTree, BuildsMonadicTree) {
+  Tree t = StringTree({3, 1, 4, 1});
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.ChildCount(0), 1);
+  EXPECT_EQ(t.ChildCount(3), 0);
+  EXPECT_EQ(StringValues(t), (std::vector<DataValue>{3, 1, 4, 1}));
+}
+
+TEST(StringTree, SingleElement) {
+  Tree t = StringTree({9});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(StringValues(t), (std::vector<DataValue>{9}));
+}
+
+TEST(StringValues, MissingAttributeGivesEmpty) {
+  Tree t = StringTree({1, 2});
+  EXPECT_TRUE(StringValues(t, "nope").empty());
+}
+
+}  // namespace
+}  // namespace treewalk

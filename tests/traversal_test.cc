@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/tree/generate.h"
+#include "src/tree/term_io.h"
+#include "src/tree/traversal.h"
+
+namespace treewalk {
+namespace {
+
+TEST(DocumentOrder, NextVisitsIdsInOrder) {
+  auto t = ParseTerm("a(b, c(d, e), f)");
+  ASSERT_TRUE(t.ok());
+  NodeId u = t->root();
+  for (NodeId expected = 0; expected < static_cast<NodeId>(t->size());
+       ++expected) {
+    ASSERT_EQ(u, expected);
+    u = DocumentNext(*t, u);
+  }
+  EXPECT_EQ(u, kNoNode);
+}
+
+TEST(DocumentOrder, PrevIsInverseOfNext) {
+  std::mt19937 rng(7);
+  RandomTreeOptions options;
+  options.num_nodes = 60;
+  Tree t = RandomTree(rng, options);
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    NodeId next = DocumentNext(t, u);
+    if (next != kNoNode) {
+      EXPECT_EQ(next, u + 1);
+      EXPECT_EQ(DocumentPrev(t, next), u);
+    }
+  }
+  EXPECT_EQ(DocumentPrev(t, t.root()), kNoNode);
+}
+
+TEST(PostOrder, VisitsChildrenBeforeParents) {
+  auto t = ParseTerm("a(b, c(d, e), f)");
+  ASSERT_TRUE(t.ok());
+  std::vector<NodeId> order = PostOrder(*t);
+  ASSERT_EQ(order.size(), t->size());
+  std::vector<std::string> labels;
+  for (NodeId u : order) labels.push_back(t->LabelName(t->label(u)));
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"b", "d", "e", "c", "f", "a"}));
+}
+
+TEST(PostOrder, ParentAlwaysAfterChildOnRandomTrees) {
+  std::mt19937 rng(11);
+  RandomTreeOptions options;
+  options.num_nodes = 100;
+  Tree t = RandomTree(rng, options);
+  std::vector<NodeId> order = PostOrder(t);
+  std::vector<int> position(t.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (NodeId u = 1; u < static_cast<NodeId>(t.size()); ++u) {
+    EXPECT_LT(position[static_cast<std::size_t>(u)],
+              position[static_cast<std::size_t>(t.Parent(u))]);
+  }
+}
+
+TEST(Leaves, CollectsAllLeaves) {
+  auto t = ParseTerm("a(b, c(d, e), f)");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Leaves(*t), (std::vector<NodeId>{1, 3, 4, 5}));
+}
+
+TEST(CollectWhere, FiltersByPredicate) {
+  auto t = ParseTerm("a(b, a(a, b))");
+  ASSERT_TRUE(t.ok());
+  Symbol a = t->FindLabel("a");
+  auto hits = CollectWhere(*t, [&](NodeId u) { return t->label(u) == a; });
+  EXPECT_EQ(hits, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(Height, ChainAndStar) {
+  Tree chain = StringTree({1, 2, 3, 4});
+  EXPECT_EQ(Height(chain), 3);
+  auto star = ParseTerm("a(b, c, d, e)");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(Height(*star), 1);
+  auto single = ParseTerm("a");
+  EXPECT_EQ(Height(*single), 0);
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/logic/parser.h"
+#include "src/logic/tree_eval.h"
+#include "src/tree/generate.h"
+#include "src/tree/term_io.h"
+
+namespace treewalk {
+namespace {
+
+Tree Sample() {
+  // a[p=1](b[p=2], c[p=1](d[p=2], e[p=1]), f[p=3])  ids 0..5
+  auto t = ParseTerm("a[p=1](b[p=2], c[p=1](d[p=2], e[p=1]), f[p=3])");
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+Formula F(const char* src) {
+  auto r = ParseFormula(src);
+  EXPECT_TRUE(r.ok()) << src << ": " << r.status();
+  return *r;
+}
+
+bool Holds(const Tree& t, const char* src, NodeEnv env = {}) {
+  auto r = EvalTreeFormula(t, F(src), env);
+  EXPECT_TRUE(r.ok()) << src << ": " << r.status();
+  return r.ok() && *r;
+}
+
+TEST(EvalTreeFormula, Atoms) {
+  Tree t = Sample();
+  EXPECT_TRUE(Holds(t, "E(x, y)", {{"x", 0}, {"y", 1}}));
+  EXPECT_FALSE(Holds(t, "E(x, y)", {{"x", 0}, {"y", 3}}));
+  EXPECT_TRUE(Holds(t, "desc(x, y)", {{"x", 0}, {"y", 3}}));
+  EXPECT_FALSE(Holds(t, "desc(x, y)", {{"x", 3}, {"y", 0}}));
+  EXPECT_FALSE(Holds(t, "desc(x, x)", {{"x", 3}}));
+  EXPECT_TRUE(Holds(t, "sib(x, y)", {{"x", 1}, {"y", 5}}));
+  EXPECT_FALSE(Holds(t, "sib(x, y)", {{"x", 5}, {"y", 1}}));
+  EXPECT_FALSE(Holds(t, "sib(x, y)", {{"x", 1}, {"y", 3}}));
+  EXPECT_TRUE(Holds(t, "succ(x, y)", {{"x", 1}, {"y", 2}}));
+  EXPECT_FALSE(Holds(t, "succ(x, y)", {{"x", 1}, {"y", 5}}));
+  EXPECT_TRUE(Holds(t, "root(x)", {{"x", 0}}));
+  EXPECT_TRUE(Holds(t, "leaf(x)", {{"x", 4}}));
+  EXPECT_FALSE(Holds(t, "leaf(x)", {{"x", 2}}));
+  EXPECT_TRUE(Holds(t, "first(x)", {{"x", 1}}));
+  EXPECT_TRUE(Holds(t, "last(x)", {{"x", 5}}));
+  EXPECT_TRUE(Holds(t, "lab(x, c)", {{"x", 2}}));
+  EXPECT_FALSE(Holds(t, "lab(x, zz)", {{"x", 2}}));
+  EXPECT_TRUE(Holds(t, "x = y", {{"x", 2}, {"y", 2}}));
+  EXPECT_FALSE(Holds(t, "x = y", {{"x", 2}, {"y", 3}}));
+}
+
+TEST(EvalTreeFormula, RootIsNobodysSiblingOrFirstLast) {
+  Tree t = Sample();
+  // The root is trivially a first and last child in our encoding.
+  EXPECT_TRUE(Holds(t, "first(x) & last(x)", {{"x", 0}}));
+  EXPECT_FALSE(Holds(t, "exists y sib(y, x)", {{"x", 0}}));
+}
+
+TEST(EvalTreeFormula, AttributeComparisons) {
+  Tree t = Sample();
+  EXPECT_TRUE(Holds(t, "val(p, x) = val(p, y)", {{"x", 0}, {"y", 2}}));
+  EXPECT_FALSE(Holds(t, "val(p, x) = val(p, y)", {{"x", 0}, {"y", 1}}));
+  EXPECT_TRUE(Holds(t, "val(p, x) = 3", {{"x", 5}}));
+  EXPECT_FALSE(Holds(t, "val(p, x) = 4", {{"x", 5}}));
+}
+
+TEST(EvalTreeFormula, StringConstants) {
+  auto t = ParseTerm("a[name=\"x\"](b[name=\"y\"])");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(Holds(*t, "val(name, x) = \"x\"", {{"x", 0}}));
+  EXPECT_FALSE(Holds(*t, "val(name, x) = \"y\"", {{"x", 0}}));
+  EXPECT_FALSE(Holds(*t, "val(name, x) = \"unseen\"", {{"x", 0}}));
+}
+
+TEST(EvalTreeFormula, Quantifiers) {
+  Tree t = Sample();
+  EXPECT_TRUE(Holds(t, "exists x lab(x, e)"));
+  EXPECT_FALSE(Holds(t, "exists x lab(x, zz)"));
+  EXPECT_TRUE(Holds(t, "forall x (leaf(x) | exists y E(x, y))"));
+  EXPECT_TRUE(Holds(t, "exists x forall y (x = y | desc(x, y))"));
+  EXPECT_FALSE(Holds(t, "forall x leaf(x)"));
+}
+
+TEST(EvalTreeFormula, PaperSentenceSection22) {
+  // forall x (val(a,x) = d | val(a,x) = val(b,x)) with d = 7.
+  auto t = ParseTerm("s[a=7, b=0](s[a=3, b=3](s[a=7, b=9]))");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(Holds(*t, "forall x (val(a, x) = 7 | val(a, x) = val(b, x))"));
+  auto bad = ParseTerm("s[a=7, b=0](s[a=3, b=4])");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(
+      Holds(*bad, "forall x (val(a, x) = 7 | val(a, x) = val(b, x))"));
+}
+
+TEST(EvalTreeFormula, ErrorsAreReported) {
+  Tree t = Sample();
+  // Unbound free variable.
+  EXPECT_FALSE(EvalTreeFormula(t, F("leaf(x)")).ok());
+  // Unknown attribute.
+  EXPECT_FALSE(EvalTreeFormula(t, F("val(q, x) = 1"), {{"x", 0}}).ok());
+  // Store atom in tree context.
+  EXPECT_FALSE(EvalTreeFormula(t, F("X1(u)"), {}).ok());
+  // Empty formula handle.
+  EXPECT_FALSE(EvalTreeFormula(t, Formula()).ok());
+}
+
+TEST(EvalTreeSentence, RejectsFreeVariables) {
+  Tree t = Sample();
+  EXPECT_FALSE(EvalTreeSentence(t, F("leaf(x)")).ok());
+  EXPECT_TRUE(EvalTreeSentence(t, F("exists x leaf(x)")).ok());
+}
+
+TEST(SelectNodes, DescendantLeaves) {
+  Tree t = Sample();
+  auto r = SelectNodes(t, F("desc(x, y) & leaf(y)"), 2);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, (std::vector<NodeId>{3, 4}));
+}
+
+TEST(SelectNodes, FromRootSelectsAllLeaves) {
+  Tree t = Sample();
+  auto r = SelectNodes(t, F("desc(x, y) & leaf(y)"), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<NodeId>{1, 3, 4, 5}));
+}
+
+TEST(SelectNodes, SelectorMayIgnoreOrigin) {
+  Tree t = Sample();
+  auto r = SelectNodes(t, F("root(y)"), 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<NodeId>{0}));
+}
+
+TEST(SelectNodes, WithInnerExistentials) {
+  // Section 2.3 example shape: y below x with a c-descendant and d-child.
+  auto t = ParseTerm("a(b(c, d), b(d))");
+  ASSERT_TRUE(t.ok());
+  auto r = SelectNodes(
+      *t, F("desc(x, y) & lab(y, b) & exists z (desc(y, z) & lab(z, c))"),
+      0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<NodeId>{1}));
+}
+
+
+TEST(SelectNodes, RangePruningIsSemanticallyInvisible) {
+  // The planner prunes candidates when desc(x,y)/E(x,y) is a positive
+  // top-level conjunct; wrapping the same formula in a disjunction with
+  // false disables the plan, so both runs must agree.
+  std::mt19937 rng(47);
+  RandomTreeOptions options;
+  options.num_nodes = 18;
+  options.labels = {"a", "b"};
+  options.attributes = {"p"};
+  options.value_range = 3;
+  const char* selectors[] = {
+      "desc(x, y) & lab(y, b)",
+      "desc(x, y) & leaf(y)",
+      "E(x, y) & val(p, y) = 1",
+      "exists z (desc(x, y) & E(y, z) & lab(z, a))",
+      "desc(x, y) & !(E(x, y))",
+  };
+  for (int trial = 0; trial < 8; ++trial) {
+    Tree t = RandomTree(rng, options);
+    for (const char* src : selectors) {
+      Formula planned = F(src);
+      Formula unplanned = Formula::Or(planned, Formula::False());
+      for (NodeId origin = 0; origin < static_cast<NodeId>(t.size());
+           origin += 3) {
+        auto a = SelectNodes(t, planned, origin);
+        auto b = SelectNodes(t, unplanned, origin);
+        ASSERT_TRUE(a.ok() && b.ok()) << src;
+        EXPECT_EQ(*a, *b) << src << " at " << origin;
+      }
+    }
+  }
+}
+
+TEST(SelectNodes, ShadowedVariablesDisableThePlan) {
+  // "exists x (desc(x, y) ...)": the inner x is not the origin, so the
+  // desc conjunct must NOT prune — y can be anywhere.
+  Tree t = Sample();
+  auto r = SelectNodes(t, F("exists x (desc(x, y) & leaf(y))"), 5);
+  ASSERT_TRUE(r.ok());
+  // From origin 5 (a leaf), nodes 1, 3, 4, 5... every leaf that is a
+  // strict descendant of *some* x: all leaves except the root.
+  EXPECT_EQ(*r, (std::vector<NodeId>{1, 3, 4, 5}));
+}
+
+TEST(SelectNodes, ErrorsOnStrayVariables) {
+  Tree t = Sample();
+  EXPECT_FALSE(SelectNodes(t, F("E(x, z)"), 0).ok());
+  EXPECT_FALSE(SelectNodes(t, F("leaf(y)"), 99).ok());
+}
+
+TEST(SelectNodes, CustomVariableNames) {
+  Tree t = Sample();
+  auto r = SelectNodes(t, F("E(u, v)"), 2, "u", "v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<NodeId>{3, 4}));
+}
+
+}  // namespace
+}  // namespace treewalk

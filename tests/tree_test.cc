@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/tree/term_io.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+namespace {
+
+Tree SampleTree() {
+  // a(b, c(d, e), f)
+  TreeBuilder b;
+  auto a = b.AddRoot("a");
+  b.AddChild(a, "b");
+  auto c = b.AddChild(a, "c");
+  b.AddChild(c, "d");
+  b.AddChild(c, "e");
+  b.AddChild(a, "f");
+  return b.Build();
+}
+
+TEST(Tree, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.root(), kNoNode);
+}
+
+TEST(Tree, DocumentOrderLayout) {
+  Tree t = SampleTree();
+  ASSERT_EQ(t.size(), 6u);
+  // Pre-order: a b c d e f -> ids 0..5.
+  EXPECT_EQ(t.LabelName(t.label(0)), "a");
+  EXPECT_EQ(t.LabelName(t.label(1)), "b");
+  EXPECT_EQ(t.LabelName(t.label(2)), "c");
+  EXPECT_EQ(t.LabelName(t.label(3)), "d");
+  EXPECT_EQ(t.LabelName(t.label(4)), "e");
+  EXPECT_EQ(t.LabelName(t.label(5)), "f");
+}
+
+TEST(Tree, Navigation) {
+  Tree t = SampleTree();
+  EXPECT_EQ(t.Parent(0), kNoNode);
+  EXPECT_EQ(t.FirstChild(0), 1);
+  EXPECT_EQ(t.LastChild(0), 5);
+  EXPECT_EQ(t.NextSibling(1), 2);
+  EXPECT_EQ(t.NextSibling(2), 5);
+  EXPECT_EQ(t.PrevSibling(5), 2);
+  EXPECT_EQ(t.Parent(3), 2);
+  EXPECT_EQ(t.NextSibling(3), 4);
+  EXPECT_EQ(t.ChildCount(0), 3);
+  EXPECT_EQ(t.ChildCount(2), 2);
+  EXPECT_EQ(t.ChildIndex(5), 2);
+}
+
+TEST(Tree, PositionPredicates) {
+  Tree t = SampleTree();
+  EXPECT_TRUE(t.IsRoot(0));
+  EXPECT_FALSE(t.IsRoot(1));
+  EXPECT_TRUE(t.IsLeaf(1));
+  EXPECT_FALSE(t.IsLeaf(2));
+  EXPECT_TRUE(t.IsFirstChild(1));
+  EXPECT_FALSE(t.IsFirstChild(2));
+  EXPECT_TRUE(t.IsLastChild(5));
+  EXPECT_FALSE(t.IsLastChild(1));
+}
+
+TEST(Tree, StrictAncestor) {
+  Tree t = SampleTree();
+  EXPECT_TRUE(t.IsStrictAncestor(0, 3));
+  EXPECT_TRUE(t.IsStrictAncestor(2, 4));
+  EXPECT_FALSE(t.IsStrictAncestor(3, 3));
+  EXPECT_FALSE(t.IsStrictAncestor(3, 2));
+  EXPECT_FALSE(t.IsStrictAncestor(1, 2));  // siblings
+  EXPECT_FALSE(t.IsStrictAncestor(2, 5));
+}
+
+TEST(Tree, Depth) {
+  Tree t = SampleTree();
+  EXPECT_EQ(t.Depth(0), 0);
+  EXPECT_EQ(t.Depth(1), 1);
+  EXPECT_EQ(t.Depth(3), 2);
+}
+
+TEST(Tree, AttributesAreTotalAndDefaultZero) {
+  Tree t = SampleTree();
+  AttrId a = t.AddAttribute("x");
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    EXPECT_EQ(t.attr(a, u), 0);
+  }
+  t.set_attr(a, 3, 42);
+  EXPECT_EQ(t.attr(a, 3), 42);
+  // Re-adding returns the same column.
+  EXPECT_EQ(t.AddAttribute("x"), a);
+  EXPECT_EQ(t.attr(a, 3), 42);
+}
+
+TEST(Tree, BuilderAttributes) {
+  TreeBuilder b;
+  auto r = b.AddRoot("doc");
+  auto c = b.AddChild(r, "item");
+  b.SetAttr(c, "id", 7);
+  b.SetAttrString(c, "name", "widget");
+  Tree t = b.Build();
+  AttrId id = t.FindAttribute("id");
+  AttrId name = t.FindAttribute("name");
+  ASSERT_NE(id, kNoAttr);
+  ASSERT_NE(name, kNoAttr);
+  EXPECT_EQ(t.attr(id, 1), 7);
+  EXPECT_TRUE(ValueInterner::IsString(t.attr(name, 1)));
+  EXPECT_EQ(t.values().Render(t.attr(name, 1)), "widget");
+}
+
+TEST(Tree, BuilderRefMapping) {
+  TreeBuilder b;
+  auto r = b.AddRoot("a");
+  auto x = b.AddChild(r, "x");
+  auto y = b.AddChild(r, "y");
+  // Add a grandchild under x *after* y exists: doc order must still be
+  // a, x, gx, y.
+  auto gx = b.AddChild(x, "gx");
+  std::vector<NodeId> map;
+  Tree t = b.Build(&map);
+  EXPECT_EQ(map[static_cast<std::size_t>(r)], 0);
+  EXPECT_EQ(map[static_cast<std::size_t>(x)], 1);
+  EXPECT_EQ(map[static_cast<std::size_t>(gx)], 2);
+  EXPECT_EQ(map[static_cast<std::size_t>(y)], 3);
+  EXPECT_EQ(t.LabelName(t.label(2)), "gx");
+}
+
+TEST(Tree, FindLabelAndAttribute) {
+  Tree t = SampleTree();
+  EXPECT_GE(t.FindLabel("a"), 0);
+  EXPECT_EQ(t.FindLabel("zzz"), -1);
+  EXPECT_EQ(t.FindAttribute("none"), kNoAttr);
+}
+
+TEST(Tree, ActiveDomain) {
+  TreeBuilder b;
+  auto r = b.AddRoot("a");
+  b.SetAttr(r, "p", 5);
+  auto c = b.AddChild(r, "b");
+  b.SetAttr(c, "p", 5);
+  b.SetAttr(c, "q", 9);
+  Tree t = b.Build();
+  std::vector<DataValue> dom = t.ActiveDomain();
+  // Unset values default to 0 and are part of the active domain.
+  EXPECT_EQ(dom, (std::vector<DataValue>{0, 5, 9}));
+}
+
+TEST(Tree, AssignUniqueIds) {
+  Tree t = SampleTree();
+  AttrId id = AssignUniqueIds(t);
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    EXPECT_EQ(t.attr(id, u), u);
+  }
+}
+
+TEST(Tree, SubtreeEnd) {
+  Tree t = SampleTree();
+  EXPECT_EQ(t.SubtreeEnd(0), 6);
+  EXPECT_EQ(t.SubtreeEnd(1), 2);
+  EXPECT_EQ(t.SubtreeEnd(2), 5);
+  EXPECT_EQ(t.SubtreeEnd(5), 6);
+}
+
+TEST(Tree, SingleNode) {
+  TreeBuilder b;
+  b.AddRoot("only");
+  Tree t = b.Build();
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.IsLeaf(0));
+  EXPECT_TRUE(t.IsRoot(0));
+  EXPECT_TRUE(t.IsFirstChild(0));
+  EXPECT_TRUE(t.IsLastChild(0));
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,77 @@
+// Validates the .twp program files shipped under examples/programs/:
+// they must parse, pass class validation, and behave like their
+// library-built counterparts.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/automata/text_format.h"
+#include "src/tree/generate.h"
+
+#ifndef TREEWALK_SOURCE_DIR
+#define TREEWALK_SOURCE_DIR "."
+#endif
+
+namespace treewalk {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string ProgramPath(const char* name) {
+  return std::string(TREEWALK_SOURCE_DIR) + "/examples/programs/" + name;
+}
+
+TEST(TwpFiles, Example32MatchesLibraryProgram) {
+  auto from_file =
+      ParseProgramText(ReadFileOrDie(ProgramPath("example32.twp")));
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  auto from_library = Example32Program();
+  ASSERT_TRUE(from_library.ok());
+
+  std::mt19937 rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree good = Example32Tree(rng, 15, true);
+    Tree bad = Example32Tree(rng, 15, false);
+    for (const Tree* t : {&good, &bad}) {
+      auto a = Accepts(*from_file, *t);
+      auto b = Accepts(*from_library, *t);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << "trial " << trial;
+    }
+  }
+}
+
+TEST(TwpFiles, HasLabelMatchesLibraryProgram) {
+  auto from_file =
+      ParseProgramText(ReadFileOrDie(ProgramPath("has_label.twp")));
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  auto from_library = HasLabelProgram("needle");
+  ASSERT_TRUE(from_library.ok());
+
+  std::mt19937 rng(73);
+  RandomTreeOptions options;
+  options.num_nodes = 18;
+  options.labels = {"a", "needle", "b"};
+  options.attributes = {};
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree t = RandomTree(rng, options);
+    auto a = Accepts(*from_file, t);
+    auto b = Accepts(*from_library, t);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -1,0 +1,169 @@
+// twq — command-line front end for the treewalk library.
+//
+//   twq run <program.twp> <tree.{term,xml}> [--trace] [--graph]
+//       Run a tree-walking program (textual .twp format) on a tree.
+//   twq xpath <query> <tree.{term,xml}>
+//       Evaluate an XPath query from the root; also show the FO(exists*)
+//       compilation.
+//   twq check <program.twp>
+//       Parse and validate a program; print its canonical form.
+//   twq cat <expression> <tree.{term,xml}>
+//       Evaluate a caterpillar expression from the root.
+//
+// Trees are read as the compact term syntax (a[x=1](b, c)) unless the
+// file ends in .xml.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/text_format.h"
+#include "src/caterpillar/caterpillar.h"
+#include "src/logic/tree_eval.h"
+#include "src/simulation/config_graph.h"
+#include "src/tree/term_io.h"
+#include "src/tree/xml_io.h"
+#include "src/xpath/xpath.h"
+
+namespace tw = treewalk;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "twq: %s\n", message.c_str());
+  return 1;
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+tw::Result<tw::Tree> LoadTree(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, text)) {
+    return tw::NotFound("cannot read tree file '" + path + "'");
+  }
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".xml") {
+    return tw::ParseXml(text);
+  }
+  return tw::ParseTerm(text);
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 2) return Fail("usage: twq run <program.twp> <tree> [--trace]");
+  std::string program_text;
+  if (!ReadFile(argv[0], program_text)) {
+    return Fail(std::string("cannot read program '") + argv[0] + "'");
+  }
+  auto program = tw::ParseProgramText(program_text);
+  if (!program.ok()) return Fail("program: " + program.status().ToString());
+  auto tree = LoadTree(argv[1]);
+  if (!tree.ok()) return Fail("tree: " + tree.status().ToString());
+
+  bool trace = false, graph = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strcmp(argv[i], "--graph") == 0) graph = true;
+  }
+
+  if (graph) {
+    auto r = tw::EvaluateViaConfigGraph(*program, *tree);
+    if (!r.ok()) return Fail("run: " + r.status().ToString());
+    std::printf("%s (%zu configurations, %zu memoized calls)\n",
+                r->accepted ? "ACCEPT" : "REJECT", r->configs,
+                r->memoized_calls);
+    return r->accepted ? 0 : 2;
+  }
+
+  tw::RunOptions options;
+  options.record_trace = trace;
+  tw::Interpreter interpreter(*program, options);
+  auto r = interpreter.Run(*tree);
+  if (!r.ok()) return Fail("run: " + r.status().ToString());
+  std::printf("%s (%lld steps, %lld subcomputations%s%s)\n",
+              r->accepted ? "ACCEPT" : "REJECT",
+              static_cast<long long>(r->stats.steps),
+              static_cast<long long>(r->stats.subcomputations),
+              r->accepted ? "" : ", reason: ",
+              r->accepted ? "" : tw::RejectReasonName(r->reason));
+  if (trace) {
+    for (const std::string& line : r->trace) std::printf("  %s\n", line.c_str());
+  }
+  return r->accepted ? 0 : 2;
+}
+
+int CmdXPath(int argc, char** argv) {
+  if (argc != 2) return Fail("usage: twq xpath <query> <tree>");
+  auto xpath = tw::ParseXPath(argv[0]);
+  if (!xpath.ok()) return Fail("query: " + xpath.status().ToString());
+  auto tree = LoadTree(argv[1]);
+  if (!tree.ok()) return Fail("tree: " + tree.status().ToString());
+  auto hits = tw::EvalXPath(*tree, *xpath, tree->root());
+  if (!hits.ok()) return Fail("eval: " + hits.status().ToString());
+  auto formula = tw::CompileXPathToFo(*xpath);
+  std::printf("%zu node(s):", hits->size());
+  for (tw::NodeId u : *hits) {
+    std::printf(" %lld:%s", static_cast<long long>(u),
+                tree->LabelName(tree->label(u)).c_str());
+  }
+  std::printf("\nFO(exists*): %s\n",
+              formula.ok() ? formula->ToString().c_str() : "<error>");
+  return 0;
+}
+
+int CmdCheck(int argc, char** argv) {
+  if (argc != 1) return Fail("usage: twq check <program.twp>");
+  std::string text;
+  if (!ReadFile(argv[0], text)) {
+    return Fail(std::string("cannot read '") + argv[0] + "'");
+  }
+  auto program = tw::ParseProgramText(text);
+  if (!program.ok()) return Fail(program.status().ToString());
+  std::printf("valid %s program, %zu rules, %zu registers, size measure "
+              "%zu\n--\n%s",
+              tw::ProgramClassName(program->program_class()),
+              program->rules().size(),
+              program->initial_store().num_relations(),
+              program->SizeMeasure(),
+              tw::ProgramToText(*program).c_str());
+  return 0;
+}
+
+int CmdCat(int argc, char** argv) {
+  if (argc != 2) return Fail("usage: twq cat <expression> <tree>");
+  auto expr = tw::ParseCaterpillar(argv[0]);
+  if (!expr.ok()) return Fail("expression: " + expr.status().ToString());
+  auto tree = LoadTree(argv[1]);
+  if (!tree.ok()) return Fail("tree: " + tree.status().ToString());
+  auto hits = tw::CaterpillarSelect(*tree, *expr, tree->root());
+  if (!hits.ok()) return Fail("eval: " + hits.status().ToString());
+  std::printf("%zu node(s):", hits->size());
+  for (tw::NodeId u : *hits) {
+    std::printf(" %lld:%s", static_cast<long long>(u),
+                tree->LabelName(tree->label(u)).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: twq <run|xpath|check|cat> ...  (see file header)");
+  }
+  std::string command = argv[1];
+  if (command == "run") return CmdRun(argc - 2, argv + 2);
+  if (command == "xpath") return CmdXPath(argc - 2, argv + 2);
+  if (command == "check") return CmdCheck(argc - 2, argv + 2);
+  if (command == "cat") return CmdCat(argc - 2, argv + 2);
+  return Fail("unknown command '" + command + "'");
+}
