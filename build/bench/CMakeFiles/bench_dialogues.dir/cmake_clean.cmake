@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dialogues.dir/bench_dialogues.cc.o"
+  "CMakeFiles/bench_dialogues.dir/bench_dialogues.cc.o.d"
+  "bench_dialogues"
+  "bench_dialogues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dialogues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

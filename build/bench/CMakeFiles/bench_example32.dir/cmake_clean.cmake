@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example32.dir/bench_example32.cc.o"
+  "CMakeFiles/bench_example32.dir/bench_example32.cc.o.d"
+  "bench_example32"
+  "bench_example32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

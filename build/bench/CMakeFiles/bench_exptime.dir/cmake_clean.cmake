@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exptime.dir/bench_exptime.cc.o"
+  "CMakeFiles/bench_exptime.dir/bench_exptime.cc.o.d"
+  "bench_exptime"
+  "bench_exptime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

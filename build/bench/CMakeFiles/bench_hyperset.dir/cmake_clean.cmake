@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hyperset.dir/bench_hyperset.cc.o"
+  "CMakeFiles/bench_hyperset.dir/bench_hyperset.cc.o.d"
+  "bench_hyperset"
+  "bench_hyperset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hyperset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

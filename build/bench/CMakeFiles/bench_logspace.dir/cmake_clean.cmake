@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logspace.dir/bench_logspace.cc.o"
+  "CMakeFiles/bench_logspace.dir/bench_logspace.cc.o.d"
+  "bench_logspace"
+  "bench_logspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pspace.dir/bench_pspace.cc.o"
+  "CMakeFiles/bench_pspace.dir/bench_pspace.cc.o.d"
+  "bench_pspace"
+  "bench_pspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ptime.dir/bench_ptime.cc.o"
+  "CMakeFiles/bench_ptime.dir/bench_ptime.cc.o.d"
+  "bench_ptime"
+  "bench_ptime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_types.dir/bench_types.cc.o"
+  "CMakeFiles/bench_types.dir/bench_types.cc.o.d"
+  "bench_types"
+  "bench_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_lab.dir/complexity_lab.cpp.o"
+  "CMakeFiles/complexity_lab.dir/complexity_lab.cpp.o.d"
+  "complexity_lab"
+  "complexity_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

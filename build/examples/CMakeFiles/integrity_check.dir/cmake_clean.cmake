@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_check.dir/integrity_check.cpp.o"
+  "CMakeFiles/integrity_check.dir/integrity_check.cpp.o.d"
+  "integrity_check"
+  "integrity_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

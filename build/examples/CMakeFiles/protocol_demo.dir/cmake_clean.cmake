@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_demo.dir/protocol_demo.cpp.o"
+  "CMakeFiles/protocol_demo.dir/protocol_demo.cpp.o.d"
+  "protocol_demo"
+  "protocol_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tree")
+subdirs("logic")
+subdirs("relstore")
+subdirs("automata")
+subdirs("xpath")
+subdirs("xtm")
+subdirs("simulation")
+subdirs("hyperset")
+subdirs("protocol")
+subdirs("regular")
+subdirs("caterpillar")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/builder.cc" "src/automata/CMakeFiles/treewalk_automata.dir/builder.cc.o" "gcc" "src/automata/CMakeFiles/treewalk_automata.dir/builder.cc.o.d"
+  "/root/repo/src/automata/interpreter.cc" "src/automata/CMakeFiles/treewalk_automata.dir/interpreter.cc.o" "gcc" "src/automata/CMakeFiles/treewalk_automata.dir/interpreter.cc.o.d"
+  "/root/repo/src/automata/library.cc" "src/automata/CMakeFiles/treewalk_automata.dir/library.cc.o" "gcc" "src/automata/CMakeFiles/treewalk_automata.dir/library.cc.o.d"
+  "/root/repo/src/automata/program.cc" "src/automata/CMakeFiles/treewalk_automata.dir/program.cc.o" "gcc" "src/automata/CMakeFiles/treewalk_automata.dir/program.cc.o.d"
+  "/root/repo/src/automata/text_format.cc" "src/automata/CMakeFiles/treewalk_automata.dir/text_format.cc.o" "gcc" "src/automata/CMakeFiles/treewalk_automata.dir/text_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treewalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treewalk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/treewalk_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relstore/CMakeFiles/treewalk_relstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_automata.dir/builder.cc.o"
+  "CMakeFiles/treewalk_automata.dir/builder.cc.o.d"
+  "CMakeFiles/treewalk_automata.dir/interpreter.cc.o"
+  "CMakeFiles/treewalk_automata.dir/interpreter.cc.o.d"
+  "CMakeFiles/treewalk_automata.dir/library.cc.o"
+  "CMakeFiles/treewalk_automata.dir/library.cc.o.d"
+  "CMakeFiles/treewalk_automata.dir/program.cc.o"
+  "CMakeFiles/treewalk_automata.dir/program.cc.o.d"
+  "CMakeFiles/treewalk_automata.dir/text_format.cc.o"
+  "CMakeFiles/treewalk_automata.dir/text_format.cc.o.d"
+  "libtreewalk_automata.a"
+  "libtreewalk_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

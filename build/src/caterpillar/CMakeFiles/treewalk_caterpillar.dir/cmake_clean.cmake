@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_caterpillar.dir/caterpillar.cc.o"
+  "CMakeFiles/treewalk_caterpillar.dir/caterpillar.cc.o.d"
+  "libtreewalk_caterpillar.a"
+  "libtreewalk_caterpillar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_caterpillar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

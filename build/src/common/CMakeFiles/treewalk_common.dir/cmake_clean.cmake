@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_common.dir/interner.cc.o"
+  "CMakeFiles/treewalk_common.dir/interner.cc.o.d"
+  "CMakeFiles/treewalk_common.dir/status.cc.o"
+  "CMakeFiles/treewalk_common.dir/status.cc.o.d"
+  "libtreewalk_common.a"
+  "libtreewalk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreewalk_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_hyperset.dir/hyperset.cc.o"
+  "CMakeFiles/treewalk_hyperset.dir/hyperset.cc.o.d"
+  "libtreewalk_hyperset.a"
+  "libtreewalk_hyperset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_hyperset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

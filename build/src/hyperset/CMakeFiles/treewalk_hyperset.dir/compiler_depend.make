@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for treewalk_hyperset.
+# This may be replaced when dependencies are built.

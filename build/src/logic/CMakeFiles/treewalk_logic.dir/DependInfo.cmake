@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/atomic_types.cc" "src/logic/CMakeFiles/treewalk_logic.dir/atomic_types.cc.o" "gcc" "src/logic/CMakeFiles/treewalk_logic.dir/atomic_types.cc.o.d"
+  "/root/repo/src/logic/formula.cc" "src/logic/CMakeFiles/treewalk_logic.dir/formula.cc.o" "gcc" "src/logic/CMakeFiles/treewalk_logic.dir/formula.cc.o.d"
+  "/root/repo/src/logic/normalize.cc" "src/logic/CMakeFiles/treewalk_logic.dir/normalize.cc.o" "gcc" "src/logic/CMakeFiles/treewalk_logic.dir/normalize.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/logic/CMakeFiles/treewalk_logic.dir/parser.cc.o" "gcc" "src/logic/CMakeFiles/treewalk_logic.dir/parser.cc.o.d"
+  "/root/repo/src/logic/tree_eval.cc" "src/logic/CMakeFiles/treewalk_logic.dir/tree_eval.cc.o" "gcc" "src/logic/CMakeFiles/treewalk_logic.dir/tree_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treewalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treewalk_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

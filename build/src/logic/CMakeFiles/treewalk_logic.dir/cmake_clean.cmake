@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_logic.dir/atomic_types.cc.o"
+  "CMakeFiles/treewalk_logic.dir/atomic_types.cc.o.d"
+  "CMakeFiles/treewalk_logic.dir/formula.cc.o"
+  "CMakeFiles/treewalk_logic.dir/formula.cc.o.d"
+  "CMakeFiles/treewalk_logic.dir/normalize.cc.o"
+  "CMakeFiles/treewalk_logic.dir/normalize.cc.o.d"
+  "CMakeFiles/treewalk_logic.dir/parser.cc.o"
+  "CMakeFiles/treewalk_logic.dir/parser.cc.o.d"
+  "CMakeFiles/treewalk_logic.dir/tree_eval.cc.o"
+  "CMakeFiles/treewalk_logic.dir/tree_eval.cc.o.d"
+  "libtreewalk_logic.a"
+  "libtreewalk_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_protocol.dir/protocol.cc.o"
+  "CMakeFiles/treewalk_protocol.dir/protocol.cc.o.d"
+  "libtreewalk_protocol.a"
+  "libtreewalk_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_regular.dir/hedge.cc.o"
+  "CMakeFiles/treewalk_regular.dir/hedge.cc.o.d"
+  "CMakeFiles/treewalk_regular.dir/library.cc.o"
+  "CMakeFiles/treewalk_regular.dir/library.cc.o.d"
+  "libtreewalk_regular.a"
+  "libtreewalk_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

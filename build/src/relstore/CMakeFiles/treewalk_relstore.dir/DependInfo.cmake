@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relstore/relation.cc" "src/relstore/CMakeFiles/treewalk_relstore.dir/relation.cc.o" "gcc" "src/relstore/CMakeFiles/treewalk_relstore.dir/relation.cc.o.d"
+  "/root/repo/src/relstore/store.cc" "src/relstore/CMakeFiles/treewalk_relstore.dir/store.cc.o" "gcc" "src/relstore/CMakeFiles/treewalk_relstore.dir/store.cc.o.d"
+  "/root/repo/src/relstore/store_eval.cc" "src/relstore/CMakeFiles/treewalk_relstore.dir/store_eval.cc.o" "gcc" "src/relstore/CMakeFiles/treewalk_relstore.dir/store_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treewalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/treewalk_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treewalk_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

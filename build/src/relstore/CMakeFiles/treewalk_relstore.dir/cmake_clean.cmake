@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_relstore.dir/relation.cc.o"
+  "CMakeFiles/treewalk_relstore.dir/relation.cc.o.d"
+  "CMakeFiles/treewalk_relstore.dir/store.cc.o"
+  "CMakeFiles/treewalk_relstore.dir/store.cc.o.d"
+  "CMakeFiles/treewalk_relstore.dir/store_eval.cc.o"
+  "CMakeFiles/treewalk_relstore.dir/store_eval.cc.o.d"
+  "libtreewalk_relstore.a"
+  "libtreewalk_relstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_relstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

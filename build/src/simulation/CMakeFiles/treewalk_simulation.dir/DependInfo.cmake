@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulation/config_graph.cc" "src/simulation/CMakeFiles/treewalk_simulation.dir/config_graph.cc.o" "gcc" "src/simulation/CMakeFiles/treewalk_simulation.dir/config_graph.cc.o.d"
+  "/root/repo/src/simulation/logspace_sim.cc" "src/simulation/CMakeFiles/treewalk_simulation.dir/logspace_sim.cc.o" "gcc" "src/simulation/CMakeFiles/treewalk_simulation.dir/logspace_sim.cc.o.d"
+  "/root/repo/src/simulation/pebbles.cc" "src/simulation/CMakeFiles/treewalk_simulation.dir/pebbles.cc.o" "gcc" "src/simulation/CMakeFiles/treewalk_simulation.dir/pebbles.cc.o.d"
+  "/root/repo/src/simulation/pspace_compile.cc" "src/simulation/CMakeFiles/treewalk_simulation.dir/pspace_compile.cc.o" "gcc" "src/simulation/CMakeFiles/treewalk_simulation.dir/pspace_compile.cc.o.d"
+  "/root/repo/src/simulation/string_tm.cc" "src/simulation/CMakeFiles/treewalk_simulation.dir/string_tm.cc.o" "gcc" "src/simulation/CMakeFiles/treewalk_simulation.dir/string_tm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treewalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treewalk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/treewalk_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relstore/CMakeFiles/treewalk_relstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/treewalk_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtm/CMakeFiles/treewalk_xtm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_simulation.dir/config_graph.cc.o"
+  "CMakeFiles/treewalk_simulation.dir/config_graph.cc.o.d"
+  "CMakeFiles/treewalk_simulation.dir/logspace_sim.cc.o"
+  "CMakeFiles/treewalk_simulation.dir/logspace_sim.cc.o.d"
+  "CMakeFiles/treewalk_simulation.dir/pebbles.cc.o"
+  "CMakeFiles/treewalk_simulation.dir/pebbles.cc.o.d"
+  "CMakeFiles/treewalk_simulation.dir/pspace_compile.cc.o"
+  "CMakeFiles/treewalk_simulation.dir/pspace_compile.cc.o.d"
+  "CMakeFiles/treewalk_simulation.dir/string_tm.cc.o"
+  "CMakeFiles/treewalk_simulation.dir/string_tm.cc.o.d"
+  "libtreewalk_simulation.a"
+  "libtreewalk_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

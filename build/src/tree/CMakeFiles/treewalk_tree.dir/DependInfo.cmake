@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/delimited.cc" "src/tree/CMakeFiles/treewalk_tree.dir/delimited.cc.o" "gcc" "src/tree/CMakeFiles/treewalk_tree.dir/delimited.cc.o.d"
+  "/root/repo/src/tree/generate.cc" "src/tree/CMakeFiles/treewalk_tree.dir/generate.cc.o" "gcc" "src/tree/CMakeFiles/treewalk_tree.dir/generate.cc.o.d"
+  "/root/repo/src/tree/term_io.cc" "src/tree/CMakeFiles/treewalk_tree.dir/term_io.cc.o" "gcc" "src/tree/CMakeFiles/treewalk_tree.dir/term_io.cc.o.d"
+  "/root/repo/src/tree/traversal.cc" "src/tree/CMakeFiles/treewalk_tree.dir/traversal.cc.o" "gcc" "src/tree/CMakeFiles/treewalk_tree.dir/traversal.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/tree/CMakeFiles/treewalk_tree.dir/tree.cc.o" "gcc" "src/tree/CMakeFiles/treewalk_tree.dir/tree.cc.o.d"
+  "/root/repo/src/tree/xml_io.cc" "src/tree/CMakeFiles/treewalk_tree.dir/xml_io.cc.o" "gcc" "src/tree/CMakeFiles/treewalk_tree.dir/xml_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treewalk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_tree.dir/delimited.cc.o"
+  "CMakeFiles/treewalk_tree.dir/delimited.cc.o.d"
+  "CMakeFiles/treewalk_tree.dir/generate.cc.o"
+  "CMakeFiles/treewalk_tree.dir/generate.cc.o.d"
+  "CMakeFiles/treewalk_tree.dir/term_io.cc.o"
+  "CMakeFiles/treewalk_tree.dir/term_io.cc.o.d"
+  "CMakeFiles/treewalk_tree.dir/traversal.cc.o"
+  "CMakeFiles/treewalk_tree.dir/traversal.cc.o.d"
+  "CMakeFiles/treewalk_tree.dir/tree.cc.o"
+  "CMakeFiles/treewalk_tree.dir/tree.cc.o.d"
+  "CMakeFiles/treewalk_tree.dir/xml_io.cc.o"
+  "CMakeFiles/treewalk_tree.dir/xml_io.cc.o.d"
+  "libtreewalk_tree.a"
+  "libtreewalk_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreewalk_tree.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_xpath.dir/compile.cc.o"
+  "CMakeFiles/treewalk_xpath.dir/compile.cc.o.d"
+  "CMakeFiles/treewalk_xpath.dir/eval.cc.o"
+  "CMakeFiles/treewalk_xpath.dir/eval.cc.o.d"
+  "CMakeFiles/treewalk_xpath.dir/parser.cc.o"
+  "CMakeFiles/treewalk_xpath.dir/parser.cc.o.d"
+  "libtreewalk_xpath.a"
+  "libtreewalk_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtm/library.cc" "src/xtm/CMakeFiles/treewalk_xtm.dir/library.cc.o" "gcc" "src/xtm/CMakeFiles/treewalk_xtm.dir/library.cc.o.d"
+  "/root/repo/src/xtm/machine.cc" "src/xtm/CMakeFiles/treewalk_xtm.dir/machine.cc.o" "gcc" "src/xtm/CMakeFiles/treewalk_xtm.dir/machine.cc.o.d"
+  "/root/repo/src/xtm/run.cc" "src/xtm/CMakeFiles/treewalk_xtm.dir/run.cc.o" "gcc" "src/xtm/CMakeFiles/treewalk_xtm.dir/run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/treewalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treewalk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/treewalk_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/relstore/CMakeFiles/treewalk_relstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/treewalk_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewalk_xtm.dir/library.cc.o"
+  "CMakeFiles/treewalk_xtm.dir/library.cc.o.d"
+  "CMakeFiles/treewalk_xtm.dir/machine.cc.o"
+  "CMakeFiles/treewalk_xtm.dir/machine.cc.o.d"
+  "CMakeFiles/treewalk_xtm.dir/run.cc.o"
+  "CMakeFiles/treewalk_xtm.dir/run.cc.o.d"
+  "libtreewalk_xtm.a"
+  "libtreewalk_xtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewalk_xtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

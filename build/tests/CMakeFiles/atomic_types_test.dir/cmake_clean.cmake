@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_types_test.dir/atomic_types_test.cc.o"
+  "CMakeFiles/atomic_types_test.dir/atomic_types_test.cc.o.d"
+  "atomic_types_test"
+  "atomic_types_test.pdb"
+  "atomic_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

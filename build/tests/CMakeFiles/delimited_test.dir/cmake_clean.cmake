@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delimited_test.dir/delimited_test.cc.o"
+  "CMakeFiles/delimited_test.dir/delimited_test.cc.o.d"
+  "delimited_test"
+  "delimited_test.pdb"
+  "delimited_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delimited_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

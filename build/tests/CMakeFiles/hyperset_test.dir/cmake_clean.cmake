@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperset_test.dir/hyperset_test.cc.o"
+  "CMakeFiles/hyperset_test.dir/hyperset_test.cc.o.d"
+  "hyperset_test"
+  "hyperset_test.pdb"
+  "hyperset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebbles_test.dir/pebbles_test.cc.o"
+  "CMakeFiles/pebbles_test.dir/pebbles_test.cc.o.d"
+  "pebbles_test"
+  "pebbles_test.pdb"
+  "pebbles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebbles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

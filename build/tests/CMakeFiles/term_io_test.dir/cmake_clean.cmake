@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_io_test.dir/term_io_test.cc.o"
+  "CMakeFiles/term_io_test.dir/term_io_test.cc.o.d"
+  "term_io_test"
+  "term_io_test.pdb"
+  "term_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

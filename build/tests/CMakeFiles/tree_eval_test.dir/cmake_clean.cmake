@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_eval_test.dir/tree_eval_test.cc.o"
+  "CMakeFiles/tree_eval_test.dir/tree_eval_test.cc.o.d"
+  "tree_eval_test"
+  "tree_eval_test.pdb"
+  "tree_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twp_files_test.dir/twp_files_test.cc.o"
+  "CMakeFiles/twp_files_test.dir/twp_files_test.cc.o.d"
+  "twp_files_test"
+  "twp_files_test.pdb"
+  "twp_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twp_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

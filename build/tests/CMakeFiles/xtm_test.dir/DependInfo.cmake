@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xtm_test.cc" "tests/CMakeFiles/xtm_test.dir/xtm_test.cc.o" "gcc" "tests/CMakeFiles/xtm_test.dir/xtm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xpath/CMakeFiles/treewalk_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulation/CMakeFiles/treewalk_simulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtm/CMakeFiles/treewalk_xtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/treewalk_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/treewalk_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/relstore/CMakeFiles/treewalk_relstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/treewalk_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyperset/CMakeFiles/treewalk_hyperset.dir/DependInfo.cmake"
+  "/root/repo/build/src/regular/CMakeFiles/treewalk_regular.dir/DependInfo.cmake"
+  "/root/repo/build/src/caterpillar/CMakeFiles/treewalk_caterpillar.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treewalk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/treewalk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtm_test.dir/xtm_test.cc.o"
+  "CMakeFiles/xtm_test.dir/xtm_test.cc.o.d"
+  "xtm_test"
+  "xtm_test.pdb"
+  "xtm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/term_io_test[1]_include.cmake")
+include("/root/repo/build/tests/delimited_test[1]_include.cmake")
+include("/root/repo/build/tests/traversal_test[1]_include.cmake")
+include("/root/repo/build/tests/generate_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_io_test[1]_include.cmake")
+include("/root/repo/build/tests/formula_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/atomic_types_test[1]_include.cmake")
+include("/root/repo/build/tests/relstore_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/library_test[1]_include.cmake")
+include("/root/repo/build/tests/xpath_test[1]_include.cmake")
+include("/root/repo/build/tests/xtm_test[1]_include.cmake")
+include("/root/repo/build/tests/pebbles_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/hyperset_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/regular_test[1]_include.cmake")
+include("/root/repo/build/tests/caterpillar_test[1]_include.cmake")
+include("/root/repo/build/tests/text_format_test[1]_include.cmake")
+include("/root/repo/build/tests/twp_files_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/normalize_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twq.dir/twq.cc.o"
+  "CMakeFiles/twq.dir/twq.cc.o.d"
+  "twq"
+  "twq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
