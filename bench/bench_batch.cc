@@ -1,0 +1,161 @@
+// E11 batch: throughput of the src/engine thread pool on a fixed 64-job
+// mixed workload at 1/2/4/8 threads, with a determinism cross-check
+// against the serial run, plus the selector cache on/off ablation.
+//
+// Scaling is only visible when the host actually has multiple cores;
+// the jobs/s counter at each thread count is the figure of merit.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/automata/builder.h"
+#include "src/automata/library.h"
+#include "src/engine/engine.h"
+#include "src/tree/generate.h"
+
+namespace {
+
+using namespace treewalk;
+
+struct Workload {
+  std::vector<Program> programs;
+  std::vector<Tree> trees;
+  std::vector<BatchJob> jobs;
+};
+
+/// The same 64-job shape as tests/engine_test.cc, on larger trees so a
+/// job is a meaningful unit of work.
+const Workload& SharedWorkload() {
+  static const Workload* workload = [] {
+    auto* w = new Workload;
+    w->programs.push_back(std::move(HasLabelProgram("a")).value());
+    w->programs.push_back(std::move(HasLabelProgram("missing")).value());
+    w->programs.push_back(std::move(ParityProgram("a")).value());
+    w->programs.push_back(std::move(AllLeavesLabelProgram("a")).value());
+    w->programs.push_back(std::move(RootValueAtSomeLeafProgram("a")).value());
+    w->programs.push_back(std::move(Example32Program("a")).value());
+
+    std::mt19937 rng(29);
+    RandomTreeOptions options;
+    options.labels = {"a", "b", "sigma", "delta"};
+    options.value_range = 8;
+    for (int n : {100, 200, 400, 800}) {
+      options.num_nodes = n;
+      w->trees.push_back(RandomTree(rng, options));
+    }
+    w->trees.push_back(Example32Tree(rng, 300, /*uniform=*/true));
+    w->trees.push_back(Example32Tree(rng, 300, /*uniform=*/false));
+
+    for (int i = 0; i < 64; ++i) {
+      BatchJob job;
+      job.program =
+          &w->programs[static_cast<std::size_t>(i) % w->programs.size()];
+      job.tree = &w->trees[static_cast<std::size_t>(i / 2) % w->trees.size()];
+      job.options.max_steps = 100'000'000;
+      w->jobs.push_back(job);
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+bool SameVerdicts(const BatchResult& a, const BatchResult& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    if (a.results[i].run.accepted != b.results[i].run.accepted) return false;
+    if (!(a.results[i].run.stats == b.results[i].run.stats)) return false;
+  }
+  return a.stats == b.stats;
+}
+
+/// 64 jobs at state.range(0) threads; verifies every timed run is
+/// bit-identical to the serial reference.
+void BM_Batch64Jobs(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  BatchResult reference =
+      std::move(BatchEngine({.num_threads = 1}).RunBatch(w.jobs)).value();
+  int threads = static_cast<int>(state.range(0));
+  BatchEngine engine({.num_threads = threads});
+  for (auto _ : state) {
+    auto batch = engine.RunBatch(w.jobs);
+    if (!batch.ok()) {
+      state.SkipWithError(batch.status().ToString().c_str());
+      break;
+    }
+    if (!SameVerdicts(reference, *batch)) {
+      state.SkipWithError("parallel result differs from serial reference");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.jobs.size()));
+  state.counters["steps_per_batch"] =
+      static_cast<double>(reference.stats.steps);
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() *
+                          static_cast<std::int64_t>(w.jobs.size())),
+      benchmark::Counter::kIsRate);
+}
+
+/// A tw^{r,l} program that fires the *same* FO(exists*) selector k
+/// times from the root — the repeated-(selector, origin) pattern the
+/// per-run cache exists for (programs whose walks revisit a node, or
+/// that call one look-ahead from several states).  Example 3.2 fires
+/// each selector at distinct origins and gets no hits by design.
+Program RepeatedSelectorProgram(int k) {
+  ProgramBuilder b(ProgramClass::kTwRL);
+  b.SetStates("q0", "qf");
+  b.DeclareRegister("X1", 1);
+  for (int i = 0; i < k; ++i) {
+    b.OnLookAhead("#top", "q" + std::to_string(i), "true",
+                  "q" + std::to_string(i + 1), "X1",
+                  "desc(x, y) & lab(y, #leaf)", "p");
+  }
+  b.OnMove("#top", "q" + std::to_string(k), "true", "qf", Move::kStay);
+  b.OnMove("*", "p", "true", "qf", Move::kStay);
+  return std::move(b.Build()).value();
+}
+
+/// Selector cache ablation: k = 8 firings of one selector per job, with
+/// the cache on vs. off.  With the cache, 1 miss + 7 hits per job —
+/// the O(n^2) selector evaluation happens once instead of 8 times.
+void BM_BatchSelectorCache(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  Program p = RepeatedSelectorProgram(8);
+  std::vector<BatchJob> jobs;
+  for (const Tree& t : w.trees) {
+    BatchJob job;
+    job.program = &p;
+    job.tree = &t;
+    job.options.max_steps = 100'000'000;
+    job.options.cache_selectors = state.range(0) != 0;
+    jobs.push_back(job);
+  }
+  BatchEngine engine({.num_threads = 1});
+  std::int64_t hits = 0;
+  for (auto _ : state) {
+    auto batch = engine.RunBatch(jobs);
+    if (!batch.ok()) {
+      state.SkipWithError(batch.status().ToString().c_str());
+      break;
+    }
+    if (batch->stats.failed != 0) {
+      state.SkipWithError("a cache-ablation job failed");
+      break;
+    }
+    hits = batch->stats.selector_cache_hits;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+  state.counters["cache_hits"] = static_cast<double>(hits);
+}
+
+BENCHMARK(BM_Batch64Jobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_BatchSelectorCache)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

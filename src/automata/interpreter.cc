@@ -1,6 +1,7 @@
 #include "src/automata/interpreter.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <tuple>
@@ -51,6 +52,26 @@ class Runner {
         exact_keys_.insert(rule.state + "\x1f" + rule.label);
       }
     }
+    // Selector identities for the atp() cache.  Rules whose selectors
+    // print identically evaluate identically, so they share one cache
+    // id (the first such rule's index).  Also collect the store
+    // relations each selector mentions for its cache-key fingerprint;
+    // selectors are tree formulas, so this is empty today — keeping it
+    // in the key means the cache stays correct if selectors ever gain
+    // store atoms.
+    selector_ids_.resize(program.rules().size(), 0);
+    selector_rels_.resize(program.rules().size());
+    std::map<std::string, std::size_t> first_use;
+    for (std::size_t i = 0; i < program.rules().size(); ++i) {
+      const Rule& rule = program.rules()[i];
+      if (rule.action.kind != Action::Kind::kLookAhead) continue;
+      selector_ids_[i] =
+          first_use.emplace(rule.action.selector.ToString(), i).first->second;
+      for (const std::string& name : rule.action.selector.RelationNames()) {
+        int index = program.initial_store().IndexOf(name);
+        if (index >= 0) selector_rels_[i].push_back(index);
+      }
+    }
   }
 
   Result<RunResult> Run() {
@@ -82,6 +103,11 @@ class Runner {
     std::set<ConfigKey> visited;
 
     while (true) {
+      if (options_.cancel != nullptr &&
+          options_.cancel->load(std::memory_order_relaxed)) {
+        return Cancelled("run cancelled after " +
+                         std::to_string(stats_.steps) + " steps");
+      }
       if (state == program_.final_state()) {
         Outcome out;
         out.accepted = true;
@@ -119,13 +145,17 @@ class Runner {
           TREEWALK_RETURN_IF_ERROR(store.Replace(
               static_cast<std::size_t>(action.register_index),
               std::move(result)));
+          ++stats_.store_updates;
           break;
         }
         case Action::Kind::kLookAhead: {
           ++stats_.subcomputations;
+          ++stats_.atp_calls;
+          std::size_t rule_index =
+              static_cast<std::size_t>(rule - program_.rules().data());
           TREEWALK_ASSIGN_OR_RETURN(
               std::vector<NodeId> selected,
-              SelectNodes(tree_, action.selector, u));
+              Select(rule_index, action.selector, u, store));
           if (program_.program_class() == ProgramClass::kTwL &&
               selected.size() > 1) {
             return FailedPrecondition(
@@ -146,6 +176,7 @@ class Runner {
           TREEWALK_RETURN_IF_ERROR(store.Replace(
               static_cast<std::size_t>(action.register_index),
               std::move(collected)));
+          ++stats_.store_updates;
           break;
         }
       }
@@ -153,6 +184,36 @@ class Runner {
       stats_.max_store_tuples =
           std::max(stats_.max_store_tuples, store.TotalTuples());
     }
+  }
+
+  /// SelectNodes with the per-run cache in front (Definition 3.1's
+  /// atp() node selection).  The key is (selector id = rule index,
+  /// origin, fingerprint of the store relations the selector mentions);
+  /// since selectors are store-free tree formulas the fingerprint is a
+  /// constant, and repeated fan-outs from one origin hit the cache.
+  Result<std::vector<NodeId>> Select(std::size_t rule_index,
+                                     const Formula& selector, NodeId origin,
+                                     const Store& store) {
+    if (!options_.cache_selectors) {
+      ++stats_.selector_cache_misses;
+      return SelectNodes(tree_, selector, origin);
+    }
+    std::uint64_t store_fp = 0;
+    for (int rel : selector_rels_[rule_index]) {
+      store_fp ^= store.At(static_cast<std::size_t>(rel)).Fingerprint() +
+                  0x9e3779b97f4a7c15ULL + (store_fp << 6) + (store_fp >> 2);
+    }
+    SelectorKey key{selector_ids_[rule_index], origin, store_fp};
+    auto it = selector_cache_.find(key);
+    if (it != selector_cache_.end()) {
+      ++stats_.selector_cache_hits;
+      return it->second;
+    }
+    ++stats_.selector_cache_misses;
+    TREEWALK_ASSIGN_OR_RETURN(std::vector<NodeId> selected,
+                              SelectNodes(tree_, selector, origin));
+    selector_cache_.emplace(key, selected);
+    return selected;
   }
 
   static Result<Outcome> Rejected(RejectReason reason) {
@@ -252,11 +313,16 @@ class Runner {
     trace_.push_back(std::move(entry));
   }
 
+  using SelectorKey = std::tuple<std::size_t, NodeId, std::uint64_t>;
+
   const Program& program_;
   const Tree& tree_;
   const RunOptions& options_;
   std::vector<Symbol> labels_;
   std::set<std::string> exact_keys_;
+  std::vector<std::size_t> selector_ids_;
+  std::vector<std::vector<int>> selector_rels_;
+  std::map<SelectorKey, std::vector<NodeId>> selector_cache_;
   RunStats stats_;
   std::vector<std::string> trace_;
 };

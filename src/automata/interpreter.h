@@ -1,6 +1,7 @@
 #ifndef TREEWALK_AUTOMATA_INTERPRETER_H_
 #define TREEWALK_AUTOMATA_INTERPRETER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,6 +31,18 @@ struct RunOptions {
   /// computation runs into max_steps (kResourceExhausted) instead of
   /// rejecting with kCycle; terminating runs are unaffected.
   bool detect_cycles = true;
+  /// Per-run atp() selector-result cache keyed on (selector, origin
+  /// node, fingerprint of the store relations the selector mentions).
+  /// Selectors are tree formulas — they cannot read the store — so the
+  /// fingerprint component is constant and repeated fan-outs from one
+  /// node skip re-evaluating the FO selector.  Semantically invisible:
+  /// SelectNodes is pure over the (immutable) run input.
+  bool cache_selectors = true;
+  /// Cooperative cancellation: when non-null and set, the run aborts
+  /// with kCancelled at the next transition boundary.  The pointee must
+  /// outlive the run; src/engine points every job of a batch at one
+  /// flag.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Why a run rejected (Section 3 semantics; cycles reject per the
@@ -47,8 +60,17 @@ const char* RejectReasonName(RejectReason r);
 struct RunStats {
   std::int64_t steps = 0;
   std::int64_t subcomputations = 0;
+  /// atp() rule firings (each may spawn several subcomputations).
+  std::int64_t atp_calls = 0;
+  /// Selector evaluations answered from / added to the per-run cache.
+  std::int64_t selector_cache_hits = 0;
+  std::int64_t selector_cache_misses = 0;
+  /// Register writes (update rules and look-ahead collections).
+  std::int64_t store_updates = 0;
   std::size_t max_store_tuples = 0;
   int max_depth_reached = 0;
+
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 struct RunResult {

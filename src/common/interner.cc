@@ -26,6 +26,7 @@ const std::string& Interner::NameOf(std::int64_t handle) const {
 std::string ValueInterner::Render(DataValue v) const {
   if (v == kBottom) return "_|_";
   if (IsString(v)) {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::int64_t handle = v - kStringBase;
     if (interner_.Contains(handle)) return interner_.NameOf(handle);
     return "<str#" + std::to_string(handle) + ">";

@@ -2,6 +2,7 @@
 #define TREEWALK_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -46,6 +47,12 @@ class Interner {
 /// small non-negative ints, which would collide with numeric data values;
 /// ValueInterner offsets them into a reserved high range of D so string
 /// values and small integers coexist in one tree.
+///
+/// Internally synchronized: formula evaluation interns string constants
+/// through the tree's shared ValueInterner, so concurrent runs over one
+/// tree (src/engine) race on it without the lock.  Handle *values* still
+/// depend on insertion order; the batch engine pre-interns all formula
+/// constants in job order to keep them deterministic (docs/ENGINE.md).
 class ValueInterner {
  public:
   /// First data value used for interned strings.
@@ -53,6 +60,7 @@ class ValueInterner {
 
   /// Returns the data value representing string `s`.
   DataValue ValueFor(std::string_view s) {
+    std::lock_guard<std::mutex> lock(mutex_);
     return kStringBase + interner_.Intern(s);
   }
 
@@ -64,6 +72,7 @@ class ValueInterner {
   std::string Render(DataValue v) const;
 
  private:
+  mutable std::mutex mutex_;
   Interner interner_;
 };
 

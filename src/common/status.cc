@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kNondeterminism:
       return "NONDETERMINISM";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -50,6 +52,9 @@ Status ResourceExhausted(std::string message) {
 }
 Status Nondeterminism(std::string message) {
   return Status(StatusCode::kNondeterminism, std::move(message));
+}
+Status Cancelled(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

@@ -22,6 +22,8 @@ enum class StatusCode {
   kResourceExhausted,
   /// Two rules were simultaneously applicable in a deterministic program.
   kNondeterminism,
+  /// The caller requested cooperative cancellation of a running job.
+  kCancelled,
   /// Internal invariant violation; indicates a library bug.
   kInternal,
 };
@@ -63,6 +65,7 @@ Status NotFound(std::string message);
 Status FailedPrecondition(std::string message);
 Status ResourceExhausted(std::string message);
 Status Nondeterminism(std::string message);
+Status Cancelled(std::string message);
 Status Internal(std::string message);
 
 }  // namespace treewalk

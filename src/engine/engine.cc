@@ -1,0 +1,139 @@
+#include "src/engine/engine.h"
+
+#include <cstddef>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "src/tree/delimited.h"
+
+namespace treewalk {
+
+namespace {
+
+/// Collects the string constants of a formula in syntax order.
+void CollectStrings(const Formula& f, std::vector<std::string>& out) {
+  if (!f.valid()) return;
+  const FormulaNode& n = f.node();
+  for (const Term& t : n.terms) {
+    if (t.kind == Term::Kind::kStrConst) out.push_back(t.text);
+  }
+  for (const Formula& c : n.children) CollectStrings(c, out);
+}
+
+/// Interns every string constant of `program`'s formulas into `tree`'s
+/// value interner.  Evaluation would intern them lazily; doing it here,
+/// serially and in job order, pins the handle assignment before workers
+/// race, which keeps results independent of scheduling.
+void PreInternConstants(const Program& program, const Tree& tree) {
+  std::vector<std::string> strings;
+  for (const Rule& rule : program.rules()) {
+    CollectStrings(rule.guard, strings);
+    CollectStrings(rule.action.update, strings);
+    CollectStrings(rule.action.selector, strings);
+  }
+  for (const std::string& s : strings) tree.values().ValueFor(s);
+}
+
+Status ValidateJob(const BatchJob& job) {
+  if (job.program == nullptr) return InvalidArgument("job has null program");
+  if (job.tree == nullptr) return InvalidArgument("job has null tree");
+  if (job.tree->empty()) return InvalidArgument("job has empty tree");
+  return Status::Ok();
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(EngineOptions options) : options_(options) {}
+
+Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs) {
+  if (options_.num_threads < 1) {
+    return InvalidArgument("num_threads must be >= 1, got " +
+                           std::to_string(options_.num_threads));
+  }
+  cancel_.store(false, std::memory_order_relaxed);
+
+  BatchResult batch;
+  batch.results.resize(jobs.size());
+
+  // Serial prologue, in job order (determinism): validate, pre-intern
+  // string constants, and delimit each distinct input once.
+  std::vector<Status> prechecks(jobs.size());
+  std::map<const Tree*, DelimitedTree> delimited;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    prechecks[i] = ValidateJob(jobs[i]);
+    if (!prechecks[i].ok()) continue;
+    PreInternConstants(*jobs[i].program, *jobs[i].tree);
+    if (delimited.find(jobs[i].tree) == delimited.end()) {
+      delimited.emplace(jobs[i].tree, Delimit(*jobs[i].tree));
+    }
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto run_job = [&](std::size_t i) {
+    JobResult& out = batch.results[i];
+    if (!prechecks[i].ok()) {
+      out.status = prechecks[i];
+      return;
+    }
+    if (cancel_.load(std::memory_order_relaxed)) {
+      out.status = Cancelled("job " + std::to_string(i) +
+                             " cancelled before it started");
+      return;
+    }
+    RunOptions options = jobs[i].options;
+    options.cancel = &cancel_;
+    Interpreter interpreter(*jobs[i].program, options);
+    Result<RunResult> r =
+        interpreter.RunDelimited(delimited.at(jobs[i].tree).tree);
+    if (!r.ok()) {
+      out.status = r.status();
+      return;
+    }
+    out.run = std::move(r).value();
+  };
+  auto worker = [&]() {
+    while (true) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      run_job(i);
+    }
+  };
+
+  int num_threads = options_.num_threads;
+  if (static_cast<std::size_t>(num_threads) > jobs.size()) {
+    num_threads = static_cast<int>(jobs.size());
+  }
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Aggregate in job order so the totals are scheduling-independent.
+  for (const JobResult& r : batch.results) {
+    ++batch.stats.jobs;
+    if (!r.status.ok()) {
+      ++batch.stats.failed;
+      if (r.status.code() == StatusCode::kCancelled) ++batch.stats.cancelled;
+      continue;
+    }
+    if (r.run.accepted) {
+      ++batch.stats.accepted;
+    } else {
+      ++batch.stats.rejected;
+    }
+    batch.stats.steps += r.run.stats.steps;
+    batch.stats.subcomputations += r.run.stats.subcomputations;
+    batch.stats.atp_calls += r.run.stats.atp_calls;
+    batch.stats.selector_cache_hits += r.run.stats.selector_cache_hits;
+    batch.stats.selector_cache_misses += r.run.stats.selector_cache_misses;
+    batch.stats.store_updates += r.run.stats.store_updates;
+  }
+  return batch;
+}
+
+}  // namespace treewalk

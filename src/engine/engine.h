@@ -1,0 +1,108 @@
+#ifndef TREEWALK_ENGINE_ENGINE_H_
+#define TREEWALK_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/automata/interpreter.h"
+#include "src/automata/program.h"
+#include "src/common/result.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// One (program, document) evaluation request.  The engine delimits the
+/// tree itself (once per distinct Tree pointer — jobs may share inputs).
+/// `program` and `tree` are borrowed: they must outlive the RunBatch()
+/// call and are accessed read-only (see docs/ENGINE.md for the full
+/// thread-safety contract).  `options.cancel` is overwritten with the
+/// engine's batch-wide flag.
+struct BatchJob {
+  const Program* program = nullptr;
+  const Tree* tree = nullptr;
+  RunOptions options;
+};
+
+/// Outcome of one job.  `status` is non-OK when the run aborted (budget
+/// exhausted, cancelled, precondition violated); `run` is meaningful
+/// only when `status.ok()`.
+struct JobResult {
+  Status status;
+  RunResult run;
+};
+
+/// Aggregate instrumentation over a batch, summed over jobs in job
+/// order (deterministic regardless of thread count).  Counter
+/// definitions are in docs/ENGINE.md.
+struct EngineStats {
+  std::int64_t jobs = 0;
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  /// Jobs with a non-OK status (includes cancelled).
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t steps = 0;
+  std::int64_t subcomputations = 0;
+  std::int64_t atp_calls = 0;
+  std::int64_t selector_cache_hits = 0;
+  std::int64_t selector_cache_misses = 0;
+  std::int64_t store_updates = 0;
+
+  friend bool operator==(const EngineStats&, const EngineStats&) = default;
+};
+
+struct BatchResult {
+  /// Index-aligned with the submitted jobs.
+  std::vector<JobResult> results;
+  EngineStats stats;
+};
+
+struct EngineOptions {
+  /// Worker threads; 1 runs the batch inline on the calling thread.
+  /// Results are identical for every value (see docs/ENGINE.md).
+  int num_threads = 1;
+};
+
+/// Fixed-size thread-pool batch evaluator: N workers drain a shared work
+/// queue of jobs, each running the deterministic interpreter on its own
+/// per-job state.  Guarantees:
+///
+///   - Deterministic results: results[i] depends only on jobs[i], so the
+///     result vector (verdicts, reject reasons, step counts, traces) is
+///     byte-identical to serial execution regardless of num_threads.
+///   - Shared inputs stay read-only: one Program or Tree may back many
+///     jobs.  String constants of every job's formulas are pre-interned
+///     in job order before workers start, so value handles do not depend
+///     on scheduling (the one mutable corner of a Tree; docs/ENGINE.md).
+///   - Cooperative cancellation: RequestCancel() makes running jobs
+///     abort with kCancelled at the next transition and unstarted jobs
+///     fail immediately; RunBatch still returns a fully populated,
+///     index-aligned result vector.
+class BatchEngine {
+ public:
+  explicit BatchEngine(EngineOptions options = {});
+
+  /// Runs all jobs and blocks until every one finished (or was
+  /// cancelled).  Errors on malformed jobs (null program/tree, empty
+  /// tree) are reported per-job in JobResult::status, not as a batch
+  /// error; the batch itself only fails on invalid EngineOptions.
+  /// Clears any cancellation left over from a previous batch.
+  Result<BatchResult> RunBatch(const std::vector<BatchJob>& jobs);
+
+  /// Requests cooperative cancellation of the in-flight batch.  Safe to
+  /// call from any thread, including concurrently with RunBatch.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EngineOptions options_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_ENGINE_ENGINE_H_

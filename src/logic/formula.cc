@@ -249,6 +249,68 @@ std::size_t Formula::Size() const {
 
 namespace {
 
+void CollectRelationNames(const Formula& f, std::set<std::string>& names) {
+  const FormulaNode& n = f.node();
+  if (n.kind == FormulaKind::kAtom && n.atom == AtomKind::kRelation) {
+    names.insert(n.symbol);
+  }
+  for (const Formula& c : n.children) CollectRelationNames(c, names);
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashBytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void HashString(std::uint64_t& h, const std::string& s) {
+  std::size_t size = s.size();
+  HashBytes(h, &size, sizeof(size));
+  HashBytes(h, s.data(), s.size());
+}
+
+void HashTerm(std::uint64_t& h, const Term& t) {
+  int kind = static_cast<int>(t.kind);
+  HashBytes(h, &kind, sizeof(kind));
+  HashString(h, t.var);
+  HashString(h, t.attr);
+  HashBytes(h, &t.value, sizeof(t.value));
+  HashString(h, t.text);
+}
+
+void HashNode(std::uint64_t& h, const Formula& f) {
+  const FormulaNode& n = f.node();
+  int kind = static_cast<int>(n.kind);
+  HashBytes(h, &kind, sizeof(kind));
+  HashString(h, n.var);
+  int atom = static_cast<int>(n.atom);
+  HashBytes(h, &atom, sizeof(atom));
+  HashString(h, n.symbol);
+  for (const Term& t : n.terms) HashTerm(h, t);
+  for (const Formula& c : n.children) HashNode(h, c);
+}
+
+}  // namespace
+
+std::set<std::string> Formula::RelationNames() const {
+  std::set<std::string> names;
+  if (valid()) CollectRelationNames(*this, names);
+  return names;
+}
+
+std::uint64_t Formula::StructuralHash() const {
+  std::uint64_t h = kFnvOffset;
+  if (valid()) HashNode(h, *this);
+  return h;
+}
+
+namespace {
+
 std::string TermToString(const Term& t) {
   switch (t.kind) {
     case Term::Kind::kVar:

@@ -1,6 +1,7 @@
 #ifndef TREEWALK_LOGIC_FORMULA_H_
 #define TREEWALK_LOGIC_FORMULA_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <set>
@@ -145,6 +146,15 @@ class Formula {
   bool IsExistentialPrenex() const;
   /// Number of AST nodes.
   std::size_t Size() const;
+  /// Names of store relations mentioned in kRelation atoms, sorted.
+  /// Tree-vocabulary formulas (all atp() selectors) mention none; the
+  /// interpreter's selector cache uses this to fingerprint exactly the
+  /// store slice a selector could observe.
+  std::set<std::string> RelationNames() const;
+  /// Order-insensitive-to-sharing structural hash: equal ASTs hash
+  /// equally even when built from distinct nodes.  Stable within a
+  /// process; used as a selector identity in caches.
+  std::uint64_t StructuralHash() const;
   /// Renders in the syntax accepted by ParseFormula().
   std::string ToString() const;
 

@@ -51,6 +51,22 @@ Relation Relation::Singleton(DataValue v) {
   return Relation(1, {{v}});
 }
 
+std::uint64_t Relation::Fingerprint() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(arity_));
+  mix(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    for (DataValue v : t) mix(static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
 std::string Relation::ToString() const {
   std::string out = "{";
   for (std::size_t i = 0; i < tuples_.size(); ++i) {

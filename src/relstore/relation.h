@@ -1,6 +1,7 @@
 #ifndef TREEWALK_RELSTORE_RELATION_H_
 #define TREEWALK_RELSTORE_RELATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,11 @@ class Relation {
 
   /// A singleton unary relation {v}; convenience for tw^l registers.
   static Relation Singleton(DataValue v);
+
+  /// Order-sensitive 64-bit content hash (tuples are kept sorted, so
+  /// equal relations hash equally).  A fast discriminator for cache
+  /// keys; not collision-free.
+  std::uint64_t Fingerprint() const;
 
   /// "{(v1, ..., vk)}".
   std::string ToString() const;

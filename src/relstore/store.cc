@@ -65,6 +65,14 @@ std::vector<DataValue> Store::ActiveDomain() const {
   return out;
 }
 
+std::uint64_t Store::Fingerprint() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Relation& r : relations_) {
+    h ^= r.Fingerprint() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
 std::size_t Store::TotalTuples() const {
   std::size_t total = 0;
   for (const Relation& r : relations_) total += r.size();

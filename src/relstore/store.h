@@ -1,6 +1,7 @@
 #ifndef TREEWALK_RELSTORE_STORE_H_
 #define TREEWALK_RELSTORE_STORE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,6 +50,11 @@ class Store {
   /// Total number of tuples across relations (a size measure for the
   /// PSPACE accounting of Theorem 7.1(3)).
   std::size_t TotalTuples() const;
+
+  /// 64-bit content hash over all relations (schema excluded — one
+  /// store's fingerprints are only compared with its own).  A fast
+  /// discriminator for cache keys; not collision-free.
+  std::uint64_t Fingerprint() const;
 
   /// Deterministic comparison for memoization of configurations.
   friend bool operator==(const Store&, const Store&) = default;

@@ -48,6 +48,7 @@ DelimitedTree Delimit(const Tree& tree) {
   std::vector<NodeId> ref_to_node;
   DelimitedTree result;
   result.tree = wrapped.Build(&ref_to_node);
+  result.tree.AdoptValues(tree);
 
   // Delimiters carry kBottom in every attribute column.
   result.to_delimited.assign(tree.size(), kNoNode);

@@ -118,6 +118,12 @@ class Tree {
   /// strings does not change tree semantics.
   ValueInterner& values() const { return *values_; }
 
+  /// Shares `other`'s value interner (dropping this tree's own), so
+  /// interned-string attribute values copied from `other` keep their
+  /// meaning.  Used by Delimit(): delim(t) carries t's raw attribute
+  /// values and must resolve them in the same handle space.
+  void AdoptValues(const Tree& other) { values_ = other.values_; }
+
   /// All distinct attribute values occurring in the tree (D_active of
   /// Section 3), sorted.
   std::vector<DataValue> ActiveDomain() const;

@@ -4,12 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
+#include "src/automata/builder.h"
+#include "src/automata/text_format.h"
 #include "src/logic/parser.h"
 #include "src/logic/tree_eval.h"
 #include "src/tree/generate.h"
 #include "src/tree/term_io.h"
+#include "src/tree/xml_io.h"
 #include "src/xpath/xpath.h"
 
 namespace treewalk {
@@ -222,6 +226,116 @@ TEST(RoundTrip, RandomXPathsEvaluateIdenticallyAfterRoundTrip) {
   }
 }
 
+// --- Random program generator (.twp round trips). ------------------------
+
+/// Builds a random but always-valid program of a random device class.
+/// Formulas are drawn from pools that respect the Build() validation
+/// rules (class restrictions of Definition 5.1, update arities, selector
+/// shape) and contain no string constants — the .twp line format cannot
+/// nest double quotes.
+Result<Program> RandomProgram(unsigned seed) {
+  std::mt19937 rng(seed);
+  static const ProgramClass kClasses[] = {
+      ProgramClass::kTw, ProgramClass::kTwL, ProgramClass::kTwR,
+      ProgramClass::kTwRL};
+  ProgramClass cls = kClasses[rng() % 4];
+  bool has_registers = cls != ProgramClass::kTw;
+  bool has_lookahead =
+      cls == ProgramClass::kTwL || cls == ProgramClass::kTwRL;
+  bool binary_ok = cls == ProgramClass::kTwR || cls == ProgramClass::kTwRL;
+
+  ProgramBuilder b(cls);
+  b.SetStates("q0", "qf");
+  int arity2 = 1;
+  if (has_registers) {
+    b.DeclareRegister("X1", 1);
+    if (rng() % 2 == 0) b.InitRegister("X1", static_cast<DataValue>(rng() % 5));
+    if (rng() % 2 == 0) {
+      arity2 = binary_ok && rng() % 2 == 0 ? 2 : 1;
+      b.DeclareRegister("X2", arity2);
+    }
+  }
+
+  static const char* kStates[] = {"q0", "q1", "q2", "p"};
+  static const char* kLabels[] = {"*", "sigma", "delta", "#top", "#leaf"};
+  static const char* kGuards[] = {
+      "true", "exists u X1(u)", "!(exists u X1(u))",
+      "forall u forall v (X1(u) & X1(v) -> u = v)"};
+  static const char* kUpdates[] = {"u = attr(a)", "X1(u)",
+                                   "X1(u) | u = attr(a)"};
+  static const char* kSelectors[] = {
+      "desc(x, y)", "E(x, y)", "desc(x, y) & lab(y, #leaf)",
+      "exists z (desc(x, y) & E(y, z))"};
+  static const Move kMoves[] = {Move::kStay, Move::kLeft, Move::kRight,
+                                Move::kUp, Move::kDown};
+
+  auto state = [&] { return kStates[rng() % 4]; };
+  auto guard = [&] {
+    return has_registers ? kGuards[rng() % 4] : "true";
+  };
+
+  // Build() verifies determinism, so each (label, state) pair may carry
+  // at most one rule with a given guard; giving every rule a distinct
+  // pair sidesteps guard-overlap analysis entirely.
+  std::vector<std::pair<const char*, const char*>> pairs;
+  for (const char* l : kLabels) {
+    for (const char* s : kStates) pairs.emplace_back(l, s);
+  }
+  std::shuffle(pairs.begin(), pairs.end(), rng);
+
+  int num_rules = 4 + static_cast<int>(rng() % 5);
+  for (int i = 0; i < num_rules; ++i) {
+    const auto& [label, from] = pairs[static_cast<std::size_t>(i)];
+    switch (rng() % 3) {
+      case 0:
+        b.OnMove(label, from, guard(), state(), kMoves[rng() % 5]);
+        break;
+      case 1:
+        if (has_registers) {
+          if (arity2 == 2 && rng() % 2 == 0) {
+            b.OnUpdate(label, from, guard(), state(), "X2",
+                       "X2(u, v) | (u = attr(a) & v = attr(b))", {"u", "v"});
+          } else {
+            b.OnUpdate(label, from, guard(), state(), "X1",
+                       kUpdates[rng() % 3], {"u"});
+          }
+          break;
+        }
+        b.OnMove(label, from, guard(), state(), kMoves[rng() % 5]);
+        break;
+      default:
+        if (has_lookahead) {
+          // Target must share the first register's arity (it receives the
+          // subcomputation's X1).
+          b.OnLookAhead(label, from, guard(), state(), "X1",
+                        kSelectors[rng() % 4], state());
+          break;
+        }
+        b.OnMove(label, from, guard(), state(), kMoves[rng() % 5]);
+        break;
+    }
+  }
+  return b.Build();
+}
+
+TEST(RoundTrip, RandomProgramsPrintParseStably) {
+  for (unsigned seed = 0; seed < 60; ++seed) {
+    auto p = RandomProgram(seed);
+    ASSERT_TRUE(p.ok()) << "seed " << seed << ": " << p.status();
+    std::string printed = ProgramToText(*p);
+    auto reparsed = ParseProgramText(printed);
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << seed << ": " << reparsed.status() << "\n" << printed;
+    EXPECT_EQ(ProgramToText(*reparsed), printed) << "seed " << seed;
+    EXPECT_EQ(reparsed->program_class(), p->program_class())
+        << "seed " << seed;
+    EXPECT_EQ(reparsed->rules().size(), p->rules().size()) << "seed " << seed;
+    EXPECT_EQ(reparsed->initial_store().num_relations(),
+              p->initial_store().num_relations())
+        << "seed " << seed;
+  }
+}
+
 // --- Tree term round trips. ----------------------------------------------
 
 TEST(RoundTrip, RandomTreesSurviveTermSerialization) {
@@ -246,6 +360,67 @@ TEST(RoundTrip, RandomTreesSurviveTermSerialization) {
         ASSERT_NE(pa, kNoAttr);
         EXPECT_EQ(parsed->attr(pa, u), t.attr(a, u));
       }
+    }
+  }
+}
+
+// --- Tree XML round trips. -----------------------------------------------
+
+TEST(RoundTrip, RandomTreesSurviveXmlSerialization) {
+  std::mt19937 rng(21);
+  RandomTreeOptions options;
+  options.num_nodes = 20;
+  options.labels = {"a", "b", "item"};  // XML-name-safe labels only
+  options.attributes = {"p", "q"};
+  options.value_range = 50;
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = RandomTree(rng, options);
+    auto xml = WriteXml(t);
+    ASSERT_TRUE(xml.ok()) << "trial " << trial << ": " << xml.status();
+    auto parsed = ParseXml(*xml);
+    ASSERT_TRUE(parsed.ok())
+        << "trial " << trial << ": " << parsed.status() << "\n" << *xml;
+    ASSERT_EQ(parsed->size(), t.size()) << "trial " << trial;
+    for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+      EXPECT_EQ(parsed->LabelName(parsed->label(u)), t.LabelName(t.label(u)))
+          << "trial " << trial << " node " << u;
+      EXPECT_EQ(parsed->Parent(u), t.Parent(u))
+          << "trial " << trial << " node " << u;
+      for (AttrId a = 0; a < static_cast<AttrId>(t.num_attributes()); ++a) {
+        AttrId pa = parsed->FindAttribute(t.attributes().NameOf(a));
+        ASSERT_NE(pa, kNoAttr) << "trial " << trial;
+        EXPECT_EQ(parsed->attr(pa, u), t.attr(a, u))
+            << "trial " << trial << " node " << u;
+      }
+    }
+  }
+}
+
+/// String-valued attributes land in each tree's own ValueInterner, so
+/// raw handles differ across a round trip; values must be compared
+/// through Render().  Also exercises entity escaping in both directions.
+TEST(RoundTrip, StringAttributesSurviveXmlSerialization) {
+  TreeBuilder b;
+  TreeBuilder::Ref root = b.AddRoot("doc");
+  TreeBuilder::Ref first = b.AddChild(root, "item");
+  b.SetAttrString(first, "name", "alpha");
+  TreeBuilder::Ref second = b.AddChild(root, "item");
+  b.SetAttrString(second, "name", "beta & <gamma> \"quoted\"");
+  b.SetAttr(second, "n", 42);
+  Tree t = b.Build();
+
+  auto xml = WriteXml(t);
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  auto parsed = ParseXml(*xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << *xml;
+  ASSERT_EQ(parsed->size(), t.size());
+  for (NodeId u = 0; u < static_cast<NodeId>(t.size()); ++u) {
+    for (AttrId a = 0; a < static_cast<AttrId>(t.num_attributes()); ++a) {
+      AttrId pa = parsed->FindAttribute(t.attributes().NameOf(a));
+      ASSERT_NE(pa, kNoAttr);
+      EXPECT_EQ(parsed->values().Render(parsed->attr(pa, u)),
+                t.values().Render(t.attr(a, u)))
+          << "node " << u << " attr " << t.attributes().NameOf(a);
     }
   }
 }

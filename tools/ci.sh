@@ -1,0 +1,22 @@
+#!/bin/sh
+# Configures, builds, and runs the full test suite under both
+# CMakePresets.json presets: `release` (RelWithDebInfo) and `asan`
+# (Debug + AddressSanitizer + UndefinedBehaviorSanitizer, all findings
+# fatal).  Run from anywhere; builds land in build-release/ and
+# build-asan/ next to the sources.
+#
+#   tools/ci.sh            # both presets
+#   tools/ci.sh release    # one preset
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+presets="${1:-release asan}"
+
+for preset in $presets; do
+  echo "==== preset: $preset ===="
+  cmake --preset "$preset" -S "$root"
+  cmake --build --preset "$preset" -j "$jobs"
+  (cd "$root" && ctest --preset "$preset" -j "$jobs")
+done
+echo "==== ci.sh: all presets green ===="

@@ -9,19 +9,29 @@
 //       Parse and validate a program; print its canonical form.
 //   twq cat <expression> <tree.{term,xml}>
 //       Evaluate a caterpillar expression from the root.
+//   twq batch <manifest> [--jobs N] [--max-steps M] [--quiet]
+//       Run a batch of (program, tree) jobs on a thread pool
+//       (src/engine).  Each manifest line is `<program.twp> <tree>`;
+//       blank lines and lines starting with '#' are skipped.  Files
+//       named by several jobs are loaded once and shared read-only.
 //
 // Trees are read as the compact term syntax (a[x=1](b, c)) unless the
 // file ends in .xml.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/automata/interpreter.h"
 #include "src/automata/text_format.h"
 #include "src/caterpillar/caterpillar.h"
+#include "src/engine/engine.h"
 #include "src/logic/tree_eval.h"
 #include "src/simulation/config_graph.h"
 #include "src/tree/term_io.h"
@@ -137,6 +147,117 @@ int CmdCheck(int argc, char** argv) {
   return 0;
 }
 
+int CmdBatch(int argc, char** argv) {
+  if (argc < 1) {
+    return Fail("usage: twq batch <manifest> [--jobs N] [--max-steps M] "
+                "[--quiet]");
+  }
+  int num_threads = 1;
+  long long max_steps = 0;  // 0 = interpreter default
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-steps") == 0 && i + 1 < argc) {
+      max_steps = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return Fail(std::string("unknown batch option '") + argv[i] + "'");
+    }
+  }
+
+  std::string manifest;
+  if (!ReadFile(argv[0], manifest)) {
+    return Fail(std::string("cannot read manifest '") + argv[0] + "'");
+  }
+
+  // Load each distinct program/tree file once; jobs share them
+  // read-only (the engine's thread-safety contract allows this).
+  std::map<std::string, std::shared_ptr<const tw::Program>> programs;
+  std::map<std::string, std::shared_ptr<const tw::Tree>> trees;
+  std::vector<tw::BatchJob> jobs;
+  std::vector<std::pair<std::string, std::string>> labels;
+
+  std::istringstream lines(manifest);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::string program_path, tree_path, extra;
+    if (!(fields >> program_path) || program_path[0] == '#') continue;
+    if (!(fields >> tree_path) || fields >> extra) {
+      return Fail("manifest line " + std::to_string(line_number) +
+                  ": expected '<program.twp> <tree>'");
+    }
+    if (programs.find(program_path) == programs.end()) {
+      std::string text;
+      if (!ReadFile(program_path, text)) {
+        return Fail("cannot read program '" + program_path + "'");
+      }
+      auto parsed = tw::ParseProgramText(text);
+      if (!parsed.ok()) {
+        return Fail(program_path + ": " + parsed.status().ToString());
+      }
+      programs[program_path] =
+          std::make_shared<const tw::Program>(std::move(parsed).value());
+    }
+    if (trees.find(tree_path) == trees.end()) {
+      auto parsed = LoadTree(tree_path);
+      if (!parsed.ok()) {
+        return Fail(tree_path + ": " + parsed.status().ToString());
+      }
+      trees[tree_path] =
+          std::make_shared<const tw::Tree>(std::move(parsed).value());
+    }
+    tw::BatchJob job;
+    job.program = programs[program_path].get();
+    job.tree = trees[tree_path].get();
+    if (max_steps > 0) job.options.max_steps = max_steps;
+    jobs.push_back(job);
+    labels.emplace_back(program_path, tree_path);
+  }
+  if (jobs.empty()) return Fail("manifest names no jobs");
+
+  tw::BatchEngine engine({.num_threads = num_threads});
+  auto batch = engine.RunBatch(jobs);
+  if (!batch.ok()) return Fail("batch: " + batch.status().ToString());
+
+  int failures = 0;
+  for (std::size_t i = 0; i < batch->results.size(); ++i) {
+    const tw::JobResult& r = batch->results[i];
+    if (!r.status.ok()) ++failures;
+    if (quiet) continue;
+    if (!r.status.ok()) {
+      std::printf("[%zu] ERROR %s %s: %s\n", i, labels[i].first.c_str(),
+                  labels[i].second.c_str(), r.status.ToString().c_str());
+    } else {
+      std::printf("[%zu] %s %s %s steps=%lld atp=%lld hits=%lld\n", i,
+                  r.run.accepted ? "ACCEPT" : "REJECT",
+                  labels[i].first.c_str(), labels[i].second.c_str(),
+                  static_cast<long long>(r.run.stats.steps),
+                  static_cast<long long>(r.run.stats.atp_calls),
+                  static_cast<long long>(r.run.stats.selector_cache_hits));
+    }
+  }
+  const tw::EngineStats& s = batch->stats;
+  std::printf("%lld jobs on %d thread(s): %lld accepted, %lld rejected, "
+              "%lld failed\n",
+              static_cast<long long>(s.jobs), num_threads,
+              static_cast<long long>(s.accepted),
+              static_cast<long long>(s.rejected),
+              static_cast<long long>(s.failed));
+  std::printf("steps=%lld atp_calls=%lld cache_hits=%lld cache_misses=%lld "
+              "store_updates=%lld\n",
+              static_cast<long long>(s.steps),
+              static_cast<long long>(s.atp_calls),
+              static_cast<long long>(s.selector_cache_hits),
+              static_cast<long long>(s.selector_cache_misses),
+              static_cast<long long>(s.store_updates));
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdCat(int argc, char** argv) {
   if (argc != 2) return Fail("usage: twq cat <expression> <tree>");
   auto expr = tw::ParseCaterpillar(argv[0]);
@@ -158,12 +279,14 @@ int CmdCat(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    return Fail("usage: twq <run|xpath|check|cat> ...  (see file header)");
+    return Fail(
+        "usage: twq <run|xpath|check|cat|batch> ...  (see file header)");
   }
   std::string command = argv[1];
   if (command == "run") return CmdRun(argc - 2, argv + 2);
   if (command == "xpath") return CmdXPath(argc - 2, argv + 2);
   if (command == "check") return CmdCheck(argc - 2, argv + 2);
   if (command == "cat") return CmdCat(argc - 2, argv + 2);
+  if (command == "batch") return CmdBatch(argc - 2, argv + 2);
   return Fail("unknown command '" + command + "'");
 }
