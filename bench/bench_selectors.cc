@@ -1,0 +1,154 @@
+// Compiled set-at-a-time selector evaluation vs. the reference
+// node-at-a-time evaluator (E14).  The workloads are quantifier-depth
+// >= 2 FO selectors — the shape atp()-heavy programs evaluate on every
+// look-ahead — over random attributed trees.  Every compiled benchmark
+// first cross-checks the selected-node set against SelectNodes at each
+// measured origin and aborts via SkipWithError on any mismatch, so a
+// reported speedup is only ever a speedup on identical answers.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/logic/compile.h"
+#include "src/logic/parser.h"
+#include "src/logic/tree_eval.h"
+#include "src/tree/axis_index.h"
+#include "src/tree/generate.h"
+
+namespace {
+
+using namespace treewalk;
+
+// Quantifier depth >= 2 throughout; `chain` is the two-step composition
+// that exercises the guarded join twice, `nested` mixes edge and
+// descendant axes, `guarded_forall` adds a universal guard.
+constexpr const char* kChain =
+    "exists z exists w (E(x, z) & E(z, w) & E(w, y))";
+constexpr const char* kNested =
+    "exists z (E(x, z) & exists w (E(z, w) & desc(w, y)))";
+constexpr const char* kGuardedForall =
+    "exists z (desc(x, z) & E(z, y) & forall w (E(z, w) -> lab(w, a)))";
+
+Tree Input(int n) {
+  std::mt19937 rng(97);
+  RandomTreeOptions options;
+  options.num_nodes = n;
+  options.labels = {"a", "b"};
+  options.attributes = {};
+  return RandomTree(rng, options);
+}
+
+// A fixed spread of origins: root, shallow, and mid-tree.  Both
+// evaluators answer all of them per iteration, so each iteration is
+// one "serve a handful of atp look-aheads" unit of work.
+std::vector<NodeId> Origins(const Tree& t) {
+  return {0, static_cast<NodeId>(t.size() / 4),
+          static_cast<NodeId>(t.size() / 2),
+          static_cast<NodeId>(3 * t.size() / 4)};
+}
+
+void BM_ReferenceSelector(benchmark::State& state, const char* selector) {
+  Tree t = Input(static_cast<int>(state.range(0)));
+  Formula phi = std::move(ParseFormula(selector)).value();
+  std::vector<NodeId> origins = Origins(t);
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    selected = 0;
+    for (NodeId origin : origins) {
+      auto r = SelectNodes(t, phi, origin);
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      selected += r->size();
+    }
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+void BM_CompiledSelector(benchmark::State& state, const char* selector) {
+  Tree t = Input(static_cast<int>(state.range(0)));
+  Formula phi = std::move(ParseFormula(selector)).value();
+  std::vector<NodeId> origins = Origins(t);
+  AxisIndex index(t);
+  Result<CompiledSelector> compiled = CompileSelector(index, phi);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  // Serial cross-check: the compiled answer must equal the reference
+  // answer at every origin we are about to time.
+  for (NodeId origin : origins) {
+    auto reference = SelectNodes(t, phi, origin);
+    if (!reference.ok()) {
+      state.SkipWithError(reference.status().ToString().c_str());
+      return;
+    }
+    if (compiled->SelectFrom(origin) != *reference) {
+      std::string err = "compiled/reference mismatch at origin " +
+                        std::to_string(origin);
+      state.SkipWithError(err.c_str());
+      return;
+    }
+  }
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    selected = 0;
+    for (NodeId origin : origins) {
+      selected += compiled->SelectFrom(origin).size();
+    }
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+// Cold-start variant: pays the axis-index build and the compile inside
+// the loop.  This is the honest bound for a run that evaluates a
+// selector exactly once; the interpreter compiles once per run and
+// then amortizes, which BM_CompiledSelector models.
+void BM_CompiledSelectorColdStart(benchmark::State& state,
+                                  const char* selector) {
+  Tree t = Input(static_cast<int>(state.range(0)));
+  Formula phi = std::move(ParseFormula(selector)).value();
+  std::vector<NodeId> origins = Origins(t);
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    AxisIndex index(t);
+    Result<CompiledSelector> compiled = CompileSelector(index, phi);
+    if (!compiled.ok()) {
+      state.SkipWithError(compiled.status().ToString().c_str());
+      return;
+    }
+    selected = 0;
+    for (NodeId origin : origins) {
+      selected += compiled->SelectFrom(origin).size();
+    }
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+BENCHMARK_CAPTURE(BM_ReferenceSelector, chain, kChain)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CompiledSelector, chain, kChain)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CompiledSelectorColdStart, chain, kChain)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_CAPTURE(BM_ReferenceSelector, nested, kNested)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CompiledSelector, nested, kNested)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CompiledSelectorColdStart, nested, kNested)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_CAPTURE(BM_ReferenceSelector, guarded_forall, kGuardedForall)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CompiledSelector, guarded_forall, kGuardedForall)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CompiledSelectorColdStart, guarded_forall,
+                  kGuardedForall)
+    ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <tuple>
+#include <utility>
 
+#include "src/logic/compile.h"
 #include "src/logic/tree_eval.h"
 #include "src/relstore/store_eval.h"
+#include "src/tree/axis_index.h"
 
 namespace treewalk {
 
@@ -196,7 +200,7 @@ class Runner {
                                      const Store& store) {
     if (!options_.cache_selectors) {
       ++stats_.selector_cache_misses;
-      return SelectNodes(tree_, selector, origin);
+      return EvalSelector(selector_ids_[rule_index], selector, origin);
     }
     std::uint64_t store_fp = 0;
     for (int rel : selector_rels_[rule_index]) {
@@ -210,10 +214,37 @@ class Runner {
       return it->second;
     }
     ++stats_.selector_cache_misses;
-    TREEWALK_ASSIGN_OR_RETURN(std::vector<NodeId> selected,
-                              SelectNodes(tree_, selector, origin));
+    TREEWALK_ASSIGN_OR_RETURN(
+        std::vector<NodeId> selected,
+        EvalSelector(selector_ids_[rule_index], selector, origin));
     selector_cache_.emplace(key, selected);
     return selected;
+  }
+
+  /// One selector evaluation, compiled when possible.  Each canonical
+  /// selector is compiled at most once per run against the lazily built
+  /// axis index; a selector the partial compiler declines is remembered
+  /// as a fallback and served by the reference SelectNodes, which also
+  /// reproduces the reference error behavior (docs/EVALUATOR.md).
+  Result<std::vector<NodeId>> EvalSelector(std::size_t canonical_id,
+                                           const Formula& selector,
+                                           NodeId origin) {
+    if (options_.compile_selectors) {
+      auto it = compiled_.find(canonical_id);
+      if (it == compiled_.end()) {
+        if (!axis_index_.has_value()) axis_index_.emplace(tree_);
+        Result<CompiledSelector> compiled = CompileSelector(*axis_index_,
+                                                            selector);
+        std::optional<CompiledSelector> slot;
+        if (compiled.ok()) slot = std::move(compiled).value();
+        it = compiled_.emplace(canonical_id, std::move(slot)).first;
+      }
+      if (it->second.has_value()) {
+        ++stats_.compiled_selector_evals;
+        return it->second->SelectFrom(origin);
+      }
+    }
+    return SelectNodes(tree_, selector, origin);
   }
 
   static Result<Outcome> Rejected(RejectReason reason) {
@@ -323,6 +354,10 @@ class Runner {
   std::vector<std::size_t> selector_ids_;
   std::vector<std::vector<int>> selector_rels_;
   std::map<SelectorKey, std::vector<NodeId>> selector_cache_;
+  std::optional<AxisIndex> axis_index_;
+  /// Per-canonical-selector compile result: absent = untried, nullopt =
+  /// compiler declined (reference fallback), value = compiled.
+  std::map<std::size_t, std::optional<CompiledSelector>> compiled_;
   RunStats stats_;
   std::vector<std::string> trace_;
 };

@@ -38,6 +38,15 @@ struct RunOptions {
   /// node skip re-evaluating the FO selector.  Semantically invisible:
   /// SelectNodes is pure over the (immutable) run input.
   bool cache_selectors = true;
+  /// Set-at-a-time selector evaluation: compile each distinct atp()
+  /// selector once per run into a bitset satisfier relation over a
+  /// per-run axis index (src/logic/compile.h) and answer every
+  /// SelectNodes with a row read.  Composes with cache_selectors (the
+  /// compiled evaluator serves the cache misses).  Selectors the
+  /// partial compiler declines (three-plus-variable subformulas) fall
+  /// back to the reference evaluator, so this is semantically
+  /// invisible; turn off to ablate or to force the reference path.
+  bool compile_selectors = true;
   /// Cooperative cancellation: when non-null and set, the run aborts
   /// with kCancelled at the next transition boundary.  The pointee must
   /// outlive the run; src/engine points every job of a batch at one
@@ -65,6 +74,10 @@ struct RunStats {
   /// Selector evaluations answered from / added to the per-run cache.
   std::int64_t selector_cache_hits = 0;
   std::int64_t selector_cache_misses = 0;
+  /// Selector evaluations answered by the compiled set-at-a-time
+  /// evaluator (subset of selector_cache_misses when the cache is on);
+  /// misses beyond this count fell back to the reference evaluator.
+  std::int64_t compiled_selector_evals = 0;
   /// Register writes (update rules and look-ahead collections).
   std::int64_t store_updates = 0;
   std::size_t max_store_tuples = 0;

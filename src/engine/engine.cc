@@ -131,6 +131,7 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs) {
     batch.stats.atp_calls += r.run.stats.atp_calls;
     batch.stats.selector_cache_hits += r.run.stats.selector_cache_hits;
     batch.stats.selector_cache_misses += r.run.stats.selector_cache_misses;
+    batch.stats.compiled_selector_evals += r.run.stats.compiled_selector_evals;
     batch.stats.store_updates += r.run.stats.store_updates;
   }
   return batch;

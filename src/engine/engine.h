@@ -47,6 +47,7 @@ struct EngineStats {
   std::int64_t atp_calls = 0;
   std::int64_t selector_cache_hits = 0;
   std::int64_t selector_cache_misses = 0;
+  std::int64_t compiled_selector_evals = 0;
   std::int64_t store_updates = 0;
 
   friend bool operator==(const EngineStats&, const EngineStats&) = default;

@@ -1,0 +1,165 @@
+#include "src/logic/bitset_eval.h"
+
+#include <cassert>
+#include <cstring>
+#include <numeric>
+
+namespace treewalk {
+
+namespace {
+
+std::vector<NodeId> AllNodes(std::size_t n) {
+  std::vector<NodeId> out(n);
+  std::iota(out.begin(), out.end(), NodeId{0});
+  return out;
+}
+
+bool RowAny(const std::uint64_t* row, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    if (row[w] != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<OpValue> EvaluateOps(const std::vector<Op>& ops, std::size_t n) {
+  std::vector<OpValue> vals(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    OpValue& out = vals[i];
+    switch (op.kind) {
+      case OpKind::kConstBool:
+        out.b = op.literal;
+        break;
+      case OpKind::kLoadSet:
+        assert(op.set != nullptr);
+        out.set = op.set;
+        break;
+      case OpKind::kLoadMat:
+        assert(op.mat != nullptr);
+        out.mat = op.mat;
+        break;
+      case OpKind::kNotBool:
+        out.b = !vals[op.a].b;
+        break;
+      case OpKind::kAndBool:
+        out.b = vals[op.a].b && vals[op.b].b;
+        break;
+      case OpKind::kOrBool:
+        out.b = vals[op.a].b || vals[op.b].b;
+        break;
+      case OpKind::kNotSet: {
+        auto s = std::make_shared<NodeSet>(*vals[op.a].set);
+        s->Complement();
+        out.set = std::move(s);
+        break;
+      }
+      case OpKind::kAndSet: {
+        auto s = std::make_shared<NodeSet>(*vals[op.a].set);
+        s->Intersect(*vals[op.b].set);
+        out.set = std::move(s);
+        break;
+      }
+      case OpKind::kOrSet: {
+        auto s = std::make_shared<NodeSet>(*vals[op.a].set);
+        s->Union(*vals[op.b].set);
+        out.set = std::move(s);
+        break;
+      }
+      case OpKind::kNotMat: {
+        auto m = std::make_shared<NodeMatrix>(*vals[op.a].mat);
+        m->Complement();
+        out.mat = std::move(m);
+        break;
+      }
+      case OpKind::kAndMat: {
+        auto m = std::make_shared<NodeMatrix>(*vals[op.a].mat);
+        m->Intersect(*vals[op.b].mat);
+        out.mat = std::move(m);
+        break;
+      }
+      case OpKind::kOrMat: {
+        auto m = std::make_shared<NodeMatrix>(*vals[op.a].mat);
+        m->Union(*vals[op.b].mat);
+        out.mat = std::move(m);
+        break;
+      }
+      case OpKind::kBoolToSet:
+        out.set = std::make_shared<NodeSet>(vals[op.a].b ? NodeSet::Full(n)
+                                                         : NodeSet(n));
+        break;
+      case OpKind::kSetToMatRow: {
+        const NodeSet& s = *vals[op.a].set;
+        auto m = std::make_shared<NodeMatrix>(n);
+        for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+          if (s.test(u)) m->SetRowRange(u, 0, static_cast<NodeId>(n));
+        }
+        out.mat = std::move(m);
+        break;
+      }
+      case OpKind::kSetToMatCol: {
+        const NodeSet& s = *vals[op.a].set;
+        auto m = std::make_shared<NodeMatrix>(n);
+        const std::size_t wpr = m->words_per_row();
+        for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+          std::memcpy(m->Row(u), s.words(), wpr * sizeof(std::uint64_t));
+        }
+        out.mat = std::move(m);
+        break;
+      }
+      case OpKind::kAnyRow:
+        out.set = std::make_shared<NodeSet>(vals[op.a].mat->AnyPerRow());
+        break;
+      case OpKind::kAllRow:
+        out.set = std::make_shared<NodeSet>(vals[op.a].mat->AllPerRow());
+        break;
+      case OpKind::kAnySet:
+        out.b = vals[op.a].set->any();
+        break;
+      case OpKind::kAllSet:
+        out.b = vals[op.a].set->all();
+        break;
+      case OpKind::kCompose: {
+        const NodeMatrix& p = *vals[op.a].mat;
+        const NodeMatrix& q = *vals[op.b].mat;
+        auto r = std::make_shared<NodeMatrix>(n);
+        const std::size_t wpr = p.words_per_row();
+        for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+          const std::uint64_t* pu = p.Row(u);
+          if (!RowAny(pu, wpr)) continue;
+          for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+            const std::uint64_t* qv = q.Row(v);
+            for (std::size_t w = 0; w < wpr; ++w) {
+              if ((pu[w] & qv[w]) != 0) {
+                r->set(u, v);
+                break;
+              }
+            }
+          }
+        }
+        out.mat = std::move(r);
+        break;
+      }
+    }
+  }
+  return vals;
+}
+
+std::vector<NodeId> CompiledSelector::SelectFrom(NodeId origin) const {
+  assert(origin >= 0 && origin < static_cast<NodeId>(n_));
+  switch (shape_) {
+    case Shape::kBool:
+      return literal_ ? AllNodes(n_) : std::vector<NodeId>{};
+    case Shape::kSetX:
+      // phi mentions only x: every y qualifies iff phi(origin) holds.
+      return set_->test(origin) ? AllNodes(n_) : std::vector<NodeId>{};
+    case Shape::kSetY:
+      return set_->ToVector();
+    case Shape::kMat:
+      return mat_->RowSet(origin).ToVector();
+  }
+  return {};
+}
+
+}  // namespace treewalk

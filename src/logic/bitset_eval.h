@@ -1,0 +1,116 @@
+#ifndef TREEWALK_LOGIC_BITSET_EVAL_H_
+#define TREEWALK_LOGIC_BITSET_EVAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/tree/axis_index.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Set-at-a-time evaluation machine behind src/logic/compile.h: a
+/// formula compiles into a DAG of operations over bitset satisfier
+/// sets.  Each op produces one of three value shapes —
+///
+///   Bool          a closed subformula's truth value,
+///   NodeSet       {u : t |= phi(u)} for a one-free-variable subformula,
+///   NodeMatrix    {(u, v) : t |= phi(u, v)} for two free variables
+///                 (rows = the variable with the smaller compile slot),
+///
+/// — so every connective and quantifier is an O(n/64) or O(n^2/64)
+/// word-parallel pass (kCompose, the existential join, is O(n^3/64)
+/// worst case).  Shapes and variable bookkeeping live entirely in the
+/// compiler; the ops here are shape-correct by construction.
+enum class OpKind : std::uint8_t {
+  kConstBool,   ///< literal truth value
+  kLoadSet,     ///< precomputed NodeSet (axis-index unary predicate)
+  kLoadMat,     ///< precomputed NodeMatrix (axis relation)
+  kNotBool,     ///< !a
+  kAndBool,     ///< a && b
+  kOrBool,      ///< a || b
+  kNotSet,      ///< complement over Dom(t)
+  kAndSet,      ///< intersection
+  kOrSet,       ///< union
+  kNotMat,      ///< complement over Dom(t)^2
+  kAndMat,      ///< intersection
+  kOrMat,       ///< union
+  kBoolToSet,   ///< Bool -> full / empty NodeSet
+  kSetToMatRow, ///< Set s -> Mat M with M[u][v] = s[u]
+  kSetToMatCol, ///< Set s -> Mat M with M[u][v] = s[v]
+  kAnyRow,      ///< Mat -> Set: {u : exists v M[u][v]} (exists on cols)
+  kAllRow,      ///< Mat -> Set: {u : forall v M[u][v]} (forall on cols)
+  kAnySet,      ///< Set -> Bool: nonempty
+  kAllSet,      ///< Set -> Bool: full
+  kCompose,     ///< Mats P, Q -> Mat R: R[u][v] = exists w P[u][w] & Q[v][w]
+};
+
+struct Op {
+  OpKind kind = OpKind::kConstBool;
+  int a = -1;  ///< first operand op index
+  int b = -1;  ///< second operand op index
+  bool literal = false;                   ///< kConstBool
+  std::shared_ptr<const NodeSet> set;     ///< kLoadSet
+  std::shared_ptr<const NodeMatrix> mat;  ///< kLoadMat
+};
+
+/// One evaluated op result; exactly one field is active per the op's
+/// shape.  Loads alias their precomputed payload, so evaluating a
+/// program allocates only for derived ops.
+struct OpValue {
+  bool b = false;
+  std::shared_ptr<const NodeSet> set;
+  std::shared_ptr<const NodeMatrix> mat;
+};
+
+/// Evaluates `ops` (children always precede parents) over a domain of
+/// `n` nodes and returns one value per op.  O(total op cost); cannot
+/// fail on well-formed programs (the compiler guarantees shape
+/// correctness, enforced here by assertions).
+std::vector<OpValue> EvaluateOps(const std::vector<Op>& ops, std::size_t n);
+
+/// A binary FO selector phi(x, y) compiled and materialized against one
+/// tree: the full relation {(u, v) : t |= phi(u, v)} is computed once
+/// (set-at-a-time), after which SelectFrom is a row read — every origin
+/// shares the one materialization, unlike the node-at-a-time reference
+/// SelectNodes which restarts per origin.  Build with CompileSelector()
+/// (src/logic/compile.h).
+class CompiledSelector {
+ public:
+  /// All v with t |= phi(origin, v), in document order.  Equivalent to
+  /// SelectNodes(tree, phi, origin); O(n/64 + |result|).  `origin` must
+  /// be a valid node of the tree compiled against.
+  std::vector<NodeId> SelectFrom(NodeId origin) const;
+
+  /// Number of nodes of the tree this selector was compiled against.
+  std::size_t tree_size() const { return n_; }
+
+ private:
+  friend class Compiler;
+
+  /// Which shape the materialized result took: a selector that ignores
+  /// one of its variables materializes as a set or a constant.
+  enum class Shape : std::uint8_t { kBool, kSetX, kSetY, kMat };
+
+  std::size_t n_ = 0;
+  Shape shape_ = Shape::kBool;
+  bool literal_ = false;
+  std::shared_ptr<const NodeSet> set_;
+  std::shared_ptr<const NodeMatrix> mat_;  // rows = x, cols = y
+};
+
+/// A sentence compiled and evaluated against one tree.  Build with
+/// CompileSentence() (src/logic/compile.h).
+class CompiledSentence {
+ public:
+  bool Eval() const { return value_; }
+
+ private:
+  friend class Compiler;
+  bool value_ = false;
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_LOGIC_BITSET_EVAL_H_

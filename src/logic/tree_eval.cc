@@ -6,63 +6,235 @@ namespace treewalk {
 
 namespace {
 
-/// Pre-validated recursive evaluator.  All error conditions (sorts,
-/// unbound variables, unknown attributes) are rejected before recursion
-/// starts, so the hot path is exception- and status-free.
+/// Pre-validated recursive evaluator.  Prepare() lowers the Formula AST
+/// into a flat arena of EvalNodes with every name resolved up front —
+/// variables interned to dense slots, labels to Symbols, attribute
+/// names to AttrIds, string constants to data values — so the recursive
+/// hot path touches no maps, no strings, and no Status machinery.  The
+/// environment is a flat NodeId vector indexed by slot (kNoNode =
+/// unbound); quantifiers save and restore one slot, which reproduces
+/// the by-name dynamic scoping of the naive evaluator exactly (one name
+/// = one slot, shadowing included).
 class TreeEvaluator {
  public:
-  TreeEvaluator(const Tree& tree, NodeEnv env)
-      : tree_(tree), env_(std::move(env)) {}
+  explicit TreeEvaluator(const Tree& tree) : tree_(tree) {}
 
-  /// Checks sorts, binds attribute columns, verifies free variables.
-  Status Prepare(const Formula& formula) {
+  /// Checks sorts, verifies free variables against `env`, resolves all
+  /// names, and binds `env` into the slot environment.
+  Status Prepare(const Formula& formula, const NodeEnv& env) {
     TREEWALK_RETURN_IF_ERROR(ValidateTreeFormula(formula));
     for (const std::string& v : formula.FreeVariables()) {
-      if (env_.find(v) == env_.end()) {
+      if (env.find(v) == env.end()) {
         return InvalidArgument("unbound free variable '" + v + "'");
       }
     }
-    return CheckAttributes(formula);
+    TREEWALK_ASSIGN_OR_RETURN(root_, Build(formula));
+    env_.assign(slots_.size(), kNoNode);
+    for (const auto& [name, node] : env) {
+      int slot = SlotOf(name);
+      if (slot >= 0) env_[slot] = node;
+    }
+    return Status::Ok();
   }
 
-  void Bind(const std::string& var, NodeId node) { env_[var] = node; }
+  /// Slot of a variable name, or -1 if the formula never mentions it.
+  int SlotOf(const std::string& var) const {
+    auto it = slots_.find(var);
+    return it == slots_.end() ? -1 : it->second;
+  }
 
-  bool Eval(const Formula& f) {
+  /// Rebinds one variable between evaluations (no-op for slot -1).
+  void BindSlot(int slot, NodeId node) {
+    if (slot >= 0) env_[slot] = node;
+  }
+
+  bool Eval() { return EvalNodeAt(root_); }
+
+ private:
+  /// One side of a data equality, fully resolved: a constant when
+  /// attr == kNoAttr, otherwise val(attr, slot).
+  struct DataRef {
+    AttrId attr = kNoAttr;
+    int slot = -1;
+    DataValue value = 0;
+  };
+
+  struct EvalNode {
+    FormulaKind kind = FormulaKind::kTrue;
+    AtomKind atom = AtomKind::kEq;
+    int child0 = -1;
+    int child1 = -1;
+    int slot = -1;        ///< quantifier slot / first atom variable
+    int slot2 = -1;       ///< second atom variable
+    Symbol symbol = -1;   ///< resolved label (-1: label unused in tree)
+    bool node_eq = false; ///< kEq: node (true) or data (false) equality
+    DataRef data0, data1;
+  };
+
+  int InternVar(const std::string& name) {
+    auto [it, inserted] =
+        slots_.try_emplace(name, static_cast<int>(slots_.size()));
+    return it->second;
+  }
+
+  Result<DataRef> ResolveData(const Term& t) {
+    DataRef ref;
+    switch (t.kind) {
+      case Term::Kind::kIntConst:
+        ref.value = t.value;
+        return ref;
+      case Term::Kind::kStrConst:
+        ref.value = tree_.values().ValueFor(t.text);
+        return ref;
+      case Term::Kind::kAttrOfVar:
+        ref.attr = tree_.FindAttribute(t.attr);
+        if (ref.attr == kNoAttr) {
+          return InvalidArgument("tree has no attribute '" + t.attr + "'");
+        }
+        ref.slot = InternVar(t.var);
+        return ref;
+      default:
+        return InvalidArgument("unexpected data term");
+    }
+  }
+
+  Result<int> Build(const Formula& f) {
     const FormulaNode& n = f.node();
+    EvalNode out;
+    out.kind = n.kind;
+    switch (n.kind) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+        break;
+      case FormulaKind::kNot: {
+        TREEWALK_ASSIGN_OR_RETURN(out.child0, Build(n.children[0]));
+        break;
+      }
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+      case FormulaKind::kImplies:
+      case FormulaKind::kIff: {
+        TREEWALK_ASSIGN_OR_RETURN(out.child0, Build(n.children[0]));
+        TREEWALK_ASSIGN_OR_RETURN(out.child1, Build(n.children[1]));
+        break;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        out.slot = InternVar(n.var);
+        TREEWALK_ASSIGN_OR_RETURN(out.child0, Build(n.children[0]));
+        break;
+      }
+      case FormulaKind::kAtom: {
+        out.atom = n.atom;
+        switch (n.atom) {
+          case AtomKind::kEdge:
+          case AtomKind::kSibling:
+          case AtomKind::kDescendant:
+          case AtomKind::kSucc:
+            out.slot = InternVar(n.terms[0].var);
+            out.slot2 = InternVar(n.terms[1].var);
+            break;
+          case AtomKind::kLabel:
+            out.slot = InternVar(n.terms[0].var);
+            out.symbol = tree_.FindLabel(n.symbol);
+            break;
+          case AtomKind::kRoot:
+          case AtomKind::kLeaf:
+          case AtomKind::kFirst:
+          case AtomKind::kLast:
+            out.slot = InternVar(n.terms[0].var);
+            break;
+          case AtomKind::kEq:
+            out.node_eq = n.terms[0].kind == Term::Kind::kVar;
+            if (out.node_eq) {
+              out.slot = InternVar(n.terms[0].var);
+              out.slot2 = InternVar(n.terms[1].var);
+            } else {
+              TREEWALK_ASSIGN_OR_RETURN(out.data0, ResolveData(n.terms[0]));
+              TREEWALK_ASSIGN_OR_RETURN(out.data1, ResolveData(n.terms[1]));
+            }
+            break;
+          case AtomKind::kRelation:
+            return InvalidArgument("store atom in a tree formula");
+        }
+        break;
+      }
+    }
+    nodes_.push_back(out);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  DataValue Data(const DataRef& d) const {
+    if (d.attr == kNoAttr) return d.value;
+    assert(env_[d.slot] != kNoNode);
+    return tree_.attr(d.attr, env_[d.slot]);
+  }
+
+  bool EvalAtom(const EvalNode& n) {
+    switch (n.atom) {
+      case AtomKind::kEdge: {
+        return tree_.Parent(env_[n.slot2]) == env_[n.slot];
+      }
+      case AtomKind::kSibling: {
+        NodeId x = env_[n.slot], y = env_[n.slot2];
+        return x != y && tree_.Parent(x) != kNoNode &&
+               tree_.Parent(x) == tree_.Parent(y) &&
+               tree_.ChildIndex(x) < tree_.ChildIndex(y);
+      }
+      case AtomKind::kDescendant:
+        return tree_.IsStrictAncestor(env_[n.slot], env_[n.slot2]);
+      case AtomKind::kLabel:
+        return n.symbol >= 0 && tree_.label(env_[n.slot]) == n.symbol;
+      case AtomKind::kRoot:
+        return tree_.IsRoot(env_[n.slot]);
+      case AtomKind::kLeaf:
+        return tree_.IsLeaf(env_[n.slot]);
+      case AtomKind::kFirst:
+        return tree_.IsFirstChild(env_[n.slot]);
+      case AtomKind::kLast:
+        return tree_.IsLastChild(env_[n.slot]);
+      case AtomKind::kSucc:
+        return tree_.NextSibling(env_[n.slot]) == env_[n.slot2];
+      case AtomKind::kEq:
+        if (n.node_eq) return env_[n.slot] == env_[n.slot2];
+        return Data(n.data0) == Data(n.data1);
+      case AtomKind::kRelation:
+        assert(false && "relation atom survived validation");
+        return false;
+    }
+    return false;
+  }
+
+  bool EvalNodeAt(int i) {
+    const EvalNode& n = nodes_[i];
     switch (n.kind) {
       case FormulaKind::kTrue:
         return true;
       case FormulaKind::kFalse:
         return false;
       case FormulaKind::kNot:
-        return !Eval(n.children[0]);
+        return !EvalNodeAt(n.child0);
       case FormulaKind::kAnd:
-        return Eval(n.children[0]) && Eval(n.children[1]);
+        return EvalNodeAt(n.child0) && EvalNodeAt(n.child1);
       case FormulaKind::kOr:
-        return Eval(n.children[0]) || Eval(n.children[1]);
+        return EvalNodeAt(n.child0) || EvalNodeAt(n.child1);
       case FormulaKind::kImplies:
-        return !Eval(n.children[0]) || Eval(n.children[1]);
+        return !EvalNodeAt(n.child0) || EvalNodeAt(n.child1);
       case FormulaKind::kIff:
-        return Eval(n.children[0]) == Eval(n.children[1]);
+        return EvalNodeAt(n.child0) == EvalNodeAt(n.child1);
       case FormulaKind::kExists:
       case FormulaKind::kForall: {
         bool exists = n.kind == FormulaKind::kExists;
-        auto it = env_.find(n.var);
-        bool had = it != env_.end();
-        NodeId saved = had ? it->second : kNoNode;
+        NodeId saved = env_[n.slot];
         bool result = !exists;
         for (NodeId u = 0; u < static_cast<NodeId>(tree_.size()); ++u) {
-          env_[n.var] = u;
-          if (Eval(n.children[0]) == exists) {
+          env_[n.slot] = u;
+          if (EvalNodeAt(n.child0) == exists) {
             result = exists;
             break;
           }
         }
-        if (had) {
-          env_[n.var] = saved;
-        } else {
-          env_.erase(n.var);
-        }
+        env_[n.slot] = saved;
         return result;
       }
       case FormulaKind::kAtom:
@@ -71,90 +243,11 @@ class TreeEvaluator {
     return false;
   }
 
- private:
-  Status CheckAttributes(const Formula& f) {
-    const FormulaNode& n = f.node();
-    for (const Formula& c : n.children) {
-      TREEWALK_RETURN_IF_ERROR(CheckAttributes(c));
-    }
-    if (n.kind != FormulaKind::kAtom) return Status::Ok();
-    for (const Term& t : n.terms) {
-      if (t.kind == Term::Kind::kAttrOfVar &&
-          tree_.FindAttribute(t.attr) == kNoAttr) {
-        return InvalidArgument("tree has no attribute '" + t.attr + "'");
-      }
-    }
-    return Status::Ok();
-  }
-
-  NodeId Node(const Term& t) {
-    assert(t.kind == Term::Kind::kVar);
-    auto it = env_.find(t.var);
-    assert(it != env_.end());
-    return it->second;
-  }
-
-  DataValue Data(const Term& t) {
-    switch (t.kind) {
-      case Term::Kind::kIntConst:
-        return t.value;
-      case Term::Kind::kStrConst:
-        return tree_.values().ValueFor(t.text);
-      case Term::Kind::kAttrOfVar:
-        return tree_.attr(tree_.FindAttribute(t.attr), Node(Term::Var(t.var)));
-      default:
-        assert(false && "not a data term");
-        return 0;
-    }
-  }
-
-  bool EvalAtom(const FormulaNode& n) {
-    switch (n.atom) {
-      case AtomKind::kEdge: {
-        NodeId x = Node(n.terms[0]), y = Node(n.terms[1]);
-        return tree_.Parent(y) == x;
-      }
-      case AtomKind::kSibling: {
-        NodeId x = Node(n.terms[0]), y = Node(n.terms[1]);
-        return x != y && tree_.Parent(x) != kNoNode &&
-               tree_.Parent(x) == tree_.Parent(y) &&
-               tree_.ChildIndex(x) < tree_.ChildIndex(y);
-      }
-      case AtomKind::kDescendant: {
-        NodeId x = Node(n.terms[0]), y = Node(n.terms[1]);
-        return tree_.IsStrictAncestor(x, y);
-      }
-      case AtomKind::kLabel: {
-        Symbol s = tree_.FindLabel(n.symbol);
-        return s >= 0 && tree_.label(Node(n.terms[0])) == s;
-      }
-      case AtomKind::kRoot:
-        return tree_.IsRoot(Node(n.terms[0]));
-      case AtomKind::kLeaf:
-        return tree_.IsLeaf(Node(n.terms[0]));
-      case AtomKind::kFirst:
-        return tree_.IsFirstChild(Node(n.terms[0]));
-      case AtomKind::kLast:
-        return tree_.IsLastChild(Node(n.terms[0]));
-      case AtomKind::kSucc: {
-        NodeId x = Node(n.terms[0]), y = Node(n.terms[1]);
-        return tree_.NextSibling(x) == y;
-      }
-      case AtomKind::kEq: {
-        const Term& a = n.terms[0];
-        const Term& b = n.terms[1];
-        if (a.kind == Term::Kind::kVar) return Node(a) == Node(b);
-        return Data(a) == Data(b);
-      }
-      case AtomKind::kRelation:
-        assert(false && "relation atom survived validation");
-        return false;
-    }
-    return false;
-  }
-
   const Tree& tree_;
-  NodeEnv env_;
+  std::vector<EvalNode> nodes_;
+  int root_ = -1;
+  std::map<std::string, int> slots_;
+  std::vector<NodeId> env_;
 };
 
 }  // namespace
@@ -162,8 +255,8 @@ class TreeEvaluator {
 Result<bool> EvalTreeFormula(const Tree& tree, const Formula& formula,
                              const NodeEnv& env) {
   if (!formula.valid()) return InvalidArgument("empty formula");
-  TreeEvaluator evaluator(tree, env);
-  TREEWALK_RETURN_IF_ERROR(evaluator.Prepare(formula));
+  TreeEvaluator evaluator(tree);
+  TREEWALK_RETURN_IF_ERROR(evaluator.Prepare(formula, env));
   if (tree.empty()) {
     // Quantifiers over an empty domain: exists is false, forall is true;
     // no free variables can be bound, so only sentences make sense.
@@ -171,7 +264,7 @@ Result<bool> EvalTreeFormula(const Tree& tree, const Formula& formula,
       return InvalidArgument("free variables on an empty tree");
     }
   }
-  return evaluator.Eval(formula);
+  return evaluator.Eval();
 }
 
 Result<bool> EvalTreeSentence(const Tree& tree, const Formula& formula) {
@@ -244,29 +337,37 @@ Result<std::vector<NodeId>> SelectNodes(const Tree& tree,
   }
   if (!tree.Valid(origin)) return InvalidArgument("invalid origin node");
 
+  // All loop-invariant work happens here, once: validation, name
+  // resolution, and the slot lookup for y.  The candidate loop below
+  // only rebinds one slot and re-evaluates.
   NodeEnv env;
   env[x] = origin;
   env[y] = origin;  // placeholder; overwritten per candidate
-  TreeEvaluator evaluator(tree, env);
-  TREEWALK_RETURN_IF_ERROR(evaluator.Prepare(formula));
+  TreeEvaluator evaluator(tree);
+  TREEWALK_RETURN_IF_ERROR(evaluator.Prepare(formula, env));
+  const int y_slot = evaluator.SlotOf(y);
 
   std::vector<NodeId> selected;
   auto consider = [&](NodeId v) {
-    evaluator.Bind(y, v);
-    if (evaluator.Eval(formula)) selected.push_back(v);
+    evaluator.BindSlot(y_slot, v);
+    if (evaluator.Eval()) selected.push_back(v);
   };
   switch (PlanSelector(formula, x, y)) {
     case CandidateRange::kAll:
+      selected.reserve(tree.size());
       for (NodeId v = 0; v < static_cast<NodeId>(tree.size()); ++v) {
         consider(v);
       }
       break;
     case CandidateRange::kSubtree:
+      selected.reserve(
+          static_cast<std::size_t>(tree.SubtreeEnd(origin) - origin - 1));
       for (NodeId v = origin + 1; v < tree.SubtreeEnd(origin); ++v) {
         consider(v);
       }
       break;
     case CandidateRange::kChildren:
+      selected.reserve(static_cast<std::size_t>(tree.ChildCount(origin)));
       for (NodeId v = tree.FirstChild(origin); v != kNoNode;
            v = tree.NextSibling(v)) {
         consider(v);

@@ -1,0 +1,297 @@
+#include "src/tree/axis_index.h"
+
+#include <bit>
+#include <cassert>
+
+namespace treewalk {
+
+namespace {
+
+/// Word-level mask helpers shared by NodeSet and NodeMatrix rows.
+inline void SetBitRange(std::uint64_t* words, NodeId begin, NodeId end) {
+  if (begin >= end) return;
+  std::size_t first = static_cast<std::size_t>(begin) >> 6;
+  std::size_t last = static_cast<std::size_t>(end - 1) >> 6;
+  std::uint64_t head = ~std::uint64_t{0}
+                       << (static_cast<std::size_t>(begin) & 63);
+  std::uint64_t tail =
+      ~std::uint64_t{0} >> (63 - (static_cast<std::size_t>(end - 1) & 63));
+  if (first == last) {
+    words[first] |= head & tail;
+    return;
+  }
+  words[first] |= head;
+  for (std::size_t w = first + 1; w < last; ++w) words[w] = ~std::uint64_t{0};
+  words[last] |= tail;
+}
+
+inline void MaskTailWords(std::uint64_t* words, std::size_t num_words,
+                          std::size_t n) {
+  if (num_words == 0) return;
+  std::size_t used = n & 63;
+  if (used != 0) words[num_words - 1] &= (~std::uint64_t{0}) >> (64 - used);
+}
+
+inline void AppendBits(std::vector<NodeId>& out, const std::uint64_t* words,
+                       std::size_t num_words) {
+  for (std::size_t w = 0; w < num_words; ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      int b = std::countr_zero(bits);
+      out.push_back(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+      bits &= bits - 1;
+    }
+  }
+}
+
+}  // namespace
+
+// --- NodeSet. ----------------------------------------------------------
+
+void NodeSet::SetRange(NodeId begin, NodeId end) {
+  SetBitRange(words_.data(), begin, end);
+}
+
+bool NodeSet::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool NodeSet::all() const { return count() == n_; }
+
+std::size_t NodeSet::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+void NodeSet::Union(const NodeSet& o) {
+  assert(o.n_ == n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+}
+
+void NodeSet::Intersect(const NodeSet& o) {
+  assert(o.n_ == n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+}
+
+void NodeSet::Complement() {
+  for (auto& w : words_) w = ~w;
+  MaskTail();
+}
+
+std::vector<NodeId> NodeSet::ToVector() const {
+  std::vector<NodeId> out;
+  out.reserve(count());
+  AppendBits(out, words_.data(), words_.size());
+  return out;
+}
+
+void NodeSet::MaskTail() { MaskTailWords(words_.data(), words_.size(), n_); }
+
+// --- NodeMatrix. -------------------------------------------------------
+
+void NodeMatrix::SetRowRange(NodeId u, NodeId begin, NodeId end) {
+  SetBitRange(Row(u), begin, end);
+}
+
+void NodeMatrix::RowUnion(NodeId u, const NodeSet& s) {
+  assert(s.size() == n_);
+  std::uint64_t* row = Row(u);
+  for (std::size_t w = 0; w < words_per_row_; ++w) row[w] |= s.words()[w];
+}
+
+void NodeMatrix::Union(const NodeMatrix& o) {
+  assert(o.n_ == n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+}
+
+void NodeMatrix::Intersect(const NodeMatrix& o) {
+  assert(o.n_ == n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+}
+
+void NodeMatrix::Complement() {
+  for (auto& w : words_) w = ~w;
+  MaskTails();
+}
+
+NodeMatrix NodeMatrix::Transposed() const {
+  NodeMatrix t(n_);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    const std::uint64_t* row = Row(u);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        int b = std::countr_zero(bits);
+        t.set(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)), u);
+        bits &= bits - 1;
+      }
+    }
+  }
+  return t;
+}
+
+NodeSet NodeMatrix::RowSet(NodeId u) const {
+  NodeSet s(n_);
+  const std::uint64_t* row = Row(u);
+  for (std::size_t w = 0; w < words_per_row_; ++w) s.words()[w] = row[w];
+  return s;
+}
+
+NodeSet NodeMatrix::AnyPerRow() const {
+  NodeSet s(n_);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    const std::uint64_t* row = Row(u);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      if (row[w] != 0) {
+        s.set(u);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+NodeSet NodeMatrix::AllPerRow() const {
+  NodeSet s(n_);
+  if (n_ == 0) return s;
+  std::size_t used = n_ & 63;
+  std::uint64_t tail_full =
+      used == 0 ? ~std::uint64_t{0} : (~std::uint64_t{0}) >> (64 - used);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    const std::uint64_t* row = Row(u);
+    bool full = true;
+    for (std::size_t w = 0; w + 1 < words_per_row_; ++w) {
+      if (row[w] != ~std::uint64_t{0}) {
+        full = false;
+        break;
+      }
+    }
+    if (full && row[words_per_row_ - 1] == tail_full) s.set(u);
+  }
+  return s;
+}
+
+void NodeMatrix::MaskTails() {
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    MaskTailWords(Row(u), words_per_row_, n_);
+  }
+}
+
+// --- AxisIndex. --------------------------------------------------------
+
+AxisIndex::AxisIndex(const Tree& tree)
+    : tree_(&tree),
+      n_(tree.size()),
+      empty_(n_),
+      full_(NodeSet::Full(n_)),
+      roots_(n_),
+      leaves_(n_),
+      first_children_(n_),
+      last_children_(n_) {
+  label_sets_.resize(tree.labels().size(), NodeSet(n_));
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    if (tree.IsRoot(u)) roots_.set(u);
+    if (tree.IsLeaf(u)) leaves_.set(u);
+    if (tree.IsFirstChild(u)) first_children_.set(u);
+    if (tree.IsLastChild(u)) last_children_.set(u);
+    label_sets_[static_cast<std::size_t>(tree.label(u))].set(u);
+  }
+  attr_index_.resize(tree.num_attributes());
+}
+
+const NodeSet& AxisIndex::LabelSet(std::string_view name) const {
+  Symbol s = tree_->FindLabel(name);
+  if (s < 0) return empty_;
+  return label_sets_[static_cast<std::size_t>(s)];
+}
+
+const AxisIndex::AttrIndex& AxisIndex::AttrIndexFor(AttrId a) const {
+  auto& slot = attr_index_[static_cast<std::size_t>(a)];
+  if (!slot.has_value()) {
+    slot.emplace();
+    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+      DataValue v = tree_->attr(a, u);
+      auto [it, inserted] = slot->sets.try_emplace(v, n_);
+      it->second.set(u);
+      (void)inserted;
+    }
+    slot->values.reserve(slot->sets.size());
+    for (const auto& [v, set] : slot->sets) slot->values.push_back(v);
+  }
+  return *slot;
+}
+
+const NodeSet& AxisIndex::AttrValueSet(AttrId a, DataValue v) const {
+  const AttrIndex& index = AttrIndexFor(a);
+  auto it = index.sets.find(v);
+  if (it == index.sets.end()) return empty_;
+  return it->second;
+}
+
+const std::vector<DataValue>& AxisIndex::AttrValues(AttrId a) const {
+  return AttrIndexFor(a).values;
+}
+
+const NodeMatrix& AxisIndex::EdgeMatrix() const {
+  if (!edge_.has_value()) {
+    edge_.emplace(n_);
+    for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
+      NodeId p = tree_->Parent(v);
+      if (p != kNoNode) edge_->set(p, v);
+    }
+  }
+  return *edge_;
+}
+
+const NodeMatrix& AxisIndex::DescendantMatrix() const {
+  if (!desc_.has_value()) {
+    desc_.emplace(n_);
+    // Pre-order layout: the strict descendants of u are exactly the
+    // contiguous id range (u, SubtreeEnd(u)).
+    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+      desc_->SetRowRange(u, u + 1, tree_->SubtreeEnd(u));
+    }
+  }
+  return *desc_;
+}
+
+const NodeMatrix& AxisIndex::SiblingMatrix() const {
+  if (!sib_.has_value()) {
+    sib_.emplace(n_);
+    // Later siblings of u have larger pre-order ids, so row u is the
+    // parent's child set masked to ids > u; walking the sibling chain
+    // directly sets exactly those bits.
+    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+      for (NodeId v = tree_->NextSibling(u); v != kNoNode;
+           v = tree_->NextSibling(v)) {
+        sib_->set(u, v);
+      }
+    }
+  }
+  return *sib_;
+}
+
+const NodeMatrix& AxisIndex::SuccMatrix() const {
+  if (!succ_.has_value()) {
+    succ_.emplace(n_);
+    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+      NodeId v = tree_->NextSibling(u);
+      if (v != kNoNode) succ_->set(u, v);
+    }
+  }
+  return *succ_;
+}
+
+const NodeMatrix& AxisIndex::IdentityMatrix() const {
+  if (!identity_.has_value()) {
+    identity_.emplace(n_);
+    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) identity_->set(u, u);
+  }
+  return *identity_;
+}
+
+}  // namespace treewalk

@@ -1,0 +1,196 @@
+#ifndef TREEWALK_TREE_AXIS_INDEX_H_
+#define TREEWALK_TREE_AXIS_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/data_value.h"
+#include "src/tree/tree.h"
+
+namespace treewalk {
+
+/// Dense bitset over Dom(t): one bit per NodeId, packed 64 per word.
+/// Because nodes are stored in document order, iterating set bits from
+/// word 0 upward yields nodes in document order for free.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  /// All-zero set over a domain of `n` nodes.
+  explicit NodeSet(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  static NodeSet Full(std::size_t n) {
+    NodeSet s(n);
+    for (auto& w : s.words_) w = ~std::uint64_t{0};
+    s.MaskTail();
+    return s;
+  }
+
+  /// Domain size (number of addressable bits), not the popcount.
+  std::size_t size() const { return n_; }
+  std::size_t num_words() const { return words_.size(); }
+
+  bool test(NodeId u) const {
+    return (words_[static_cast<std::size_t>(u) >> 6] >>
+            (static_cast<std::size_t>(u) & 63)) &
+           1;
+  }
+  void set(NodeId u) {
+    words_[static_cast<std::size_t>(u) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(u) & 63);
+  }
+  /// Sets every bit in [begin, end).
+  void SetRange(NodeId begin, NodeId end);
+
+  bool any() const;
+  bool all() const;
+  std::size_t count() const;
+
+  void Union(const NodeSet& o);
+  void Intersect(const NodeSet& o);
+  /// Flips all bits (complement relative to Dom(t)).
+  void Complement();
+
+  /// Set bits in ascending NodeId order = document order.
+  std::vector<NodeId> ToVector() const;
+
+  const std::uint64_t* words() const { return words_.data(); }
+  std::uint64_t* words() { return words_.data(); }
+
+  friend bool operator==(const NodeSet&, const NodeSet&) = default;
+
+ private:
+  void MaskTail();
+
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Dense n-by-n bit matrix over Dom(t) x Dom(t): row u is the bitset
+/// {v : R(u, v)} of a binary relation R.  Rows are word-aligned, so
+/// row-wise set algebra runs 64 node pairs per instruction.
+class NodeMatrix {
+ public:
+  NodeMatrix() = default;
+  explicit NodeMatrix(std::size_t n)
+      : n_(n), words_per_row_((n + 63) / 64),
+        words_(n * ((n + 63) / 64), 0) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  std::uint64_t* Row(NodeId u) {
+    return words_.data() + static_cast<std::size_t>(u) * words_per_row_;
+  }
+  const std::uint64_t* Row(NodeId u) const {
+    return words_.data() + static_cast<std::size_t>(u) * words_per_row_;
+  }
+
+  bool test(NodeId u, NodeId v) const {
+    return (Row(u)[static_cast<std::size_t>(v) >> 6] >>
+            (static_cast<std::size_t>(v) & 63)) &
+           1;
+  }
+  void set(NodeId u, NodeId v) {
+    Row(u)[static_cast<std::size_t>(v) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(v) & 63);
+  }
+  /// Sets row u's bits in [begin, end).
+  void SetRowRange(NodeId u, NodeId begin, NodeId end);
+  /// ORs `s` into row u.
+  void RowUnion(NodeId u, const NodeSet& s);
+
+  void Union(const NodeMatrix& o);
+  void Intersect(const NodeMatrix& o);
+  /// Flips every bit (complement relative to Dom(t) x Dom(t)).
+  void Complement();
+
+  NodeMatrix Transposed() const;
+
+  /// Row copied out as a NodeSet.
+  NodeSet RowSet(NodeId u) const;
+  /// Set of rows with at least one bit: {u : exists v R(u, v)}.
+  NodeSet AnyPerRow() const;
+  /// Set of full rows: {u : forall v R(u, v)}.
+  NodeSet AllPerRow() const;
+
+  friend bool operator==(const NodeMatrix&, const NodeMatrix&) = default;
+
+ private:
+  void MaskTails();
+
+  std::size_t n_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Per-tree index of the tau_{Sigma,A} vocabulary as set-valued views,
+/// computed once and shared by every compiled formula over one tree
+/// (src/logic/compile.h).  The scalar navigation arrays (parent,
+/// first/last child, successor, document-order rank = NodeId) stay on
+/// the Tree itself; the index adds what set-at-a-time evaluation needs:
+///
+///   - unary predicate bitsets: root(x), leaf(x), first(x), last(x);
+///   - label -> node-set and attribute-value -> node-set maps;
+///   - memoized axis relation matrices: E (child), desc (strict
+///     descendant, a contiguous pre-order range per row), sib (later
+///     siblings, children-of-parent masked to ids > u), succ.
+///
+/// Construction is O(n) plus O(|Sigma| + #distinct-values) bitsets;
+/// each matrix is materialized on first use and cached.  Not
+/// thread-safe: use one AxisIndex per run (the interpreter owns one per
+/// Runner).  The tree must outlive the index.
+class AxisIndex {
+ public:
+  explicit AxisIndex(const Tree& tree);
+
+  const Tree& tree() const { return *tree_; }
+  std::size_t size() const { return n_; }
+
+  const NodeSet& Empty() const { return empty_; }
+  const NodeSet& Full() const { return full_; }
+  const NodeSet& Roots() const { return roots_; }
+  const NodeSet& Leaves() const { return leaves_; }
+  const NodeSet& FirstChildren() const { return first_children_; }
+  const NodeSet& LastChildren() const { return last_children_; }
+
+  /// Nodes labeled `name`; the empty set when no node carries it (the
+  /// lab(x, sigma) semantics: an unknown label is false everywhere).
+  const NodeSet& LabelSet(std::string_view name) const;
+
+  /// Nodes whose attribute `a` has value `v` (empty set when none).
+  /// `a` must be a valid attribute id of the tree.
+  const NodeSet& AttrValueSet(AttrId a, DataValue v) const;
+  /// Distinct values of attribute `a`, ascending.
+  const std::vector<DataValue>& AttrValues(AttrId a) const;
+
+  /// E(u, v): v is a child of u.
+  const NodeMatrix& EdgeMatrix() const;
+  /// desc(u, v): v is a strict descendant of u.
+  const NodeMatrix& DescendantMatrix() const;
+  /// sib(u, v): same parent, u before v.
+  const NodeMatrix& SiblingMatrix() const;
+  /// succ(u, v): v is the right sibling of u.
+  const NodeMatrix& SuccMatrix() const;
+  /// u = v.
+  const NodeMatrix& IdentityMatrix() const;
+
+ private:
+  struct AttrIndex {
+    std::map<DataValue, NodeSet> sets;
+    std::vector<DataValue> values;
+  };
+  const AttrIndex& AttrIndexFor(AttrId a) const;
+
+  const Tree* tree_;
+  std::size_t n_;
+  NodeSet empty_, full_, roots_, leaves_, first_children_, last_children_;
+  std::vector<NodeSet> label_sets_;  // indexed by Symbol
+  mutable std::vector<std::optional<AttrIndex>> attr_index_;
+  mutable std::optional<NodeMatrix> edge_, desc_, sib_, succ_, identity_;
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_TREE_AXIS_INDEX_H_

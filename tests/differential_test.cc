@@ -107,6 +107,49 @@ TEST(DifferentialOracle, SelectorCacheIsSemanticallyInvisible) {
   }
 }
 
+/// The compiled set-at-a-time selector evaluator and the PR-1 selector
+/// cache must both be semantically invisible, separately and together:
+/// all four on/off combinations produce the same verdict, reason, and
+/// step count on every program x random tree.  The all-off corner is
+/// the pure reference interpreter, so this is a differential run of
+/// compiled against reference at the whole-interpreter level.
+TEST(DifferentialOracle, CompiledSelectorsAreSemanticallyInvisible) {
+  std::vector<Program> programs = LibraryPrograms();
+  RandomTreeOptions options;
+  options.labels = {"a", "sigma", "delta"};
+  options.attributes = {"a"};
+  for (unsigned seed = 70; seed < 82; ++seed) {
+    std::mt19937 rng(seed);
+    options.num_nodes = 6 + static_cast<int>(seed % 5) * 4;
+    Tree t = RandomTree(rng, options);
+    for (std::size_t pi = 0; pi < programs.size(); ++pi) {
+      std::vector<RunResult> results;
+      std::vector<std::pair<bool, bool>> combos = {
+          {false, false}, {false, true}, {true, false}, {true, true}};
+      for (auto [cache, compiled] : combos) {
+        RunOptions opts;
+        opts.cache_selectors = cache;
+        opts.compile_selectors = compiled;
+        auto r = Interpreter(programs[pi], opts).Run(t);
+        ASSERT_TRUE(r.ok()) << "seed " << seed << " program " << pi
+                            << " cache=" << cache << " compiled=" << compiled;
+        results.push_back(*r);
+      }
+      for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].accepted, results[0].accepted)
+            << "seed " << seed << " program " << pi << " combo " << i;
+        EXPECT_EQ(results[i].reason, results[0].reason)
+            << "seed " << seed << " program " << pi << " combo " << i;
+        EXPECT_EQ(results[i].stats.steps, results[0].stats.steps)
+            << "seed " << seed << " program " << pi << " combo " << i;
+      }
+      // With compilation off, no compiled evaluations may be counted.
+      EXPECT_EQ(results[0].stats.compiled_selector_evals, 0);
+      EXPECT_EQ(results[2].stats.compiled_selector_evals, 0);
+    }
+  }
+}
+
 /// Lemma 4.5: the two-party protocol verdict equals the direct
 /// tw^{r,l} verdict on the split string f#g — for the walking
 /// set-equality program and its look-ahead variant.

@@ -18,5 +18,21 @@ for preset in $presets; do
   cmake --preset "$preset" -S "$root"
   cmake --build --preset "$preset" -j "$jobs"
   (cd "$root" && ctest --preset "$preset" -j "$jobs")
+  case "$preset" in
+    release)
+      # Selector-evaluation benchmark (E14); each compiled benchmark
+      # cross-checks its node sets against the reference evaluator and
+      # errors out on mismatch, so this doubles as a release-mode check.
+      "$root/build-release/bench/bench_selectors" \
+        --benchmark_out="$root/BENCH_selectors.json" \
+        --benchmark_out_format=json
+      ;;
+    asan)
+      # The differential oracles (reference vs compiled vs cached) get
+      # an explicit pass under ASan/UBSan on top of the ctest run.
+      "$root/build-asan/tests/differential_test"
+      "$root/build-asan/tests/compiled_eval_test"
+      ;;
+  esac
 done
 echo "==== ci.sh: all presets green ===="

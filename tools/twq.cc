@@ -150,11 +150,13 @@ int CmdCheck(int argc, char** argv) {
 int CmdBatch(int argc, char** argv) {
   if (argc < 1) {
     return Fail("usage: twq batch <manifest> [--jobs N] [--max-steps M] "
-                "[--quiet]");
+                "[--quiet] [--no-cache] [--no-compiled]");
   }
   int num_threads = 1;
   long long max_steps = 0;  // 0 = interpreter default
   bool quiet = false;
+  bool cache_selectors = true;
+  bool compile_selectors = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       num_threads = std::atoi(argv[++i]);
@@ -162,6 +164,10 @@ int CmdBatch(int argc, char** argv) {
       max_steps = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      cache_selectors = false;
+    } else if (std::strcmp(argv[i], "--no-compiled") == 0) {
+      compile_selectors = false;
     } else {
       return Fail(std::string("unknown batch option '") + argv[i] + "'");
     }
@@ -215,6 +221,8 @@ int CmdBatch(int argc, char** argv) {
     job.program = programs[program_path].get();
     job.tree = trees[tree_path].get();
     if (max_steps > 0) job.options.max_steps = max_steps;
+    job.options.cache_selectors = cache_selectors;
+    job.options.compile_selectors = compile_selectors;
     jobs.push_back(job);
     labels.emplace_back(program_path, tree_path);
   }
@@ -249,11 +257,12 @@ int CmdBatch(int argc, char** argv) {
               static_cast<long long>(s.rejected),
               static_cast<long long>(s.failed));
   std::printf("steps=%lld atp_calls=%lld cache_hits=%lld cache_misses=%lld "
-              "store_updates=%lld\n",
+              "compiled_evals=%lld store_updates=%lld\n",
               static_cast<long long>(s.steps),
               static_cast<long long>(s.atp_calls),
               static_cast<long long>(s.selector_cache_hits),
               static_cast<long long>(s.selector_cache_misses),
+              static_cast<long long>(s.compiled_selector_evals),
               static_cast<long long>(s.store_updates));
   return failures == 0 ? 0 : 1;
 }
