@@ -8,10 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "src/automata/interpreter.h"
+#include "src/automata/library.h"
+#include "src/common/governor.h"
 #include "src/logic/compile.h"
 #include "src/logic/parser.h"
 #include "src/logic/tree_eval.h"
@@ -150,5 +155,63 @@ BENCHMARK_CAPTURE(BM_CompiledSelector, guarded_forall, kGuardedForall)
 BENCHMARK_CAPTURE(BM_CompiledSelectorColdStart, guarded_forall,
                   kGuardedForall)
     ->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+// --- E15: resource-governor overhead. --------------------------------
+//
+// The same interpreter run with and without a (roomy) governor: a
+// far-future deadline polled at every transition plus a byte budget
+// every tracked allocation is charged against.  The pair bounds the
+// per-transition cost of the governance hooks; EXPERIMENTS.md targets
+// <2% on the walker and the atp()-heavy workload.
+
+void RunGovernedPair(benchmark::State& state, Program (*make)(),
+                     Tree (*input)(), bool governed) {
+  Program p = make();
+  Tree t = input();
+  bool accepted = false;
+  for (auto _ : state) {
+    RunOptions options;
+    ResourceGovernor governor;
+    if (governed) {
+      governor.set_deadline_after(std::chrono::hours(1));
+      governor.set_memory_budget(std::int64_t{1} << 32);
+      options.governor = &governor;
+    }
+    Interpreter interpreter(p, options);
+    auto r = interpreter.Run(t);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    accepted = r->accepted;
+  }
+  state.counters["accepted"] = accepted ? 1 : 0;
+}
+
+Program MakeParity() { return std::move(ParityProgram("a")).value(); }
+Program MakeExample32() { return std::move(Example32Program("a")).value(); }
+Tree WalkInput() { return FullTree(2, 8); }
+Tree LookaheadInput() {
+  std::mt19937 rng(11);
+  return Example32Tree(rng, 120, /*uniform=*/true);
+}
+
+void BM_InterpreterWalkUngoverned(benchmark::State& state) {
+  RunGovernedPair(state, MakeParity, WalkInput, false);
+}
+void BM_InterpreterWalkGoverned(benchmark::State& state) {
+  RunGovernedPair(state, MakeParity, WalkInput, true);
+}
+void BM_InterpreterLookaheadUngoverned(benchmark::State& state) {
+  RunGovernedPair(state, MakeExample32, LookaheadInput, false);
+}
+void BM_InterpreterLookaheadGoverned(benchmark::State& state) {
+  RunGovernedPair(state, MakeExample32, LookaheadInput, true);
+}
+
+BENCHMARK(BM_InterpreterWalkUngoverned)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InterpreterWalkGoverned)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InterpreterLookaheadUngoverned)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InterpreterLookaheadGoverned)->Unit(benchmark::kMicrosecond);
 
 }  // namespace

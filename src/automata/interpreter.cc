@@ -8,6 +8,8 @@
 #include <tuple>
 #include <utility>
 
+#include "src/common/failpoint.h"
+#include "src/common/governor.h"
 #include "src/logic/compile.h"
 #include "src/logic/tree_eval.h"
 #include "src/relstore/store_eval.h"
@@ -105,6 +107,10 @@ class Runner {
     NodeId u = start;
     std::string state = start_state;
     std::set<ConfigKey> visited;
+    // The memo lives for this (sub)computation; its budget charge is
+    // released with it at scope exit.
+    ScopedMemoryCharge memo_charge(options_.governor,
+                                   MemoryCategory::kCycleMemo);
 
     while (true) {
       if (options_.cancel != nullptr &&
@@ -112,15 +118,23 @@ class Runner {
         return Cancelled("run cancelled after " +
                          std::to_string(stats_.steps) + " steps");
       }
+      TREEWALK_RETURN_IF_ERROR(GovernorCheckDeadline(options_.governor));
+      TREEWALK_FAILPOINT("interpreter/step");
       if (state == program_.final_state()) {
         Outcome out;
         out.accepted = true;
         if (store.num_relations() > 0) out.returned = store.At(0);
         return out;
       }
-      if (options_.detect_cycles &&
-          !visited.insert(ConfigKey(u, state, store)).second) {
-        return Rejected(RejectReason::kCycle);
+      if (options_.detect_cycles) {
+        if (!visited.insert(ConfigKey(u, state, store)).second) {
+          return Rejected(RejectReason::kCycle);
+        }
+        // ~per-entry footprint: tree-node overhead + key payload, with
+        // each store tuple counted at pointer-ish granularity.
+        TREEWALK_RETURN_IF_ERROR(memo_charge.Add(
+            64 + static_cast<std::int64_t>(state.size()) +
+            static_cast<std::int64_t>(store.TotalTuples()) * 24));
       }
 
       TREEWALK_ASSIGN_OR_RETURN(const Rule* rule, FindRule(u, state, store));
@@ -129,6 +143,11 @@ class Runner {
       if (++stats_.steps > options_.max_steps) {
         return ResourceExhausted("exceeded max_steps=" +
                                  std::to_string(options_.max_steps));
+      }
+      if (options_.record_trace &&
+          trace_.size() < options_.max_trace_entries) {
+        TREEWALK_RETURN_IF_ERROR(
+            GovernorCharge(options_.governor, MemoryCategory::kTrace, 128));
       }
       Trace(u, state, *rule);
 
@@ -185,8 +204,16 @@ class Runner {
         }
       }
       state = action.next_state;
-      stats_.max_store_tuples =
-          std::max(stats_.max_store_tuples, store.TotalTuples());
+      std::size_t tuples = store.TotalTuples();
+      if (tuples > stats_.max_store_tuples) {
+        // Store growth is charged at its high-water mark across the
+        // whole run (monotone; never released).
+        TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+            options_.governor, MemoryCategory::kStore,
+            static_cast<std::int64_t>(tuples - stats_.max_store_tuples) *
+                24));
+        stats_.max_store_tuples = tuples;
+      }
     }
   }
 
@@ -198,6 +225,7 @@ class Runner {
   Result<std::vector<NodeId>> Select(std::size_t rule_index,
                                      const Formula& selector, NodeId origin,
                                      const Store& store) {
+    TREEWALK_FAILPOINT("interpreter/select");
     if (!options_.cache_selectors) {
       ++stats_.selector_cache_misses;
       return EvalSelector(selector_ids_[rule_index], selector, origin);
@@ -217,6 +245,9 @@ class Runner {
     TREEWALK_ASSIGN_OR_RETURN(
         std::vector<NodeId> selected,
         EvalSelector(selector_ids_[rule_index], selector, origin));
+    TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+        options_.governor, MemoryCategory::kSelectorCache,
+        48 + static_cast<std::int64_t>(selected.size()) * 8));
     selector_cache_.emplace(key, selected);
     return selected;
   }
@@ -232,11 +263,32 @@ class Runner {
     if (options_.compile_selectors) {
       auto it = compiled_.find(canonical_id);
       if (it == compiled_.end()) {
-        if (!axis_index_.has_value()) axis_index_.emplace(tree_);
+        if (!axis_index_.has_value()) {
+          axis_index_.emplace(tree_, options_.governor);
+          // Construction charges the base bitsets; a trip surfaces here
+          // as the run's error rather than in a getter.
+          TREEWALK_RETURN_IF_ERROR(axis_index_->status());
+        }
         Result<CompiledSelector> compiled = CompileSelector(*axis_index_,
                                                             selector);
+        if (!compiled.ok() &&
+            (compiled.status().code() == StatusCode::kResourceExhausted ||
+             compiled.status().code() == StatusCode::kDeadlineExceeded)) {
+          // Budget and deadline trips are hard errors for the whole run:
+          // falling back to the reference evaluator would evade the very
+          // limits the governor enforces.  Every other compile failure
+          // (width > 2, injected compiler faults) is a decline, served
+          // by the reference SelectNodes below.
+          return compiled.status();
+        }
         std::optional<CompiledSelector> slot;
-        if (compiled.ok()) slot = std::move(compiled).value();
+        if (compiled.ok()) {
+          slot = std::move(compiled).value();
+          // The materialized relation stays alive for the run.
+          TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+              options_.governor, MemoryCategory::kCompiledOps,
+              slot->RetainedBytes()));
+        }
         it = compiled_.emplace(canonical_id, std::move(slot)).first;
       }
       if (it->second.has_value()) {

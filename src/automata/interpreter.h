@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/automata/program.h"
+#include "src/common/governor.h"
 #include "src/common/result.h"
 #include "src/tree/delimited.h"
 #include "src/tree/tree.h"
@@ -52,6 +53,14 @@ struct RunOptions {
   /// outlive the run; src/engine points every job of a batch at one
   /// flag.
   const std::atomic<bool>* cancel = nullptr;
+  /// Per-run resource governor (src/common/governor.h).  When non-null,
+  /// the deadline is polled at every transition boundary (beside the
+  /// cancel flag; a trip aborts with kDeadlineExceeded) and the run's
+  /// growing structures — cycle memo, trace, store tuples, selector
+  /// cache, axis index, compiled selectors — charge its memory budget
+  /// (a trip aborts with kResourceExhausted and a category breakdown).
+  /// Not thread-safe: one governor per run; must outlive the run.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Why a run rejected (Section 3 semantics; cycles reject per the

@@ -1,0 +1,96 @@
+#ifndef TREEWALK_COMMON_FAILPOINT_H_
+#define TREEWALK_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace treewalk {
+
+/// Deterministic, seedable fault injection for tests (docs/ROBUSTNESS.md
+/// lists the site inventory).  Code marks fallible spots with
+/// TREEWALK_FAILPOINT("module/site"); a disarmed registry costs one
+/// relaxed atomic load and a never-taken branch per site, so the macro
+/// can sit on hot paths.  Tests arm individual sites (Enable) or derive
+/// a whole schedule from a seed (ArmRandomSchedule); the injected
+/// failures are ordinary Status returns, so they exercise exactly the
+/// error-propagation paths real faults would take.
+class FailpointRegistry {
+ public:
+  struct Config {
+    /// Status returned when the site fires.
+    StatusCode code = StatusCode::kInternal;
+    std::string message = "injected fault";
+    /// The site fires on hits after the first `after` (0 = from the
+    /// first hit on).
+    std::int64_t after = 0;
+    /// Stop firing after this many injections; 0 = keep firing.
+    std::int64_t max_fires = 1;
+  };
+
+  /// Process-wide registry.  All mutation and Check() are mutex-guarded;
+  /// `armed()` is the lock-free fast path.
+  static FailpointRegistry& Global();
+
+  static bool armed() {
+    return armed_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Arms `site` with `config` (resets its hit/fire counters).
+  void Enable(const std::string& site, Config config);
+  void Disable(const std::string& site);
+  /// Disarms every site and clears all counters.
+  void DisableAll();
+
+  /// Arms a deterministic schedule over the known-site inventory: each
+  /// site independently (given `seed`) is armed with probability
+  /// `site_probability`, firing once after a small pseudo-random number
+  /// of hits with a pseudo-random retryable status code.  Equal seeds
+  /// produce equal schedules, including counter state.
+  void ArmRandomSchedule(std::uint64_t seed, double site_probability = 0.5);
+
+  /// Called by TREEWALK_FAILPOINT when the registry is armed.
+  Status Check(const char* site);
+
+  /// Hits observed at `site` since it was last (re-)enabled.
+  std::int64_t hits(const std::string& site) const;
+
+  /// The inventory of sites compiled into the library, for schedule
+  /// generation and documentation.  Kept in one place so a new site is
+  /// added here and in docs/ROBUSTNESS.md together.
+  static const std::vector<std::string>& KnownSites();
+
+ private:
+  struct SiteState {
+    Config config;
+    std::int64_t hit_count = 0;
+    std::int64_t fire_count = 0;
+  };
+
+  static std::atomic<bool>& armed_flag();
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace treewalk
+
+/// Fault-injection site: returns the injected Status out of the
+/// enclosing function (which must return Status or Result<T>) when the
+/// registry arms this site.  Compiles to a branch on a relaxed atomic
+/// when nothing is armed.
+#define TREEWALK_FAILPOINT(site)                                          \
+  do {                                                                    \
+    if (::treewalk::FailpointRegistry::armed()) {                         \
+      ::treewalk::Status _tw_fp_status =                                  \
+          ::treewalk::FailpointRegistry::Global().Check(site);            \
+      if (!_tw_fp_status.ok()) return _tw_fp_status;                      \
+    }                                                                     \
+  } while (false)
+
+#endif  // TREEWALK_COMMON_FAILPOINT_H_

@@ -1,7 +1,6 @@
 #ifndef TREEWALK_COMMON_RESULT_H_
 #define TREEWALK_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
@@ -21,7 +20,7 @@ class Result {
  public:
   /// Constructs an errored result.  `status` must be non-OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit
-    assert(!status_.ok() && "Result constructed from OK status");
+    TREEWALK_CHECK(!status_.ok(), "Result constructed from OK status");
   }
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit
@@ -29,16 +28,20 @@ class Result {
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
+  /// Value accessors abort (in every build mode) with the carried
+  /// status when called on an errored result — accessing a value that
+  /// does not exist is a caller bug, and silently reading an invalid
+  /// object would be worse than dying loudly.
   const T& value() const& {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHasValue();
     return *std::move(value_);
   }
 
@@ -48,6 +51,10 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckHasValue() const {
+    TREEWALK_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+  }
+
   Status status_;
   std::optional<T> value_;
 };

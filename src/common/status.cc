@@ -1,5 +1,8 @@
 #include "src/common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace treewalk {
 
 const char* StatusCodeName(StatusCode code) {
@@ -20,6 +23,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -59,5 +64,20 @@ Status Cancelled(std::string message) {
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
 }
+Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s: %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 }  // namespace treewalk

@@ -26,6 +26,8 @@ enum class StatusCode {
   kCancelled,
   /// Internal invariant violation; indicates a library bug.
   kInternal,
+  /// A wall-clock deadline expired before the job finished.
+  kDeadlineExceeded,
 };
 
 /// Human-readable name for a status code ("kOk" -> "OK").
@@ -67,8 +69,28 @@ Status ResourceExhausted(std::string message);
 Status Nondeterminism(std::string message);
 Status Cancelled(std::string message);
 Status Internal(std::string message);
+Status DeadlineExceeded(std::string message);
+
+namespace internal {
+/// Prints "<file>:<line>: CHECK failed: <expr>: <message>" to stderr and
+/// aborts.  Backs TREEWALK_CHECK; never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace internal
 
 }  // namespace treewalk
+
+/// Fatal invariant check that stays armed in release builds (unlike
+/// assert): on violation it prints `message` — typically the Status a
+/// Result carried — and aborts, instead of silently reading an invalid
+/// value under NDEBUG.
+#define TREEWALK_CHECK(cond, message)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::treewalk::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                        (message));                      \
+    }                                                                     \
+  } while (false)
 
 /// Propagates a non-OK Status to the caller.  Usable in functions that
 /// return Status or Result<T> (Result is constructible from Status).

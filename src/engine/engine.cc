@@ -1,10 +1,14 @@
 #include "src/engine/engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <map>
 #include <thread>
 #include <utility>
 
+#include "src/common/failpoint.h"
+#include "src/common/governor.h"
 #include "src/tree/delimited.h"
 
 namespace treewalk {
@@ -39,7 +43,33 @@ Status ValidateJob(const BatchJob& job) {
   if (job.program == nullptr) return InvalidArgument("job has null program");
   if (job.tree == nullptr) return InvalidArgument("job has null tree");
   if (job.tree->empty()) return InvalidArgument("job has empty tree");
+  if (job.retry.max_attempts < 1) {
+    return InvalidArgument("retry.max_attempts must be >= 1, got " +
+                           std::to_string(job.retry.max_attempts));
+  }
   return Status::Ok();
+}
+
+bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Applies degradation rung `rung` (see RetryPolicy) to `options`.
+void ApplyRung(int rung, const RetryPolicy& retry, RunOptions& options) {
+  if (rung >= 1) options.compile_selectors = false;
+  if (rung >= 2) options.cache_selectors = false;
+  if (rung >= 3) {
+    options.detect_cycles = false;
+    options.max_steps = std::min(options.max_steps,
+                                 retry.degraded_max_steps);
+  }
 }
 
 }  // namespace
@@ -70,27 +100,78 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs) {
   }
 
   std::atomic<std::size_t> next{0};
+  // One attempt of job i on degradation rung `rung`; status + run out.
+  auto run_attempt = [&](std::size_t i, int rung, JobResult::Attempt& attempt,
+                         RunResult& run) {
+    RunOptions options = jobs[i].options;
+    options.cancel = &cancel_;
+    ApplyRung(rung, jobs[i].retry, options);
+    // The governor is per-attempt: a retry gets a fresh deadline and an
+    // empty accountant (it is also single-threaded state, so it cannot
+    // be shared across the batch).
+    ResourceGovernor governor;
+    if (jobs[i].deadline_ms > 0) {
+      governor.set_deadline_after(
+          std::chrono::milliseconds(jobs[i].deadline_ms));
+    }
+    if (jobs[i].memory_budget_bytes > 0) {
+      governor.set_memory_budget(jobs[i].memory_budget_bytes);
+    }
+    options.governor = &governor;
+
+    Status status;
+    if (FailpointRegistry::armed()) {
+      status = FailpointRegistry::Global().Check("engine/worker");
+    }
+    if (status.ok()) {
+      Interpreter interpreter(*jobs[i].program, options);
+      Result<RunResult> r =
+          interpreter.RunDelimited(delimited.at(jobs[i].tree).tree);
+      if (r.ok()) {
+        run = std::move(r).value();
+      } else {
+        status = r.status();
+      }
+    }
+    attempt.rung = rung;
+    attempt.status = status;
+    attempt.memory_tripped =
+        governor.accountant() != nullptr && governor.accountant()->tripped();
+  };
   auto run_job = [&](std::size_t i) {
     JobResult& out = batch.results[i];
     if (!prechecks[i].ok()) {
       out.status = prechecks[i];
       return;
     }
-    if (cancel_.load(std::memory_order_relaxed)) {
-      out.status = Cancelled("job " + std::to_string(i) +
-                             " cancelled before it started");
-      return;
+    const RetryPolicy& retry = jobs[i].retry;
+    std::int64_t backoff_ms = std::max<std::int64_t>(0,
+                                                     retry.initial_backoff_ms);
+    for (int attempt_no = 0; attempt_no < retry.max_attempts; ++attempt_no) {
+      if (cancel_.load(std::memory_order_relaxed)) {
+        out.status = Cancelled("job " + std::to_string(i) +
+                               " cancelled before it started");
+        return;
+      }
+      int rung = retry.degrade ? std::min(attempt_no, 3) : 0;
+      JobResult::Attempt attempt;
+      RunResult run;
+      run_attempt(i, rung, attempt, run);
+      out.attempts.push_back(attempt);
+      out.status = attempt.status;
+      if (attempt.status.ok()) {
+        out.run = std::move(run);
+        return;
+      }
+      if (!IsRetryable(attempt.status) ||
+          attempt_no + 1 >= retry.max_attempts) {
+        return;
+      }
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+      }
     }
-    RunOptions options = jobs[i].options;
-    options.cancel = &cancel_;
-    Interpreter interpreter(*jobs[i].program, options);
-    Result<RunResult> r =
-        interpreter.RunDelimited(delimited.at(jobs[i].tree).tree);
-    if (!r.ok()) {
-      out.status = r.status();
-      return;
-    }
-    out.run = std::move(r).value();
   };
   auto worker = [&]() {
     while (true) {
@@ -116,6 +197,19 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs) {
   // Aggregate in job order so the totals are scheduling-independent.
   for (const JobResult& r : batch.results) {
     ++batch.stats.jobs;
+    for (const JobResult::Attempt& a : r.attempts) {
+      if (a.status.code() == StatusCode::kDeadlineExceeded) {
+        ++batch.stats.deadline_hits;
+      }
+      if (a.memory_tripped) ++batch.stats.memory_trips;
+    }
+    if (r.attempts.size() > 1) {
+      batch.stats.retries +=
+          static_cast<std::int64_t>(r.attempts.size()) - 1;
+    }
+    if (r.status.ok() && !r.attempts.empty() && r.attempts.back().rung > 0) {
+      ++batch.stats.degraded_successes;
+    }
     if (!r.status.ok()) {
       ++batch.stats.failed;
       if (r.status.code() == StatusCode::kCancelled) ++batch.stats.cancelled;

@@ -12,24 +12,72 @@
 
 namespace treewalk {
 
+/// Retry behavior for one job.  A failed attempt whose status is
+/// retryable (kDeadlineExceeded, kResourceExhausted, kInternal) is rerun
+/// up to `max_attempts` times total, sleeping an exponentially growing
+/// backoff between attempts.  With `degrade` set, each retry also steps
+/// down a degradation ladder that trades evaluation features for
+/// footprint, in order:
+///
+///   rung 0  as submitted
+///   rung 1  compile_selectors off (no axis index / bitset matrices)
+///   rung 2  + cache_selectors off (no per-run selector cache)
+///   rung 3  + detect_cycles off, max_steps capped at degraded_max_steps
+///
+/// A success on rung > 0 is still an exact result — the toggled options
+/// are all semantically invisible except the rung-3 cycle policy, where
+/// a looping run reports kResourceExhausted (step cap) instead of
+/// rejecting with kCycle.  The rung of every attempt is recorded in
+/// JobResult::attempts.
+struct RetryPolicy {
+  /// Total attempts (1 = no retries).
+  int max_attempts = 1;
+  /// Sleep before the first retry; doubles each further retry.
+  std::int64_t initial_backoff_ms = 1;
+  /// Walk the degradation ladder on retries (off = retry as submitted).
+  bool degrade = true;
+  /// Step cap applied at rung 3, replacing cycle detection as the
+  /// termination guarantee.
+  std::int64_t degraded_max_steps = 1 << 20;
+};
+
 /// One (program, document) evaluation request.  The engine delimits the
 /// tree itself (once per distinct Tree pointer — jobs may share inputs).
 /// `program` and `tree` are borrowed: they must outlive the RunBatch()
 /// call and are accessed read-only (see docs/ENGINE.md for the full
-/// thread-safety contract).  `options.cancel` is overwritten with the
-/// engine's batch-wide flag.
+/// thread-safety contract).  `options.cancel` and `options.governor`
+/// are overwritten by the engine (the batch-wide flag and a per-attempt
+/// governor built from `deadline_ms` / `memory_budget_bytes`).
 struct BatchJob {
   const Program* program = nullptr;
   const Tree* tree = nullptr;
   RunOptions options;
+  /// Per-attempt wall-clock deadline in milliseconds; 0 = none.  A trip
+  /// fails the attempt with kDeadlineExceeded.
+  std::int64_t deadline_ms = 0;
+  /// Memory budget in bytes for the run's tracked structures; 0 =
+  /// unlimited.  A trip fails the attempt with kResourceExhausted.
+  std::int64_t memory_budget_bytes = 0;
+  RetryPolicy retry;
 };
 
 /// Outcome of one job.  `status` is non-OK when the run aborted (budget
 /// exhausted, cancelled, precondition violated); `run` is meaningful
 /// only when `status.ok()`.
 struct JobResult {
+  /// One entry per attempt, in order; the last entry's status equals
+  /// `status`.  `rung` is the degradation-ladder rung the attempt ran
+  /// at; `memory_tripped` records whether its memory budget rejected a
+  /// charge.
+  struct Attempt {
+    int rung = 0;
+    Status status;
+    bool memory_tripped = false;
+  };
+
   Status status;
   RunResult run;
+  std::vector<Attempt> attempts;
 };
 
 /// Aggregate instrumentation over a batch, summed over jobs in job
@@ -49,6 +97,14 @@ struct EngineStats {
   std::int64_t selector_cache_misses = 0;
   std::int64_t compiled_selector_evals = 0;
   std::int64_t store_updates = 0;
+  /// Attempts that failed with kDeadlineExceeded.
+  std::int64_t deadline_hits = 0;
+  /// Attempts whose memory budget rejected a charge.
+  std::int64_t memory_trips = 0;
+  /// Re-run attempts beyond each job's first (sum over jobs).
+  std::int64_t retries = 0;
+  /// Jobs that ultimately succeeded on a degradation rung > 0.
+  std::int64_t degraded_successes = 0;
 
   friend bool operator==(const EngineStats&, const EngineStats&) = default;
 };

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 #include <numeric>
+#include <utility>
 
 namespace treewalk {
 
@@ -21,13 +22,52 @@ bool RowAny(const std::uint64_t* row, std::size_t words) {
   return false;
 }
 
+/// Heap bytes the derived value of one op occupies (0 for consts,
+/// loads, and booleans, which alias or copy nothing).
+std::int64_t AllocBytes(OpKind kind, std::size_t n) {
+  const std::int64_t set_bytes =
+      static_cast<std::int64_t>((n + 63) / 64 * 8 + 48);
+  const std::int64_t mat_bytes =
+      static_cast<std::int64_t>(n * ((n + 63) / 64) * 8 + 64);
+  switch (kind) {
+    case OpKind::kNotSet:
+    case OpKind::kAndSet:
+    case OpKind::kOrSet:
+    case OpKind::kBoolToSet:
+    case OpKind::kAnyRow:
+    case OpKind::kAllRow:
+      return set_bytes;
+    case OpKind::kNotMat:
+    case OpKind::kAndMat:
+    case OpKind::kOrMat:
+    case OpKind::kSetToMatRow:
+    case OpKind::kSetToMatCol:
+    case OpKind::kCompose:
+      return mat_bytes;
+    default:
+      return 0;
+  }
+}
+
 }  // namespace
 
 std::vector<OpValue> EvaluateOps(const std::vector<Op>& ops, std::size_t n) {
+  // A null governor cannot fail a charge or a deadline check.
+  return std::move(EvaluateOpsGoverned(ops, n, nullptr)).value();
+}
+
+Result<std::vector<OpValue>> EvaluateOpsGoverned(const std::vector<Op>& ops,
+                                                 std::size_t n,
+                                                 ResourceGovernor* governor) {
+  ScopedMemoryCharge transient(governor, MemoryCategory::kCompiledOps);
   std::vector<OpValue> vals(ops.size());
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const Op& op = ops[i];
     OpValue& out = vals[i];
+    if (governor != nullptr) {
+      TREEWALK_RETURN_IF_ERROR(governor->CheckDeadlineNow());
+      TREEWALK_RETURN_IF_ERROR(transient.Add(AllocBytes(op.kind, n)));
+    }
     switch (op.kind) {
       case OpKind::kConstBool:
         out.b = op.literal;
@@ -143,7 +183,22 @@ std::vector<OpValue> EvaluateOps(const std::vector<Op>& ops, std::size_t n) {
       }
     }
   }
+  // `transient` releases the evaluation-scope charges here; the caller
+  // re-charges whatever it copies out and keeps.
   return vals;
+}
+
+std::int64_t CompiledSelector::RetainedBytes() const {
+  switch (shape_) {
+    case Shape::kBool:
+      return 0;
+    case Shape::kSetX:
+    case Shape::kSetY:
+      return static_cast<std::int64_t>((n_ + 63) / 64 * 8 + 48);
+    case Shape::kMat:
+      return static_cast<std::int64_t>(n_ * ((n_ + 63) / 64) * 8 + 64);
+  }
+  return 0;
 }
 
 std::vector<NodeId> CompiledSelector::SelectFrom(NodeId origin) const {

@@ -70,6 +70,17 @@ struct OpValue {
 /// correctness, enforced here by assertions).
 std::vector<OpValue> EvaluateOps(const std::vector<Op>& ops, std::size_t n);
 
+/// Governed variant: each derived-op allocation is charged against the
+/// governor's memory budget under MemoryCategory::kCompiledOps before
+/// allocating, and the deadline is polled between ops (a single op is
+/// at most O(n^3/64)).  The transient evaluation charges are released on
+/// return — the caller deep-copies what it keeps and accounts for that
+/// copy itself — so what this bounds is the peak footprint of one
+/// evaluation.  With a null governor this is exactly EvaluateOps.
+Result<std::vector<OpValue>> EvaluateOpsGoverned(const std::vector<Op>& ops,
+                                                 std::size_t n,
+                                                 ResourceGovernor* governor);
+
 /// A binary FO selector phi(x, y) compiled and materialized against one
 /// tree: the full relation {(u, v) : t |= phi(u, v)} is computed once
 /// (set-at-a-time), after which SelectFrom is a row read — every origin
@@ -85,6 +96,11 @@ class CompiledSelector {
 
   /// Number of nodes of the tree this selector was compiled against.
   std::size_t tree_size() const { return n_; }
+
+  /// Approximate heap bytes the materialized payload retains (0 for a
+  /// constant, one bitset row for a set, n rows for a matrix); what a
+  /// caller keeping the selector alive charges its memory budget.
+  std::int64_t RetainedBytes() const;
 
  private:
   friend class Compiler;

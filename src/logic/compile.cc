@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/failpoint.h"
 #include "src/logic/normalize.h"
 
 namespace treewalk {
@@ -47,11 +48,14 @@ bool MentionsVar(const Formula& f, const std::string& v) {
 class Compiler {
  public:
   explicit Compiler(const AxisIndex& index)
-      : index_(index), tree_(index.tree()), n_(index.size()) {}
+      : index_(index), tree_(index.tree()), n_(index.size()),
+        governor_(index.governor()) {}
 
   Result<CompiledSelector> Selector(const Formula& formula,
                                     const std::string& x,
                                     const std::string& y) {
+    TREEWALK_FAILPOINT("compiler/compile");
+    TREEWALK_RETURN_IF_ERROR(GovernorCheckDeadlineNow(governor_));
     if (!formula.valid()) return InvalidArgument("empty formula");
     if (n_ == 0) return FailedPrecondition("cannot compile on an empty tree");
     if (x == y) {
@@ -69,7 +73,8 @@ class Compiler {
     next_slot_ = 2;
     TREEWALK_ASSIGN_OR_RETURN(
         Val v, CompileNode(Miniscope(ToNegationNormalForm(formula))));
-    std::vector<OpValue> vals = EvaluateOps(ops_, n_);
+    TREEWALK_ASSIGN_OR_RETURN(std::vector<OpValue> vals,
+                              EvaluateOpsGoverned(ops_, n_, governor_));
     CompiledSelector out;
     out.n_ = n_;
     switch (v.shape) {
@@ -92,6 +97,8 @@ class Compiler {
   }
 
   Result<CompiledSentence> Sentence(const Formula& formula) {
+    TREEWALK_FAILPOINT("compiler/compile");
+    TREEWALK_RETURN_IF_ERROR(GovernorCheckDeadlineNow(governor_));
     if (!formula.valid()) return InvalidArgument("empty formula");
     if (n_ == 0) return FailedPrecondition("cannot compile on an empty tree");
     TREEWALK_RETURN_IF_ERROR(ValidateTreeFormula(formula));
@@ -103,7 +110,8 @@ class Compiler {
     if (v.shape != Shape::kBool) {
       return Internal("sentence compiled to an open shape");
     }
-    std::vector<OpValue> vals = EvaluateOps(ops_, n_);
+    TREEWALK_ASSIGN_OR_RETURN(std::vector<OpValue> vals,
+                              EvaluateOpsGoverned(ops_, n_, governor_));
     CompiledSentence out;
     out.value_ = vals[v.op].b;
     return out;
@@ -559,14 +567,24 @@ class Compiler {
         return UnarySet(node.terms[0], index_.LastChildren());
       case AtomKind::kLabel:
         return UnarySet(node.terms[0], index_.LabelSet(node.symbol));
-      case AtomKind::kEdge:
-        return BinaryAxis(node, index_.EdgeMatrix());
-      case AtomKind::kSibling:
-        return BinaryAxis(node, index_.SiblingMatrix());
-      case AtomKind::kDescendant:
-        return BinaryAxis(node, index_.DescendantMatrix());
-      case AtomKind::kSucc:
-        return BinaryAxis(node, index_.SuccMatrix());
+      case AtomKind::kEdge: {
+        TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m, index_.TryEdgeMatrix());
+        return BinaryAxis(node, *m);
+      }
+      case AtomKind::kSibling: {
+        TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m,
+                                  index_.TrySiblingMatrix());
+        return BinaryAxis(node, *m);
+      }
+      case AtomKind::kDescendant: {
+        TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m,
+                                  index_.TryDescendantMatrix());
+        return BinaryAxis(node, *m);
+      }
+      case AtomKind::kSucc: {
+        TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m, index_.TrySuccMatrix());
+        return BinaryAxis(node, *m);
+      }
       case AtomKind::kEq: {
         const Term& a = node.terms[0];
         const Term& b = node.terms[1];
@@ -596,7 +614,9 @@ class Compiler {
     if (su < sv) {
       return MatVal(EmitLoadMat(Alias(rel)), su, sv);
     }
-    return MatVal(EmitLoadMat(Transposed(rel)), sv, su);
+    TREEWALK_ASSIGN_OR_RETURN(std::shared_ptr<const NodeMatrix> t,
+                              Transposed(rel));
+    return MatVal(EmitLoadMat(std::move(t)), sv, su);
   }
 
   Result<Val> NodeEq(const Term& a, const Term& b) {
@@ -606,8 +626,10 @@ class Compiler {
       return SetVal(EmitLoadSet(Alias(index_.Full())), sa);
     }
     // The identity matrix is symmetric; no transpose needed.
-    return MatVal(EmitLoadMat(Alias(index_.IdentityMatrix())),
-                  sa < sb ? sa : sb, sa < sb ? sb : sa);
+    TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* id,
+                              index_.TryIdentityMatrix());
+    return MatVal(EmitLoadMat(Alias(*id)), sa < sb ? sa : sb,
+                  sa < sb ? sb : sa);
   }
 
   Result<Val> DataEq(const Term& a, const Term& b) {
@@ -624,20 +646,26 @@ class Compiler {
       TREEWALK_ASSIGN_OR_RETURN(AttrId attr, AttrIdOf(attr_term));
       TREEWALK_ASSIGN_OR_RETURN(int slot, SlotOf(attr_term.var));
       TREEWALK_ASSIGN_OR_RETURN(DataValue v, ConstData(const_term));
-      return SetVal(EmitLoadSet(Alias(index_.AttrValueSet(attr, v))), slot);
+      TREEWALK_ASSIGN_OR_RETURN(const NodeSet* s,
+                                index_.TryAttrValueSet(attr, v));
+      return SetVal(EmitLoadSet(Alias(*s)), slot);
     }
     TREEWALK_ASSIGN_OR_RETURN(AttrId aa, AttrIdOf(a));
     TREEWALK_ASSIGN_OR_RETURN(AttrId ab, AttrIdOf(b));
     TREEWALK_ASSIGN_OR_RETURN(int sa, SlotOf(a.var));
     TREEWALK_ASSIGN_OR_RETURN(int sb, SlotOf(b.var));
     if (sa == sb) {
-      return SetVal(EmitLoadSet(AttrPairSet(aa, ab)), sa);
+      TREEWALK_ASSIGN_OR_RETURN(std::shared_ptr<const NodeSet> s,
+                                AttrPairSet(aa, ab));
+      return SetVal(EmitLoadSet(std::move(s)), sa);
     }
     // Canonical orientation: rows are the smaller slot's variable.
     AttrId row_attr = sa < sb ? aa : ab;
     AttrId col_attr = sa < sb ? ab : aa;
-    return MatVal(EmitLoadMat(AttrPairMat(row_attr, col_attr)),
-                  sa < sb ? sa : sb, sa < sb ? sb : sa);
+    TREEWALK_ASSIGN_OR_RETURN(std::shared_ptr<const NodeMatrix> m,
+                              AttrPairMat(row_attr, col_attr));
+    return MatVal(EmitLoadMat(std::move(m)), sa < sb ? sa : sb,
+                  sa < sb ? sb : sa);
   }
 
   Result<DataValue> ConstData(const Term& t) {
@@ -660,19 +688,37 @@ class Compiler {
   }
 
   // --- Derived relation materialization (cached per compilation). ------
+  //
+  // These are compiler-owned (unlike the AxisIndex memos) and die with
+  // the Compiler, so each is charged under kCompiledOps on first build;
+  // the governed op evaluation releases only its own transient charges,
+  // so these stay charged for the compilation's lifetime.
 
-  std::shared_ptr<const NodeMatrix> Transposed(const NodeMatrix& m) {
+  Result<std::shared_ptr<const NodeMatrix>> Transposed(const NodeMatrix& m) {
     auto [it, inserted] = transposed_.try_emplace(&m);
     if (inserted) {
+      Status charge = GovernorCharge(governor_, MemoryCategory::kCompiledOps,
+                                     index_.MatrixBytes());
+      if (!charge.ok()) {
+        transposed_.erase(it);
+        return charge;
+      }
       it->second = std::make_shared<const NodeMatrix>(m.Transposed());
     }
     return it->second;
   }
 
   /// {u : attr(a, u) == attr(b, u)}.
-  std::shared_ptr<const NodeSet> AttrPairSet(AttrId a, AttrId b) {
+  Result<std::shared_ptr<const NodeSet>> AttrPairSet(AttrId a, AttrId b) {
     auto [it, inserted] = attr_pair_sets_.try_emplace({a, b});
     if (inserted) {
+      Status charge =
+          GovernorCharge(governor_, MemoryCategory::kCompiledOps,
+                         static_cast<std::int64_t>((n_ + 63) / 64 * 8 + 48));
+      if (!charge.ok()) {
+        attr_pair_sets_.erase(it);
+        return charge;
+      }
       auto s = std::make_shared<NodeSet>(n_);
       for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
         if (tree_.attr(a, u) == tree_.attr(b, u)) s->set(u);
@@ -684,26 +730,37 @@ class Compiler {
 
   /// {(u, v) : attr(row_attr, u) == attr(col_attr, v)}: a value join
   /// over the attribute-value indexes.
-  std::shared_ptr<const NodeMatrix> AttrPairMat(AttrId row_attr,
-                                                AttrId col_attr) {
-    auto [it, inserted] = attr_pair_mats_.try_emplace({row_attr, col_attr});
-    if (inserted) {
-      auto m = std::make_shared<NodeMatrix>(n_);
-      for (DataValue v : index_.AttrValues(row_attr)) {
-        const NodeSet& cols = index_.AttrValueSet(col_attr, v);
-        if (!cols.any()) continue;
-        for (NodeId u : index_.AttrValueSet(row_attr, v).ToVector()) {
-          m->RowUnion(u, cols);
-        }
+  Result<std::shared_ptr<const NodeMatrix>> AttrPairMat(AttrId row_attr,
+                                                        AttrId col_attr) {
+    auto found = attr_pair_mats_.find({row_attr, col_attr});
+    if (found != attr_pair_mats_.end()) return found->second;
+    // Resolve the value indexes *before* charging for the matrix so an
+    // error mid-build leaves neither a cache entry nor a stale charge.
+    TREEWALK_ASSIGN_OR_RETURN(const std::vector<DataValue>* values,
+                              index_.TryAttrValues(row_attr));
+    TREEWALK_ASSIGN_OR_RETURN(const std::vector<DataValue>* col_values,
+                              index_.TryAttrValues(col_attr));
+    (void)col_values;
+    TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+        governor_, MemoryCategory::kCompiledOps, index_.MatrixBytes()));
+    auto m = std::make_shared<NodeMatrix>(n_);
+    for (DataValue v : *values) {
+      const NodeSet& cols = index_.AttrValueSet(col_attr, v);
+      if (!cols.any()) continue;
+      for (NodeId u : index_.AttrValueSet(row_attr, v).ToVector()) {
+        m->RowUnion(u, cols);
       }
-      it->second = std::move(m);
     }
+    auto [it, inserted] = attr_pair_mats_.emplace(
+        std::make_pair(row_attr, col_attr), std::move(m));
+    (void)inserted;
     return it->second;
   }
 
   const AxisIndex& index_;
   const Tree& tree_;
   std::size_t n_;
+  ResourceGovernor* governor_ = nullptr;
 
   std::vector<Op> ops_;
   std::map<std::array<std::uint64_t, 4>, int> cse_;

@@ -41,8 +41,11 @@ class FormulaParser {
   Result<Formula> ParseImp() {
     TREEWALK_ASSIGN_OR_RETURN(Formula left, ParseOr());
     if (ConsumeOp("->")) {
-      TREEWALK_ASSIGN_OR_RETURN(Formula right, ParseImp());  // right assoc
-      return Formula::Implies(left, right);
+      TREEWALK_RETURN_IF_ERROR(EnterNesting());  // right assoc = recursion
+      Result<Formula> right = ParseImp();
+      --depth_;
+      if (!right.ok()) return right.status();
+      return Formula::Implies(left, std::move(right).value());
     }
     return left;
   }
@@ -69,8 +72,11 @@ class FormulaParser {
     SkipSpace();
     if (Peek() == '!' && PeekAt(1) != '=') {
       ++pos_;
-      TREEWALK_ASSIGN_OR_RETURN(Formula f, ParseUnary());
-      return Formula::Not(f);
+      TREEWALK_RETURN_IF_ERROR(EnterNesting());
+      Result<Formula> f = ParseUnary();
+      --depth_;
+      if (!f.ok()) return f.status();
+      return Formula::Not(std::move(f).value());
     }
     std::size_t mark = pos_;
     std::string word = PeekWord();
@@ -82,9 +88,13 @@ class FormulaParser {
         return Err("expected variable after quantifier");
       }
       pos_ += var.size();
-      TREEWALK_ASSIGN_OR_RETURN(Formula body, ParseUnary());
-      return word == "exists" ? Formula::Exists(var, body)
-                              : Formula::Forall(var, body);
+      TREEWALK_RETURN_IF_ERROR(EnterNesting());
+      Result<Formula> body = ParseUnary();
+      --depth_;
+      if (!body.ok()) return body.status();
+      return word == "exists"
+                 ? Formula::Exists(var, std::move(body).value())
+                 : Formula::Forall(var, std::move(body).value());
     }
     return ParsePrimary();
   }
@@ -93,7 +103,11 @@ class FormulaParser {
     SkipSpace();
     if (Peek() == '(') {
       ++pos_;
-      TREEWALK_ASSIGN_OR_RETURN(Formula f, ParseIff());
+      TREEWALK_RETURN_IF_ERROR(EnterNesting());
+      Result<Formula> inner = ParseIff();
+      --depth_;
+      if (!inner.ok()) return inner.status();
+      Formula f = std::move(inner).value();
       SkipSpace();
       if (Peek() != ')') return Err("expected ')'");
       ++pos_;
@@ -368,8 +382,22 @@ class FormulaParser {
     return InvalidArgument(message + " at offset " + std::to_string(pos_));
   }
 
+  /// Guards every recursive production (parens, prefix operators, the
+  /// right-associative '->'): adversarially deep input is rejected as
+  /// kInvalidArgument instead of overflowing the parser's stack.  The
+  /// caller decrements depth_ after its recursive call returns.
+  Status EnterNesting() {
+    if (depth_ >= kMaxFormulaNestingDepth) {
+      return Err("formula nesting exceeds depth limit " +
+                 std::to_string(kMaxFormulaNestingDepth));
+    }
+    ++depth_;
+    return Status::Ok();
+  }
+
   std::string_view src_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

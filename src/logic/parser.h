@@ -8,6 +8,12 @@
 
 namespace treewalk {
 
+/// Maximum syntactic nesting depth (parentheses, negations, quantifier
+/// prefixes, right-nested implications) the formula parser accepts.
+/// Deeper input returns kInvalidArgument instead of overflowing the
+/// recursive-descent stack (docs/ROBUSTNESS.md).
+inline constexpr int kMaxFormulaNestingDepth = 500;
+
 /// Parses the textual formula syntax shared by tree and store formulas.
 ///
 ///   formula := iff

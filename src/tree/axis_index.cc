@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "src/common/failpoint.h"
+
 namespace treewalk {
 
 namespace {
@@ -183,15 +185,33 @@ void NodeMatrix::MaskTails() {
 
 // --- AxisIndex. --------------------------------------------------------
 
-AxisIndex::AxisIndex(const Tree& tree)
+namespace {
+
+/// Approximate heap footprint of one NodeSet over n nodes (words plus
+/// small-object overhead); the unit of axis-index memory accounting.
+std::int64_t SetBytes(std::size_t n) {
+  return static_cast<std::int64_t>((n + 63) / 64) * 8 + 48;
+}
+
+}  // namespace
+
+AxisIndex::AxisIndex(const Tree& tree, ResourceGovernor* governor)
     : tree_(&tree),
       n_(tree.size()),
+      governor_(governor),
       empty_(n_),
       full_(NodeSet::Full(n_)),
       roots_(n_),
       leaves_(n_),
       first_children_(n_),
       last_children_(n_) {
+  // The base bitsets (6 predicates + one set per label) are charged as
+  // one construction-time block; a failed charge latches status() and
+  // the index stays usable only for its error report.
+  status_ = GovernorCharge(
+      governor_, MemoryCategory::kAxisIndex,
+      static_cast<std::int64_t>(6 + tree.labels().size()) * SetBytes(n_));
+  if (!status_.ok()) return;
   label_sets_.resize(tree.labels().size(), NodeSet(n_));
   for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
     if (tree.IsRoot(u)) roots_.set(u);
@@ -203,24 +223,53 @@ AxisIndex::AxisIndex(const Tree& tree)
   attr_index_.resize(tree.num_attributes());
 }
 
+std::int64_t AxisIndex::MatrixBytes() const {
+  return static_cast<std::int64_t>(n_) *
+             static_cast<std::int64_t>((n_ + 63) / 64) * 8 +
+         64;
+}
+
 const NodeSet& AxisIndex::LabelSet(std::string_view name) const {
   Symbol s = tree_->FindLabel(name);
   if (s < 0) return empty_;
   return label_sets_[static_cast<std::size_t>(s)];
 }
 
+Status AxisIndex::EnsureAttrIndex(AttrId a) const {
+  auto& slot = attr_index_[static_cast<std::size_t>(a)];
+  if (slot.has_value()) return Status::Ok();
+  TREEWALK_FAILPOINT("axis_index/alloc");
+  slot.emplace();
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    DataValue v = tree_->attr(a, u);
+    auto [it, inserted] = slot->sets.try_emplace(v, n_);
+    it->second.set(u);
+    if (inserted) {
+      // Charged per distinct value, as the sets appear: the index can
+      // hold up to n sets, and pre-charging the worst case would
+      // reject harmless trees.
+      Status charge = GovernorCharge(governor_, MemoryCategory::kAxisIndex,
+                                     SetBytes(n_) + 32);
+      if (!charge.ok()) {
+        slot.reset();
+        return charge;
+      }
+    }
+  }
+  slot->values.reserve(slot->sets.size());
+  for (const auto& [v, set] : slot->sets) slot->values.push_back(v);
+  return Status::Ok();
+}
+
 const AxisIndex::AttrIndex& AxisIndex::AttrIndexFor(AttrId a) const {
   auto& slot = attr_index_[static_cast<std::size_t>(a)];
   if (!slot.has_value()) {
-    slot.emplace();
-    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
-      DataValue v = tree_->attr(a, u);
-      auto [it, inserted] = slot->sets.try_emplace(v, n_);
-      it->second.set(u);
-      (void)inserted;
-    }
-    slot->values.reserve(slot->sets.size());
-    for (const auto& [v, set] : slot->sets) slot->values.push_back(v);
+    // Ungoverned reference path; a charge rejection can only happen via
+    // the Try* accessors, which callers with a governor use instead.
+    ResourceGovernor* saved = governor_;
+    const_cast<AxisIndex*>(this)->governor_ = nullptr;
+    (void)EnsureAttrIndex(a);
+    const_cast<AxisIndex*>(this)->governor_ = saved;
   }
   return *slot;
 }
@@ -236,13 +285,78 @@ const std::vector<DataValue>& AxisIndex::AttrValues(AttrId a) const {
   return AttrIndexFor(a).values;
 }
 
+Result<const NodeSet*> AxisIndex::TryAttrValueSet(AttrId a,
+                                                  DataValue v) const {
+  TREEWALK_RETURN_IF_ERROR(EnsureAttrIndex(a));
+  const AttrIndex& index = *attr_index_[static_cast<std::size_t>(a)];
+  auto it = index.sets.find(v);
+  if (it == index.sets.end()) return &empty_;
+  return &it->second;
+}
+
+Result<const std::vector<DataValue>*> AxisIndex::TryAttrValues(
+    AttrId a) const {
+  TREEWALK_RETURN_IF_ERROR(EnsureAttrIndex(a));
+  return &attr_index_[static_cast<std::size_t>(a)]->values;
+}
+
+Status AxisIndex::EnsureMatrix(std::optional<NodeMatrix>& slot,
+                               void (AxisIndex::*fill)(NodeMatrix&)
+                                   const) const {
+  if (slot.has_value()) return Status::Ok();
+  TREEWALK_FAILPOINT("axis_index/alloc");
+  TREEWALK_RETURN_IF_ERROR(
+      GovernorCharge(governor_, MemoryCategory::kAxisIndex, MatrixBytes()));
+  slot.emplace(n_);
+  (this->*fill)(*slot);
+  return Status::Ok();
+}
+
+void AxisIndex::FillEdge(NodeMatrix& m) const {
+  for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
+    NodeId p = tree_->Parent(v);
+    if (p != kNoNode) m.set(p, v);
+  }
+}
+
+void AxisIndex::FillDescendant(NodeMatrix& m) const {
+  // Pre-order layout: the strict descendants of u are exactly the
+  // contiguous id range (u, SubtreeEnd(u)).
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    m.SetRowRange(u, u + 1, tree_->SubtreeEnd(u));
+  }
+}
+
+void AxisIndex::FillSibling(NodeMatrix& m) const {
+  // Later siblings of u have larger pre-order ids, so row u is the
+  // parent's child set masked to ids > u; walking the sibling chain
+  // directly sets exactly those bits.
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    for (NodeId v = tree_->NextSibling(u); v != kNoNode;
+         v = tree_->NextSibling(v)) {
+      m.set(u, v);
+    }
+  }
+}
+
+void AxisIndex::FillSucc(NodeMatrix& m) const {
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    NodeId v = tree_->NextSibling(u);
+    if (v != kNoNode) m.set(u, v);
+  }
+}
+
+void AxisIndex::FillIdentity(NodeMatrix& m) const {
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) m.set(u, u);
+}
+
+/// The ungoverned reference accessors materialize unconditionally (the
+/// charge cannot fire without a governor, and existing callers keep
+/// their infallible signatures).
 const NodeMatrix& AxisIndex::EdgeMatrix() const {
   if (!edge_.has_value()) {
     edge_.emplace(n_);
-    for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
-      NodeId p = tree_->Parent(v);
-      if (p != kNoNode) edge_->set(p, v);
-    }
+    FillEdge(*edge_);
   }
   return *edge_;
 }
@@ -250,11 +364,7 @@ const NodeMatrix& AxisIndex::EdgeMatrix() const {
 const NodeMatrix& AxisIndex::DescendantMatrix() const {
   if (!desc_.has_value()) {
     desc_.emplace(n_);
-    // Pre-order layout: the strict descendants of u are exactly the
-    // contiguous id range (u, SubtreeEnd(u)).
-    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
-      desc_->SetRowRange(u, u + 1, tree_->SubtreeEnd(u));
-    }
+    FillDescendant(*desc_);
   }
   return *desc_;
 }
@@ -262,15 +372,7 @@ const NodeMatrix& AxisIndex::DescendantMatrix() const {
 const NodeMatrix& AxisIndex::SiblingMatrix() const {
   if (!sib_.has_value()) {
     sib_.emplace(n_);
-    // Later siblings of u have larger pre-order ids, so row u is the
-    // parent's child set masked to ids > u; walking the sibling chain
-    // directly sets exactly those bits.
-    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
-      for (NodeId v = tree_->NextSibling(u); v != kNoNode;
-           v = tree_->NextSibling(v)) {
-        sib_->set(u, v);
-      }
-    }
+    FillSibling(*sib_);
   }
   return *sib_;
 }
@@ -278,10 +380,7 @@ const NodeMatrix& AxisIndex::SiblingMatrix() const {
 const NodeMatrix& AxisIndex::SuccMatrix() const {
   if (!succ_.has_value()) {
     succ_.emplace(n_);
-    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
-      NodeId v = tree_->NextSibling(u);
-      if (v != kNoNode) succ_->set(u, v);
-    }
+    FillSucc(*succ_);
   }
   return *succ_;
 }
@@ -289,9 +388,30 @@ const NodeMatrix& AxisIndex::SuccMatrix() const {
 const NodeMatrix& AxisIndex::IdentityMatrix() const {
   if (!identity_.has_value()) {
     identity_.emplace(n_);
-    for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) identity_->set(u, u);
+    FillIdentity(*identity_);
   }
   return *identity_;
+}
+
+Result<const NodeMatrix*> AxisIndex::TryEdgeMatrix() const {
+  TREEWALK_RETURN_IF_ERROR(EnsureMatrix(edge_, &AxisIndex::FillEdge));
+  return &*edge_;
+}
+Result<const NodeMatrix*> AxisIndex::TryDescendantMatrix() const {
+  TREEWALK_RETURN_IF_ERROR(EnsureMatrix(desc_, &AxisIndex::FillDescendant));
+  return &*desc_;
+}
+Result<const NodeMatrix*> AxisIndex::TrySiblingMatrix() const {
+  TREEWALK_RETURN_IF_ERROR(EnsureMatrix(sib_, &AxisIndex::FillSibling));
+  return &*sib_;
+}
+Result<const NodeMatrix*> AxisIndex::TrySuccMatrix() const {
+  TREEWALK_RETURN_IF_ERROR(EnsureMatrix(succ_, &AxisIndex::FillSucc));
+  return &*succ_;
+}
+Result<const NodeMatrix*> AxisIndex::TryIdentityMatrix() const {
+  TREEWALK_RETURN_IF_ERROR(EnsureMatrix(identity_, &AxisIndex::FillIdentity));
+  return &*identity_;
 }
 
 }  // namespace treewalk

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/common/data_value.h"
+#include "src/common/governor.h"
+#include "src/common/result.h"
 #include "src/tree/tree.h"
 
 namespace treewalk {
@@ -143,10 +145,19 @@ class NodeMatrix {
 /// Runner).  The tree must outlive the index.
 class AxisIndex {
  public:
-  explicit AxisIndex(const Tree& tree);
+  /// With a governor, every materialization (base bitsets, relation
+  /// matrices, attribute-value indexes) is charged against its memory
+  /// budget under MemoryCategory::kAxisIndex *before* allocating, and
+  /// the Try* accessors surface kResourceExhausted instead of growing
+  /// without bound.  Without one (the default) behavior is unchanged.
+  explicit AxisIndex(const Tree& tree, ResourceGovernor* governor = nullptr);
 
   const Tree& tree() const { return *tree_; }
   std::size_t size() const { return n_; }
+  ResourceGovernor* governor() const { return governor_; }
+  /// Non-OK when already the construction-time bitsets blew the budget;
+  /// check after constructing with a governor.
+  const Status& status() const { return status_; }
 
   const NodeSet& Empty() const { return empty_; }
   const NodeSet& Full() const { return full_; }
@@ -176,15 +187,43 @@ class AxisIndex {
   /// u = v.
   const NodeMatrix& IdentityMatrix() const;
 
+  /// Governed variants of the lazy accessors: charge the governor's
+  /// memory budget before materializing (a cached matrix re-charges
+  /// nothing) and fail with kResourceExhausted instead of allocating
+  /// past the budget.  The compiler (src/logic/compile.cc) uses these;
+  /// the reference accessors above stay for ungoverned callers.
+  Result<const NodeMatrix*> TryEdgeMatrix() const;
+  Result<const NodeMatrix*> TryDescendantMatrix() const;
+  Result<const NodeMatrix*> TrySiblingMatrix() const;
+  Result<const NodeMatrix*> TrySuccMatrix() const;
+  Result<const NodeMatrix*> TryIdentityMatrix() const;
+  Result<const NodeSet*> TryAttrValueSet(AttrId a, DataValue v) const;
+  Result<const std::vector<DataValue>*> TryAttrValues(AttrId a) const;
+
+  /// Bytes a dense n-by-n NodeMatrix over this domain occupies; what
+  /// the Try* accessors charge per materialized relation.
+  std::int64_t MatrixBytes() const;
+
  private:
   struct AttrIndex {
     std::map<DataValue, NodeSet> sets;
     std::vector<DataValue> values;
   };
   const AttrIndex& AttrIndexFor(AttrId a) const;
+  Status EnsureAttrIndex(AttrId a) const;
+  /// Charges + materializes `slot` via `fill`; OK and cached on reuse.
+  Status EnsureMatrix(std::optional<NodeMatrix>& slot,
+                      void (AxisIndex::*fill)(NodeMatrix&) const) const;
+  void FillEdge(NodeMatrix& m) const;
+  void FillDescendant(NodeMatrix& m) const;
+  void FillSibling(NodeMatrix& m) const;
+  void FillSucc(NodeMatrix& m) const;
+  void FillIdentity(NodeMatrix& m) const;
 
   const Tree* tree_;
   std::size_t n_;
+  ResourceGovernor* governor_ = nullptr;
+  Status status_;
   NodeSet empty_, full_, roots_, leaves_, first_children_, last_children_;
   std::vector<NodeSet> label_sets_;  // indexed by Symbol
   mutable std::vector<std::optional<AttrIndex>> attr_index_;

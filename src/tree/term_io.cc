@@ -14,7 +14,7 @@ class TermParser {
 
   Result<Tree> Parse() {
     SkipSpace();
-    TREEWALK_RETURN_IF_ERROR(ParseNode(/*parent=*/-1));
+    TREEWALK_RETURN_IF_ERROR(ParseNode(/*parent=*/-1, /*depth=*/0));
     SkipSpace();
     if (pos_ != src_.size()) {
       return InvalidArgument(Where("trailing input after tree term"));
@@ -23,7 +23,13 @@ class TermParser {
   }
 
  private:
-  Status ParseNode(TreeBuilder::Ref parent) {
+  Status ParseNode(TreeBuilder::Ref parent, int depth) {
+    if (depth > kMaxTermNestingDepth) {
+      // Reject instead of overflowing the recursive-descent stack.
+      return InvalidArgument(
+          Where("term nesting exceeds depth limit " +
+                std::to_string(kMaxTermNestingDepth)));
+    }
     TREEWALK_ASSIGN_OR_RETURN(std::string label, ParseIdent("label"));
     TreeBuilder::Ref ref = parent < 0 ? builder_.AddRoot(label)
                                       : builder_.AddChild(parent, label);
@@ -36,7 +42,7 @@ class TermParser {
       ++pos_;
       while (true) {
         SkipSpace();
-        TREEWALK_RETURN_IF_ERROR(ParseNode(ref));
+        TREEWALK_RETURN_IF_ERROR(ParseNode(ref, depth + 1));
         SkipSpace();
         if (Peek() == ',') {
           ++pos_;

@@ -9,6 +9,11 @@
 
 namespace treewalk {
 
+/// Maximum tree depth the term parser accepts.  Deeper input returns
+/// kInvalidArgument instead of overflowing the recursive-descent stack
+/// (docs/ROBUSTNESS.md).
+inline constexpr int kMaxTermNestingDepth = 2000;
+
 /// Parses the compact term syntax for attributed trees:
 ///
 ///   tree     := node

@@ -15,14 +15,19 @@ class XmlParser {
   Result<Tree> Parse() {
     SkipMisc();
     if (Peek() != '<') return Error("expected root element");
-    TREEWALK_RETURN_IF_ERROR(ParseElement(-1));
+    TREEWALK_RETURN_IF_ERROR(ParseElement(-1, /*depth=*/0));
     SkipMisc();
     if (pos_ != src_.size()) return Error("trailing content after root");
     return builder_.Build();
   }
 
  private:
-  Status ParseElement(TreeBuilder::Ref parent) {
+  Status ParseElement(TreeBuilder::Ref parent, int depth) {
+    if (depth > kMaxXmlNestingDepth) {
+      // Reject instead of overflowing the recursive-descent stack.
+      return Error("element nesting exceeds depth limit " +
+                   std::to_string(kMaxXmlNestingDepth));
+    }
     ++pos_;  // consume '<'
     TREEWALK_ASSIGN_OR_RETURN(std::string name, ParseName());
     TreeBuilder::Ref ref =
@@ -59,7 +64,7 @@ class XmlParser {
         ++pos_;
         return Status::Ok();
       }
-      TREEWALK_RETURN_IF_ERROR(ParseElement(ref));
+      TREEWALK_RETURN_IF_ERROR(ParseElement(ref, depth + 1));
     }
   }
 

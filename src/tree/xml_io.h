@@ -9,6 +9,11 @@
 
 namespace treewalk {
 
+/// Maximum element nesting depth the XML reader accepts.  Deeper input
+/// returns kInvalidArgument instead of overflowing the recursive-descent
+/// stack (docs/ROBUSTNESS.md).
+inline constexpr int kMaxXmlNestingDepth = 2000;
+
 /// Parses a small XML subset into an attributed tree: elements with
 /// attributes, self-closing tags, comments (`<!-- -->`), and an optional
 /// `<?xml ...?>` declaration.  Text content is not modeled (the paper

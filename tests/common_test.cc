@@ -121,5 +121,25 @@ TEST(ValueInterner, RenderCoversAllValueKinds) {
   EXPECT_EQ(values.Render(kBottom), "_|_");
 }
 
+TEST(Status, DeadlineExceededCodeRoundTrips) {
+  Status s = DeadlineExceeded("too slow");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_NE(s.ToString().find("DEADLINE_EXCEEDED"), std::string::npos);
+}
+
+/// TREEWALK_CHECK aborts in every build mode; the message carries the
+/// failed result's status so the crash names the original error.
+TEST(ResultDeathTest, ValueOnErrorAbortsWithCarriedStatus) {
+  Result<int> errored = InvalidArgument("bad input 123");
+  EXPECT_DEATH_IF_SUPPORTED((void)errored.value(), "bad input 123");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH_IF_SUPPORTED((void)Result<int>(Status::Ok()),
+                            "OK status");
+}
+
 }  // namespace
 }  // namespace treewalk

@@ -1,0 +1,18 @@
+// libFuzzer harness for the FO formula parser: any byte string must
+// come back as a Result (parse tree or kInvalidArgument) — never a
+// crash, hang, or stack overflow (the depth cap in parser.h is the
+// interesting boundary here).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/logic/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view source(reinterpret_cast<const char*>(data), size);
+  auto parsed = treewalk::ParseFormula(source);
+  (void)parsed;
+  return 0;
+}

@@ -1,0 +1,17 @@
+// libFuzzer harness for the .twp program text reader (text_format.h);
+// covers the line tokenizer, the rule grammar, and — through guards and
+// selectors — the formula parser and program validation in Build().
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/automata/text_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view source(reinterpret_cast<const char*>(data), size);
+  auto parsed = treewalk::ParseProgramText(source);
+  (void)parsed;
+  return 0;
+}

@@ -1,0 +1,15 @@
+// libFuzzer harness for the XML subset reader (xml_io.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/tree/xml_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view source(reinterpret_cast<const char*>(data), size);
+  auto parsed = treewalk::ParseXml(source);
+  (void)parsed;
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Deep-nesting hardening for every recursive-descent reader: 100k-deep
+// adversarial inputs must come back as kInvalidArgument — quickly, and
+// without touching the process stack limit.  Companion inputs just
+// below each documented cap must still parse.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/automata/text_format.h"
+#include "src/logic/parser.h"
+#include "src/tree/term_io.h"
+#include "src/tree/xml_io.h"
+
+namespace treewalk {
+namespace {
+
+std::string Repeat(const std::string& unit, int times) {
+  std::string out;
+  out.reserve(unit.size() * static_cast<std::size_t>(times));
+  for (int i = 0; i < times; ++i) out += unit;
+  return out;
+}
+
+constexpr int kDeep = 100'000;
+
+TEST(ParserLimits, FormulaParenNestingIsCapped) {
+  std::string deep = Repeat("(", kDeep) + "true" + Repeat(")", kDeep);
+  auto parsed = ParseFormula(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("depth"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(ParserLimits, FormulaNegationNestingIsCapped) {
+  auto parsed = ParseFormula(Repeat("!", kDeep) + "true");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserLimits, FormulaQuantifierNestingIsCapped) {
+  auto parsed = ParseFormula(Repeat("exists x ", kDeep) + "root(x)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserLimits, FormulaRightNestedImplicationIsCapped) {
+  auto parsed = ParseFormula(Repeat("true -> ", kDeep) + "false");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserLimits, FormulaBelowTheCapStillParses) {
+  int depth = kMaxFormulaNestingDepth - 10;
+  EXPECT_TRUE(
+      ParseFormula(Repeat("(", depth) + "true" + Repeat(")", depth)).ok());
+  EXPECT_TRUE(ParseFormula(Repeat("!", depth) + "true").ok());
+}
+
+TEST(ParserLimits, TermNestingIsCapped) {
+  std::string deep = Repeat("a(", kDeep) + "a" + Repeat(")", kDeep);
+  auto parsed = ParseTerm(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("depth"), std::string::npos);
+}
+
+TEST(ParserLimits, TermBelowTheCapStillParses) {
+  int depth = kMaxTermNestingDepth - 10;
+  std::string chain = Repeat("a(", depth) + "a" + Repeat(")", depth);
+  auto parsed = ParseTerm(chain);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), static_cast<std::size_t>(depth + 1));
+}
+
+TEST(ParserLimits, XmlNestingIsCapped) {
+  std::string deep =
+      Repeat("<a>", kDeep) + "<a/>" + Repeat("</a>", kDeep);
+  auto parsed = ParseXml(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("depth"), std::string::npos);
+}
+
+TEST(ParserLimits, XmlBelowTheCapStillParses) {
+  int depth = kMaxXmlNestingDepth - 10;
+  std::string chain = Repeat("<a>", depth) + "<a/>" + Repeat("</a>", depth);
+  auto parsed = ParseXml(chain);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), static_cast<std::size_t>(depth + 1));
+}
+
+/// The program text format is line-based (no recursion of its own), but
+/// its guards and selectors go through the formula parser and inherit
+/// its cap.
+TEST(ParserLimits, ProgramGuardNestingIsCapped) {
+  std::string guard = Repeat("(", kDeep) + "true" + Repeat(")", kDeep);
+  std::string text = "class tw\nstates fwd qf\nrule * fwd [" + guard +
+                     "] move stay qf\n";
+  auto parsed = ParseProgramText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace treewalk

@@ -32,7 +32,27 @@ for preset in $presets; do
       # an explicit pass under ASan/UBSan on top of the ctest run.
       "$root/build-asan/tests/differential_test"
       "$root/build-asan/tests/compiled_eval_test"
+      # Fault-injection pass: every governor/failpoint/parser-limit
+      # error path exercised with the sanitizers watching, so injected
+      # failures cannot hide leaks or UB in the unwind paths.
+      "$root/build-asan/tests/governor_test"
+      "$root/build-asan/tests/failpoint_test"
+      "$root/build-asan/tests/engine_fault_test"
+      "$root/build-asan/tests/parser_limits_test"
       ;;
   esac
 done
+
+# Fuzz smoke: when a Clang libFuzzer build exists (see
+# docs/ROBUSTNESS.md for how to configure one with -DTREEWALK_FUZZ=ON),
+# give each harness 30 seconds from its seed corpus.
+if [ -d "$root/build-fuzz/tests/fuzz" ]; then
+  echo "==== fuzz smoke (30s per target) ===="
+  for target in formula term xml program; do
+    bin="$root/build-fuzz/tests/fuzz/fuzz_$target"
+    [ -x "$bin" ] || continue
+    "$bin" "$root/tests/fuzz/corpus/$target" -max_total_time=30 \
+      -print_final_stats=1
+  done
+fi
 echo "==== ci.sh: all presets green ===="

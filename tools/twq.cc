@@ -10,14 +10,22 @@
 //   twq cat <expression> <tree.{term,xml}>
 //       Evaluate a caterpillar expression from the root.
 //   twq batch <manifest> [--jobs N] [--max-steps M] [--quiet]
+//       [--deadline-ms D] [--memory-budget-mb B] [--retries R]
 //       Run a batch of (program, tree) jobs on a thread pool
 //       (src/engine).  Each manifest line is `<program.twp> <tree>`;
 //       blank lines and lines starting with '#' are skipped.  Files
 //       named by several jobs are loaded once and shared read-only.
+//       A file that fails to load fails only the jobs naming it.
+//       --deadline-ms / --memory-budget-mb bound each job's wall clock
+//       and memory (kDeadlineExceeded / kResourceExhausted on trip);
+//       --retries re-runs retryable failures down the degradation
+//       ladder (docs/ROBUSTNESS.md).  Exits nonzero if any job failed
+//       and prints a per-status-code failure summary.
 //
 // Trees are read as the compact term syntax (a[x=1](b, c)) unless the
 // file ends in .xml.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -150,13 +158,17 @@ int CmdCheck(int argc, char** argv) {
 int CmdBatch(int argc, char** argv) {
   if (argc < 1) {
     return Fail("usage: twq batch <manifest> [--jobs N] [--max-steps M] "
-                "[--quiet] [--no-cache] [--no-compiled]");
+                "[--quiet] [--no-cache] [--no-compiled] [--deadline-ms D] "
+                "[--memory-budget-mb B] [--retries R]");
   }
   int num_threads = 1;
   long long max_steps = 0;  // 0 = interpreter default
   bool quiet = false;
   bool cache_selectors = true;
   bool compile_selectors = true;
+  long long deadline_ms = 0;        // 0 = no deadline
+  long long memory_budget_mb = 0;   // 0 = unlimited
+  int retries = 0;                  // extra attempts beyond the first
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       num_threads = std::atoi(argv[++i]);
@@ -168,6 +180,13 @@ int CmdBatch(int argc, char** argv) {
       cache_selectors = false;
     } else if (std::strcmp(argv[i], "--no-compiled") == 0) {
       compile_selectors = false;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0 &&
+               i + 1 < argc) {
+      memory_budget_mb = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
     } else {
       return Fail(std::string("unknown batch option '") + argv[i] + "'");
     }
@@ -179,11 +198,58 @@ int CmdBatch(int argc, char** argv) {
   }
 
   // Load each distinct program/tree file once; jobs share them
-  // read-only (the engine's thread-safety contract allows this).
+  // read-only (the engine's thread-safety contract allows this).  A file
+  // that fails to load or parse fails the jobs naming it — not the whole
+  // manifest — so one malformed input cannot sink its batch siblings.
   std::map<std::string, std::shared_ptr<const tw::Program>> programs;
   std::map<std::string, std::shared_ptr<const tw::Tree>> trees;
-  std::vector<tw::BatchJob> jobs;
-  std::vector<std::pair<std::string, std::string>> labels;
+  std::map<std::string, tw::Status> load_errors;  // path -> first error
+  std::vector<tw::BatchJob> jobs;                 // engine-submitted subset
+  struct Entry {
+    std::string program_path;
+    std::string tree_path;
+    tw::Status load_status;     // non-OK: never reached the engine
+    std::size_t job_index = 0;  // valid when load_status.ok()
+  };
+  std::vector<Entry> entries;
+
+  auto load_program = [&](const std::string& path) -> tw::Status {
+    if (programs.count(path) > 0) return tw::Status::Ok();
+    auto it = load_errors.find(path);
+    if (it != load_errors.end()) return it->second;
+    std::string text;
+    tw::Status status;
+    if (!ReadFile(path, text)) {
+      status = tw::NotFound("cannot read program '" + path + "'");
+    } else {
+      auto parsed = tw::ParseProgramText(text);
+      if (parsed.ok()) {
+        programs[path] =
+            std::make_shared<const tw::Program>(std::move(parsed).value());
+      } else {
+        status = tw::Status(parsed.status().code(),
+                            path + ": " + parsed.status().message());
+      }
+    }
+    if (!status.ok()) load_errors[path] = status;
+    return status;
+  };
+  auto load_tree = [&](const std::string& path) -> tw::Status {
+    if (trees.count(path) > 0) return tw::Status::Ok();
+    auto it = load_errors.find(path);
+    if (it != load_errors.end()) return it->second;
+    auto parsed = LoadTree(path);
+    tw::Status status;
+    if (parsed.ok()) {
+      trees[path] =
+          std::make_shared<const tw::Tree>(std::move(parsed).value());
+    } else {
+      status = tw::Status(parsed.status().code(),
+                          path + ": " + parsed.status().message());
+      load_errors[path] = status;
+    }
+    return status;
+  };
 
   std::istringstream lines(manifest);
   std::string line;
@@ -197,65 +263,71 @@ int CmdBatch(int argc, char** argv) {
       return Fail("manifest line " + std::to_string(line_number) +
                   ": expected '<program.twp> <tree>'");
     }
-    if (programs.find(program_path) == programs.end()) {
-      std::string text;
-      if (!ReadFile(program_path, text)) {
-        return Fail("cannot read program '" + program_path + "'");
-      }
-      auto parsed = tw::ParseProgramText(text);
-      if (!parsed.ok()) {
-        return Fail(program_path + ": " + parsed.status().ToString());
-      }
-      programs[program_path] =
-          std::make_shared<const tw::Program>(std::move(parsed).value());
+    Entry entry;
+    entry.program_path = program_path;
+    entry.tree_path = tree_path;
+    entry.load_status = load_program(program_path);
+    if (entry.load_status.ok()) entry.load_status = load_tree(tree_path);
+    if (entry.load_status.ok()) {
+      tw::BatchJob job;
+      job.program = programs[program_path].get();
+      job.tree = trees[tree_path].get();
+      if (max_steps > 0) job.options.max_steps = max_steps;
+      job.options.cache_selectors = cache_selectors;
+      job.options.compile_selectors = compile_selectors;
+      job.deadline_ms = deadline_ms;
+      job.memory_budget_bytes = memory_budget_mb * 1024 * 1024;
+      job.retry.max_attempts = 1 + std::max(0, retries);
+      entry.job_index = jobs.size();
+      jobs.push_back(job);
     }
-    if (trees.find(tree_path) == trees.end()) {
-      auto parsed = LoadTree(tree_path);
-      if (!parsed.ok()) {
-        return Fail(tree_path + ": " + parsed.status().ToString());
-      }
-      trees[tree_path] =
-          std::make_shared<const tw::Tree>(std::move(parsed).value());
-    }
-    tw::BatchJob job;
-    job.program = programs[program_path].get();
-    job.tree = trees[tree_path].get();
-    if (max_steps > 0) job.options.max_steps = max_steps;
-    job.options.cache_selectors = cache_selectors;
-    job.options.compile_selectors = compile_selectors;
-    jobs.push_back(job);
-    labels.emplace_back(program_path, tree_path);
+    entries.push_back(std::move(entry));
   }
-  if (jobs.empty()) return Fail("manifest names no jobs");
+  if (entries.empty()) return Fail("manifest names no jobs");
 
-  tw::BatchEngine engine({.num_threads = num_threads});
-  auto batch = engine.RunBatch(jobs);
-  if (!batch.ok()) return Fail("batch: " + batch.status().ToString());
+  tw::BatchResult batch;
+  if (!jobs.empty()) {
+    tw::BatchEngine engine({.num_threads = num_threads});
+    auto run = engine.RunBatch(jobs);
+    if (!run.ok()) return Fail("batch: " + run.status().ToString());
+    batch = std::move(run).value();
+  }
 
   int failures = 0;
-  for (std::size_t i = 0; i < batch->results.size(); ++i) {
-    const tw::JobResult& r = batch->results[i];
-    if (!r.status.ok()) ++failures;
-    if (quiet) continue;
-    if (!r.status.ok()) {
-      std::printf("[%zu] ERROR %s %s: %s\n", i, labels[i].first.c_str(),
-                  labels[i].second.c_str(), r.status.ToString().c_str());
-    } else {
-      std::printf("[%zu] %s %s %s steps=%lld atp=%lld hits=%lld\n", i,
+  std::map<tw::StatusCode, int> failures_by_code;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    const tw::Status& status = e.load_status.ok()
+                                   ? batch.results[e.job_index].status
+                                   : e.load_status;
+    if (!status.ok()) {
+      ++failures;
+      ++failures_by_code[status.code()];
+      if (!quiet) {
+        std::printf("[%zu] ERROR %s %s: %s\n", i, e.program_path.c_str(),
+                    e.tree_path.c_str(), status.ToString().c_str());
+      }
+      continue;
+    }
+    const tw::JobResult& r = batch.results[e.job_index];
+    if (!quiet) {
+      std::printf("[%zu] %s %s %s steps=%lld atp=%lld hits=%lld%s\n", i,
                   r.run.accepted ? "ACCEPT" : "REJECT",
-                  labels[i].first.c_str(), labels[i].second.c_str(),
+                  e.program_path.c_str(), e.tree_path.c_str(),
                   static_cast<long long>(r.run.stats.steps),
                   static_cast<long long>(r.run.stats.atp_calls),
-                  static_cast<long long>(r.run.stats.selector_cache_hits));
+                  static_cast<long long>(r.run.stats.selector_cache_hits),
+                  r.attempts.size() > 1 && r.attempts.back().rung > 0
+                      ? " (degraded)"
+                      : "");
     }
   }
-  const tw::EngineStats& s = batch->stats;
-  std::printf("%lld jobs on %d thread(s): %lld accepted, %lld rejected, "
-              "%lld failed\n",
-              static_cast<long long>(s.jobs), num_threads,
+  const tw::EngineStats& s = batch.stats;
+  std::printf("%zu jobs on %d thread(s): %lld accepted, %lld rejected, "
+              "%d failed\n",
+              entries.size(), num_threads,
               static_cast<long long>(s.accepted),
-              static_cast<long long>(s.rejected),
-              static_cast<long long>(s.failed));
+              static_cast<long long>(s.rejected), failures);
   std::printf("steps=%lld atp_calls=%lld cache_hits=%lld cache_misses=%lld "
               "compiled_evals=%lld store_updates=%lld\n",
               static_cast<long long>(s.steps),
@@ -264,6 +336,22 @@ int CmdBatch(int argc, char** argv) {
               static_cast<long long>(s.selector_cache_misses),
               static_cast<long long>(s.compiled_selector_evals),
               static_cast<long long>(s.store_updates));
+  if (s.deadline_hits + s.memory_trips + s.retries + s.degraded_successes >
+      0) {
+    std::printf("deadline_hits=%lld memory_trips=%lld retries=%lld "
+                "degraded_successes=%lld\n",
+                static_cast<long long>(s.deadline_hits),
+                static_cast<long long>(s.memory_trips),
+                static_cast<long long>(s.retries),
+                static_cast<long long>(s.degraded_successes));
+  }
+  if (failures > 0) {
+    std::printf("failures by status:");
+    for (const auto& [code, count] : failures_by_code) {
+      std::printf(" %s=%d", tw::StatusCodeName(code), count);
+    }
+    std::printf("\n");
+  }
   return failures == 0 ? 0 : 1;
 }
 
