@@ -7,12 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "src/automata/builder.h"
 #include "src/automata/library.h"
+#include "src/engine/batch_journal.h"
 #include "src/engine/engine.h"
 #include "src/tree/generate.h"
 
@@ -153,7 +156,57 @@ void BM_BatchSelectorCache(benchmark::State& state) {
   state.counters["cache_hits"] = static_cast<double>(hits);
 }
 
+/// E16 journal overhead: the same 64-job workload with every job
+/// journaled (2 records per job: one started, one finished), at
+/// state.range(0) threads and state.range(1) as the fsync cadence
+/// (0 = page-cache only — the crash-consistency default — 1 = fsync
+/// per finish, the power-loss-durability setting).  Compare against
+/// BM_Batch64Jobs at the same thread count for the overhead ratio.
+void BM_Batch64JobsJournaled(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  std::vector<BatchJob> jobs = w.jobs;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].job_id = static_cast<std::uint64_t>(i) + 1;
+  }
+  int threads = static_cast<int>(state.range(0));
+  int sync_every = static_cast<int>(state.range(1));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench_batch_journal")
+          .string();
+  BatchEngine engine({.num_threads = threads});
+  // The journal is opened once and appended to across iterations —
+  // the steady-state shape of a long batch run.  Creation (one-time
+  // tmp+rename+fsync) and the final Flush stay outside the timed
+  // region, like they sit outside the per-job path in tools/twq.cc.
+  std::filesystem::remove(path);
+  auto journal = BatchJournal::Open(path, sync_every);
+  if (!journal.ok()) {
+    state.SkipWithError(journal.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto batch = engine.RunBatch(jobs, &*journal);
+    if (!batch.ok()) {
+      state.SkipWithError(batch.status().ToString().c_str());
+      break;
+    }
+  }
+  if (!journal->Flush().ok() || !journal->first_error().ok()) {
+    state.SkipWithError("journal I/O failed");
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size())),
+      benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(BM_Batch64Jobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Batch64JobsJournaled)
+    ->Args({1, 0})->Args({4, 0})->Args({1, 1})->Args({4, 1})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_BatchSelectorCache)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -41,6 +41,9 @@ const std::vector<std::string>& FailpointRegistry::KnownSites() {
       "compiler/compile",    // selector compilation entry (forces fallback)
       "axis_index/alloc",    // relation-matrix materialization
       "engine/worker",       // engine worker loop, once per job attempt
+      "journal/append",      // journal record write entry
+      "journal/fsync",       // journal fsync barrier
+      "journal/rename",      // atomic header tmp+rename at creation
   };
   return sites;
 }

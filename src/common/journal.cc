@@ -1,0 +1,273 @@
+#include "src/common/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/common/failpoint.h"
+
+namespace treewalk {
+
+namespace {
+
+/// CRC32C lookup table for the reflected polynomial 0x82F63B78,
+/// generated on first use.
+const std::uint32_t* Crc32cTable() {
+  static const std::uint32_t* table = [] {
+    auto* t = new std::uint32_t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32Le(std::uint32_t v, std::string& out) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t GetU32Le(std::string_view bytes, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 1]))
+             << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 2]))
+             << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 3]))
+             << 24;
+}
+
+std::string HeaderBytes() {
+  std::string header(kJournalMagic, sizeof(kJournalMagic));
+  PutU32Le(kJournalVersion, header);
+  PutU32Le(0, header);
+  return header;
+}
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Internal(op + " '" + path + "': " + std::strerror(errno));
+}
+
+/// write(2) until every byte landed (or a real error).
+Status WriteAll(int fd, const std::string& path, std::string_view bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  TREEWALK_FAILPOINT("journal/fsync");
+  if (::fsync(fd) != 0) return ErrnoStatus("fsync", path);
+  return Status::Ok();
+}
+
+/// fsyncs the directory containing `path`, making a rename into it
+/// durable.  Best-effort: some filesystems refuse O_RDONLY on dirs.
+void FsyncParentDir(const std::string& path) {
+  std::string dir = ".";
+  std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash + 1);
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Creates `path` with a valid empty-journal header via tmp+rename, so a
+/// crash at any point leaves no half-written header behind.
+Status CreateJournalFile(const std::string& path) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("create", tmp);
+  Status status = WriteAll(fd, tmp, HeaderBytes());
+  if (status.ok()) status = FsyncFd(fd, tmp);
+  ::close(fd);
+  if (status.ok()) {
+    status = [&]() -> Status {
+      TREEWALK_FAILPOINT("journal/rename");
+      if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        return ErrnoStatus("rename", tmp);
+      }
+      return Status::Ok();
+    }();
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  FsyncParentDir(path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(std::string_view data) {
+  const std::uint32_t* table = Crc32cTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<JournalContents> ParseJournal(std::string_view bytes) {
+  if (bytes.size() < kJournalHeaderBytes) {
+    return InvalidArgument("journal shorter than its header (" +
+                           std::to_string(bytes.size()) + " bytes)");
+  }
+  if (bytes.substr(0, sizeof(kJournalMagic)) !=
+      std::string_view(kJournalMagic, sizeof(kJournalMagic))) {
+    return InvalidArgument("journal has bad magic");
+  }
+  std::uint32_t version = GetU32Le(bytes, sizeof(kJournalMagic));
+  if (version != kJournalVersion) {
+    return InvalidArgument("journal version " + std::to_string(version) +
+                           " unsupported (expected " +
+                           std::to_string(kJournalVersion) + ")");
+  }
+
+  JournalContents contents;
+  std::size_t at = kJournalHeaderBytes;
+  contents.valid_bytes = at;
+  while (at < bytes.size()) {
+    if (bytes.size() - at < 8) {
+      contents.torn = true;
+      contents.tail_error = "short frame header at byte " + std::to_string(at);
+      break;
+    }
+    std::uint32_t length = GetU32Le(bytes, at);
+    std::uint32_t crc = GetU32Le(bytes, at + 4);
+    if (length > kMaxJournalRecordBytes) {
+      contents.torn = true;
+      contents.tail_error = "oversized record (" + std::to_string(length) +
+                            " bytes) at byte " + std::to_string(at);
+      break;
+    }
+    if (bytes.size() - at - 8 < length) {
+      contents.torn = true;
+      contents.tail_error = "short payload at byte " + std::to_string(at);
+      break;
+    }
+    std::string_view payload = bytes.substr(at + 8, length);
+    if (Crc32c(payload) != crc) {
+      contents.torn = true;
+      contents.tail_error = "crc mismatch at byte " + std::to_string(at);
+      break;
+    }
+    contents.records.emplace_back(payload);
+    at += 8 + length;
+    contents.valid_bytes = at;
+  }
+  return contents;
+}
+
+Result<JournalContents> ReadJournal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot read journal '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseJournal(buffer.str());
+}
+
+Result<JournalWriter> JournalWriter::Open(const std::string& path) {
+  if (::access(path.c_str(), F_OK) != 0) {
+    TREEWALK_RETURN_IF_ERROR(CreateJournalFile(path));
+  }
+  Result<JournalContents> contents = ReadJournal(path);
+  if (!contents.ok()) return contents.status();
+
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  // Truncate a torn tail (crash mid-append) back to the intact prefix,
+  // then append from there.
+  if (::ftruncate(fd, static_cast<off_t>(contents->valid_bytes)) != 0) {
+    Status status = ErrnoStatus("ftruncate", path);
+    ::close(fd);
+    return status;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    Status status = ErrnoStatus("lseek", path);
+    ::close(fd);
+    return status;
+  }
+  return JournalWriter(fd, path);
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      sync_every_(other.sync_every_),
+      since_sync_(other.since_sync_),
+      appended_(other.appended_) {
+  other.fd_ = -1;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    sync_every_ = other.sync_every_;
+    since_sync_ = other.since_sync_;
+    appended_ = other.appended_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+void JournalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status JournalWriter::Append(std::string_view payload) {
+  TREEWALK_FAILPOINT("journal/append");
+  if (fd_ < 0) return FailedPrecondition("journal writer is closed");
+  if (payload.size() > kMaxJournalRecordBytes) {
+    return InvalidArgument("journal record of " +
+                           std::to_string(payload.size()) +
+                           " bytes exceeds the frame cap");
+  }
+  // One frame, one write(2): an interrupted append tears at most this
+  // record, which the reader truncates on the next open.
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32Le(static_cast<std::uint32_t>(payload.size()), frame);
+  PutU32Le(Crc32c(payload), frame);
+  frame.append(payload);
+  TREEWALK_RETURN_IF_ERROR(WriteAll(fd_, path_, frame));
+  ++appended_;
+  if (sync_every_ > 0 && ++since_sync_ >= sync_every_) return Sync();
+  return Status::Ok();
+}
+
+Status JournalWriter::Sync() {
+  if (fd_ < 0) return FailedPrecondition("journal writer is closed");
+  since_sync_ = 0;
+  return FsyncFd(fd_, path_);
+}
+
+}  // namespace treewalk

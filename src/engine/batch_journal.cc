@@ -1,0 +1,177 @@
+#include "src/engine/batch_journal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace treewalk {
+
+namespace {
+
+/// Status codes are journaled by numeric value; the enum is append-only
+/// (src/common/status.h), so values are stable across versions.
+bool ValidStatusCode(long code) {
+  return code >= static_cast<long>(StatusCode::kOk) &&
+         code <= static_cast<long>(StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+
+std::string EncodeBatchRecord(const BatchRecord& record) {
+  char buffer[128];
+  if (record.type == BatchRecord::Type::kJobStarted) {
+    std::snprintf(buffer, sizeof(buffer), "S %016" PRIx64 " %d %d",
+                  record.job_id, record.attempt, record.rung);
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "F %016" PRIx64 " %d %d %d %d %" PRId64, record.job_id,
+                  static_cast<int>(record.code), record.accepted ? 1 : 0,
+                  record.attempts, record.rung, record.steps);
+  }
+  return buffer;
+}
+
+Result<BatchRecord> DecodeBatchRecord(std::string_view payload) {
+  // Reject embedded NULs before handing the text to sscanf.
+  if (payload.find('\0') != std::string_view::npos) {
+    return InvalidArgument("batch record contains NUL bytes");
+  }
+  std::string text(payload);
+  BatchRecord record;
+  char tag = 0;
+  if (std::sscanf(text.c_str(), "%c", &tag) != 1) {
+    return InvalidArgument("empty batch record");
+  }
+  if (tag == 'S') {
+    std::uint64_t id = 0;
+    int attempt = 0, rung = 0;
+    char trailing = 0;
+    if (std::sscanf(text.c_str(), "S %" SCNx64 " %d %d %c", &id, &attempt,
+                    &rung, &trailing) != 3 ||
+        attempt < 0 || rung < 0) {
+      return InvalidArgument("malformed kJobStarted record: " + text);
+    }
+    record.type = BatchRecord::Type::kJobStarted;
+    record.job_id = id;
+    record.attempt = attempt;
+    record.rung = rung;
+    return record;
+  }
+  if (tag == 'F') {
+    std::uint64_t id = 0;
+    long code = 0;
+    int accepted = 0, attempts = 0, rung = 0;
+    long long steps = 0;
+    char trailing = 0;
+    if (std::sscanf(text.c_str(), "F %" SCNx64 " %ld %d %d %d %lld %c", &id,
+                    &code, &accepted, &attempts, &rung, &steps,
+                    &trailing) != 6 ||
+        !ValidStatusCode(code) || (accepted != 0 && accepted != 1) ||
+        attempts < 0 || rung < 0 || steps < 0) {
+      return InvalidArgument("malformed kJobFinished record: " + text);
+    }
+    record.type = BatchRecord::Type::kJobFinished;
+    record.job_id = id;
+    record.code = static_cast<StatusCode>(code);
+    record.accepted = accepted == 1;
+    record.attempts = attempts;
+    record.rung = rung;
+    record.steps = steps;
+    return record;
+  }
+  return InvalidArgument(std::string("unknown batch record tag '") + tag +
+                         "'");
+}
+
+Result<ResumePlan> BuildResumePlan(const JournalContents& contents) {
+  ResumePlan plan;
+  plan.torn = contents.torn;
+  std::unordered_set<std::uint64_t> finished_once;
+  for (const std::string& payload : contents.records) {
+    TREEWALK_ASSIGN_OR_RETURN(BatchRecord record,
+                              DecodeBatchRecord(payload));
+    ++plan.records;
+    if (record.type == BatchRecord::Type::kJobStarted) {
+      if (plan.completed.count(record.job_id) == 0) {
+        plan.in_flight.insert(record.job_id);
+      }
+      continue;
+    }
+    if (record.code == StatusCode::kCancelled) {
+      // A drained/cancelled job never ran to a verdict: resume reruns
+      // it, and a later terminal finish is expected, not a duplicate.
+      plan.in_flight.insert(record.job_id);
+      continue;
+    }
+    if (!finished_once.insert(record.job_id).second) {
+      plan.duplicate_finishes.push_back(record.job_id);
+    }
+    plan.completed.insert(record.job_id);
+    plan.in_flight.erase(record.job_id);
+  }
+  return plan;
+}
+
+Result<ResumePlan> LoadResumePlan(const std::string& path) {
+  TREEWALK_ASSIGN_OR_RETURN(JournalContents contents, ReadJournal(path));
+  return BuildResumePlan(contents);
+}
+
+Result<BatchJournal> BatchJournal::Open(const std::string& path,
+                                        int sync_every_finishes) {
+  TREEWALK_ASSIGN_OR_RETURN(JournalWriter writer, JournalWriter::Open(path));
+  BatchJournal journal(std::move(writer));
+  journal.sync_every_finishes_ = sync_every_finishes;
+  return journal;
+}
+
+void BatchJournal::Append(const BatchRecord& record, bool is_finish) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (!first_error_.ok()) return;
+  Status status = writer_.Append(EncodeBatchRecord(record));
+  if (status.ok() && is_finish && sync_every_finishes_ > 0 &&
+      ++finishes_since_sync_ >= sync_every_finishes_) {
+    finishes_since_sync_ = 0;
+    status = writer_.Sync();
+  }
+  if (!status.ok()) first_error_ = status;
+}
+
+void BatchJournal::RecordStarted(std::uint64_t job_id, int attempt,
+                                 int rung) {
+  BatchRecord record;
+  record.type = BatchRecord::Type::kJobStarted;
+  record.job_id = job_id;
+  record.attempt = attempt;
+  record.rung = rung;
+  Append(record, /*is_finish=*/false);
+}
+
+void BatchJournal::RecordFinished(std::uint64_t job_id, StatusCode code,
+                                  bool accepted, int attempts, int rung,
+                                  std::int64_t steps) {
+  BatchRecord record;
+  record.type = BatchRecord::Type::kJobFinished;
+  record.job_id = job_id;
+  record.code = code;
+  record.accepted = accepted;
+  record.attempts = attempts;
+  record.rung = rung;
+  record.steps = steps;
+  Append(record, /*is_finish=*/true);
+}
+
+Status BatchJournal::Flush() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (!first_error_.ok()) return first_error_;
+  Status status = writer_.Sync();
+  if (!status.ok()) first_error_ = status;
+  return status;
+}
+
+Status BatchJournal::first_error() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return first_error_;
+}
+
+}  // namespace treewalk

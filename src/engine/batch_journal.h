@@ -1,0 +1,124 @@
+#ifndef TREEWALK_ENGINE_BATCH_JOURNAL_H_
+#define TREEWALK_ENGINE_BATCH_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/journal.h"
+#include "src/common/result.h"
+
+namespace treewalk {
+
+/// One journal record of a batch run (docs/ENGINE.md, "Crash-consistent
+/// batches").  The engine streams a kJobStarted record before every
+/// attempt and exactly one kJobFinished record per job with its final
+/// status, so a journal replayer can tell completed work (finished,
+/// not cancelled) from in-flight work (started or cancelled, never
+/// finished terminally).
+struct BatchRecord {
+  enum class Type { kJobStarted, kJobFinished };
+
+  Type type = Type::kJobStarted;
+  /// Stable content-derived job key (src/engine/manifest.h); never 0
+  /// for journaled jobs.
+  std::uint64_t job_id = 0;
+  /// kJobStarted: 0-based attempt ordinal and its degradation rung.
+  int attempt = 0;
+  int rung = 0;
+  /// kJobFinished: final status code, verdict, total attempts, rung of
+  /// the last attempt, and the successful run's step count.
+  StatusCode code = StatusCode::kOk;
+  bool accepted = false;
+  int attempts = 0;
+  std::int64_t steps = 0;
+
+  friend bool operator==(const BatchRecord&, const BatchRecord&) = default;
+};
+
+/// Space-separated text payload, versioned by the journal header:
+///   "S <job-id-hex16> <attempt> <rung>"
+///   "F <job-id-hex16> <code> <accepted> <attempts> <rung> <steps>"
+std::string EncodeBatchRecord(const BatchRecord& record);
+Result<BatchRecord> DecodeBatchRecord(std::string_view payload);
+
+/// What a journal says about a manifest's jobs.  `completed` jobs
+/// finished with a terminal status (OK or a deterministic failure) and
+/// are skipped on resume; `in_flight` jobs were started but never
+/// finished — or finished with kCancelled — and are re-enqueued.
+struct ResumePlan {
+  std::unordered_set<std::uint64_t> completed;
+  std::unordered_set<std::uint64_t> in_flight;
+  /// Job ids with more than one *terminal* (non-cancelled) kJobFinished
+  /// record — an exactly-once violation a healthy engine never produces
+  /// (a cancelled finish followed by a terminal one on resume is the
+  /// normal drain-then-resume pattern, not a duplicate).
+  std::vector<std::uint64_t> duplicate_finishes;
+  std::int64_t records = 0;
+  /// The journal ended in a torn tail (normal after a crash; the tail
+  /// is truncated when the journal is reopened for appending).
+  bool torn = false;
+};
+
+/// Builds a resume plan from parsed journal contents.  A record whose
+/// CRC frame is intact but whose payload does not decode is
+/// kInvalidArgument — that indicates version skew or foreign data, not
+/// a crash.
+Result<ResumePlan> BuildResumePlan(const JournalContents& contents);
+
+/// Reads the journal at `path` and builds its resume plan (kNotFound
+/// when the journal does not exist).
+Result<ResumePlan> LoadResumePlan(const std::string& path);
+
+/// Thread-safe batch-record sink over a JournalWriter, shared by every
+/// engine worker of a batch.  Journal I/O failures never fail jobs:
+/// the first error is latched (`first_error()`) for the caller to
+/// surface after the batch, and later writes become no-ops — results
+/// are still returned, the journal is just incomplete (and says so on
+/// the next resume, which simply reruns the unrecorded jobs).
+class BatchJournal {
+ public:
+  /// Opens (creating or repairing) the journal at `path` for appending.
+  /// `sync_every_finishes` > 0 fsyncs after every n-th kJobFinished
+  /// record — a power-loss durability knob; process crashes never lose
+  /// appended records regardless (they live in the page cache).
+  static Result<BatchJournal> Open(const std::string& path,
+                                   int sync_every_finishes = 0);
+
+  BatchJournal(BatchJournal&&) = default;
+  BatchJournal& operator=(BatchJournal&&) = default;
+
+  void RecordStarted(std::uint64_t job_id, int attempt, int rung);
+  void RecordFinished(std::uint64_t job_id, StatusCode code, bool accepted,
+                      int attempts, int rung, std::int64_t steps);
+
+  /// fsyncs the journal; call once after the batch (and before exiting
+  /// on graceful shutdown).
+  Status Flush();
+
+  /// First append/fsync error, or OK.  Latched; inspect after RunBatch.
+  Status first_error() const;
+
+  const std::string& path() const { return writer_.path(); }
+
+ private:
+  explicit BatchJournal(JournalWriter writer) : writer_(std::move(writer)) {}
+
+  void Append(const BatchRecord& record, bool is_finish);
+
+  // unique_ptr keeps the class movable while workers hold a stable
+  // pointer to the mutex.
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  JournalWriter writer_;
+  Status first_error_;
+  int sync_every_finishes_ = 0;
+  int finishes_since_sync_ = 0;
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_ENGINE_BATCH_JOURNAL_H_

@@ -9,11 +9,54 @@
 
 #include "src/common/failpoint.h"
 #include "src/common/governor.h"
+#include "src/engine/batch_journal.h"
 #include "src/tree/delimited.h"
 
 namespace treewalk {
 
 namespace {
+
+/// splitmix64, the backoff-jitter generator: deterministic across
+/// standard libraries (results never depend on it, only sleep lengths).
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Full-jitter backoff for retry `retry_no` (0-based): uniform in
+/// [0, min(initial << retry_no, max)].
+std::int64_t JitteredBackoffMs(const RetryPolicy& retry, int retry_no,
+                               std::uint64_t& rng_state) {
+  std::int64_t initial = std::max<std::int64_t>(0, retry.initial_backoff_ms);
+  std::int64_t cap = std::max<std::int64_t>(0, retry.max_backoff_ms);
+  if (initial == 0 || cap == 0) return 0;
+  int shift = std::min(retry_no, 62);
+  std::int64_t window = initial > (std::int64_t{1} << (62 - shift))
+                            ? cap
+                            : std::min(initial << shift, cap);
+  rng_state = Mix64(rng_state);
+  return static_cast<std::int64_t>(rng_state %
+                                   static_cast<std::uint64_t>(window + 1));
+}
+
+/// Sleeps up to `ms`, polling `cancel` every few milliseconds so
+/// Ctrl-C / batch cancellation during backoff releases the worker
+/// promptly instead of hanging it for the whole window.
+void SleepUnlessCancelled(std::int64_t ms,
+                          const std::atomic<bool>& cancel) {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::chrono::milliseconds kPollInterval(5);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(ms);
+  while (!cancel.load(std::memory_order_relaxed)) {
+    Clock::time_point now = Clock::now();
+    if (now >= deadline) return;
+    std::this_thread::sleep_for(std::min<Clock::duration>(
+        kPollInterval, deadline - now));
+  }
+}
 
 /// Collects the string constants of a formula in syntax order.
 void CollectStrings(const Formula& f, std::vector<std::string>& out) {
@@ -76,7 +119,8 @@ void ApplyRung(int rung, const RetryPolicy& retry, RunOptions& options) {
 
 BatchEngine::BatchEngine(EngineOptions options) : options_(options) {}
 
-Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs) {
+Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
+                                          BatchJournal* journal) {
   if (options_.num_threads < 1) {
     return InvalidArgument("num_threads must be >= 1, got " +
                            std::to_string(options_.num_threads));
@@ -140,20 +184,45 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs) {
   };
   auto run_job = [&](std::size_t i) {
     JobResult& out = batch.results[i];
+    // Journal sink for this job (write-ahead: started before each
+    // attempt, one terminal finished after the last).  Jobs without a
+    // stable id are run but never recorded.
+    const bool journaled = journal != nullptr && jobs[i].job_id != 0;
+    auto journal_finished = [&]() {
+      if (!journaled) return;
+      int final_rung = out.attempts.empty() ? 0 : out.attempts.back().rung;
+      journal->RecordFinished(jobs[i].job_id, out.status.code(),
+                              out.status.ok() && out.run.accepted,
+                              static_cast<int>(out.attempts.size()),
+                              final_rung,
+                              out.status.ok() ? out.run.stats.steps : 0);
+    };
     if (!prechecks[i].ok()) {
+      // A precheck failure is deterministic: journal it as terminal so
+      // a resume does not re-submit a job that can never run.
       out.status = prechecks[i];
+      journal_finished();
       return;
     }
     const RetryPolicy& retry = jobs[i].retry;
-    std::int64_t backoff_ms = std::max<std::int64_t>(0,
-                                                     retry.initial_backoff_ms);
+    std::uint64_t rng_state =
+        Mix64(options_.backoff_seed ^ (0x9e3779b97f4a7c15ULL *
+                                       (static_cast<std::uint64_t>(i) + 1)));
     for (int attempt_no = 0; attempt_no < retry.max_attempts; ++attempt_no) {
       if (cancel_.load(std::memory_order_relaxed)) {
         out.status = Cancelled("job " + std::to_string(i) +
                                " cancelled before it started");
+        // Cancelled before the first attempt: leave no journal trace,
+        // so a resume treats the job as simply not run yet.  Cancelled
+        // between attempts: record the cancellation (the resume plan
+        // reruns cancelled jobs either way).
+        if (!out.attempts.empty()) journal_finished();
         return;
       }
       int rung = retry.degrade ? std::min(attempt_no, 3) : 0;
+      if (journaled) {
+        journal->RecordStarted(jobs[i].job_id, attempt_no, rung);
+      }
       JobResult::Attempt attempt;
       RunResult run;
       run_attempt(i, rung, attempt, run);
@@ -161,16 +230,17 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs) {
       out.status = attempt.status;
       if (attempt.status.ok()) {
         out.run = std::move(run);
+        journal_finished();
         return;
       }
       if (!IsRetryable(attempt.status) ||
           attempt_no + 1 >= retry.max_attempts) {
+        journal_finished();
         return;
       }
-      if (backoff_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        backoff_ms *= 2;
-      }
+      std::int64_t backoff_ms =
+          JitteredBackoffMs(retry, attempt_no, rng_state);
+      if (backoff_ms > 0) SleepUnlessCancelled(backoff_ms, cancel_);
     }
   };
   auto worker = [&]() {

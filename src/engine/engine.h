@@ -12,10 +12,18 @@
 
 namespace treewalk {
 
+class BatchJournal;
+
 /// Retry behavior for one job.  A failed attempt whose status is
 /// retryable (kDeadlineExceeded, kResourceExhausted, kInternal) is rerun
-/// up to `max_attempts` times total, sleeping an exponentially growing
-/// backoff between attempts.  With `degrade` set, each retry also steps
+/// up to `max_attempts` times total, sleeping a randomized ("full
+/// jitter") backoff between attempts: retry k draws uniformly from
+/// [0, min(initial_backoff_ms · 2^k, max_backoff_ms)], using a
+/// deterministic per-job RNG seeded from EngineOptions::backoff_seed —
+/// so simultaneous retry storms across jobs desynchronize instead of
+/// thundering in lockstep.  The sleep polls the batch's cancel flag
+/// every few milliseconds; cancellation during backoff does not hang
+/// the worker.  With `degrade` set, each retry also steps
 /// down a degradation ladder that trades evaluation features for
 /// footprint, in order:
 ///
@@ -32,8 +40,12 @@ namespace treewalk {
 struct RetryPolicy {
   /// Total attempts (1 = no retries).
   int max_attempts = 1;
-  /// Sleep before the first retry; doubles each further retry.
+  /// Upper bound of the first retry's jitter window; doubles each
+  /// further retry up to `max_backoff_ms`.  0 disables backoff sleeps.
   std::int64_t initial_backoff_ms = 1;
+  /// Cap on the exponential window — without one, a long retry ladder
+  /// sleeps unboundedly (2^k growth) instead of retrying.
+  std::int64_t max_backoff_ms = 1000;
   /// Walk the degradation ladder on retries (off = retry as submitted).
   bool degrade = true;
   /// Step cap applied at rung 3, replacing cycle detection as the
@@ -59,6 +71,10 @@ struct BatchJob {
   /// unlimited.  A trip fails the attempt with kResourceExhausted.
   std::int64_t memory_budget_bytes = 0;
   RetryPolicy retry;
+  /// Stable key for write-ahead journaling (src/engine/manifest.h
+  /// derives it from the job's file contents).  0 = unjournaled: the
+  /// job is run but never recorded, even when RunBatch has a journal.
+  std::uint64_t job_id = 0;
 };
 
 /// Outcome of one job.  `status` is non-OK when the run aborted (budget
@@ -119,6 +135,9 @@ struct EngineOptions {
   /// Worker threads; 1 runs the batch inline on the calling thread.
   /// Results are identical for every value (see docs/ENGINE.md).
   int num_threads = 1;
+  /// Seeds the per-job backoff-jitter RNG (see RetryPolicy).  Only
+  /// sleep durations depend on it — results never do.
+  std::uint64_t backoff_seed = 0;
 };
 
 /// Fixed-size thread-pool batch evaluator: N workers drain a shared work
@@ -145,7 +164,15 @@ class BatchEngine {
   /// tree) are reported per-job in JobResult::status, not as a batch
   /// error; the batch itself only fails on invalid EngineOptions.
   /// Clears any cancellation left over from a previous batch.
-  Result<BatchResult> RunBatch(const std::vector<BatchJob>& jobs);
+  ///
+  /// With a non-null `journal`, every job whose `job_id` is non-zero
+  /// streams a kJobStarted record per attempt and exactly one terminal
+  /// kJobFinished record into it (src/engine/batch_journal.h) — except
+  /// jobs cancelled before their first attempt, which stay unrecorded
+  /// so a resume reruns them.  Journal I/O failures never fail jobs;
+  /// check journal->first_error() after the batch.
+  Result<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
+                               BatchJournal* journal = nullptr);
 
   /// Requests cooperative cancellation of the in-flight batch.  Safe to
   /// call from any thread, including concurrently with RunBatch.

@@ -1,0 +1,56 @@
+#include "src/engine/shutdown.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+
+namespace treewalk {
+
+namespace {
+
+// Everything the handler touches is a lock-free atomic; fetch_add and
+// store on std::atomic<int> are async-signal-safe when lock-free
+// (guaranteed for int on the supported platforms).
+std::atomic<int> g_signal_count{0};
+std::atomic<int> g_first_signal{0};
+
+void Handler(int signo) {
+  int count = g_signal_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count == 1) {
+    g_first_signal.store(signo, std::memory_order_relaxed);
+    return;  // the driver polls requested() and drains cooperatively
+  }
+  // Second signal: the operator wants out *now*.  _exit is
+  // async-signal-safe; the journal's CRC framing makes whatever was
+  // mid-write a cleanly truncatable torn tail.
+  _exit(128 + signo);
+}
+
+}  // namespace
+
+void GracefulShutdown::Install() {
+  struct sigaction action = {};
+  action.sa_handler = Handler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a batch driver blocked in a slow syscall should see
+  // EINTR and reach its cancellation poll promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool GracefulShutdown::requested() {
+  return g_signal_count.load(std::memory_order_relaxed) > 0;
+}
+
+int GracefulShutdown::signal_number() {
+  return g_first_signal.load(std::memory_order_relaxed);
+}
+
+void GracefulShutdown::ResetForTest() {
+  g_signal_count.store(0, std::memory_order_relaxed);
+  g_first_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace treewalk

@@ -1,0 +1,42 @@
+#ifndef TREEWALK_ENGINE_SHUTDOWN_H_
+#define TREEWALK_ENGINE_SHUTDOWN_H_
+
+namespace treewalk {
+
+/// Cooperative SIGINT/SIGTERM handling for batch front ends
+/// (docs/ROBUSTNESS.md, "Graceful shutdown").  Purely atomic-flag
+/// based — no self-pipe, no signalfd, nothing allocated in the
+/// handler — so it is async-signal-safe by construction:
+///
+///   first signal    latches `requested()`; the driver polls the flag,
+///                   cancels the batch cooperatively, drains the
+///                   workers, flushes the journal, and exits with
+///                   kExitInterrupted (75, sysexits' EX_TEMPFAIL: the
+///                   run is resumable with --resume).
+///   second signal   the handler itself calls _exit(128 + signo) —
+///                   immediate abort, no draining, no flush beyond what
+///                   already reached the kernel (the journal's framing
+///                   makes the torn tail recoverable).
+class GracefulShutdown {
+ public:
+  /// Documented exit code of a drained, journal-flushed, resumable run.
+  static constexpr int kExitInterrupted = 75;
+
+  /// Installs the SIGINT and SIGTERM handlers.  Idempotent.
+  static void Install();
+
+  /// A signal arrived since Install() (or the last ResetForTest()).
+  static bool requested();
+
+  /// The first signal's number, or 0.
+  static int signal_number();
+
+  /// Clears the latched state so one process can host several tests.
+  /// Not for production use: a concurrently arriving signal may still
+  /// count against the pre-reset total.
+  static void ResetForTest();
+};
+
+}  // namespace treewalk
+
+#endif  // TREEWALK_ENGINE_SHUTDOWN_H_

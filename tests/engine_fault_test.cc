@@ -301,5 +301,78 @@ TEST_F(EngineFaultTest, RandomFailpointSchedulesAreDeterministicPerSeed) {
   EXPECT_GT(degraded_successes, 0);
 }
 
+/// EngineStats bookkeeping under concurrency: for 100 random failpoint
+/// schedules run on 4 workers, every aggregate counter must equal the
+/// value recomputed from the per-job attempt ladders — retries,
+/// deadline hits, degraded successes, and the accepted/rejected/failed
+/// partition all sum consistently no matter how attempts interleave.
+TEST_F(EngineFaultTest, StatsSumConsistentlyUnderConcurrentFaults) {
+  Program walker = std::move(HasLabelProgram("a")).value();
+  Program parity = std::move(ParityProgram("a")).value();
+  Program lookahead = SelectorProgram();
+  Tree t = FullTree(2, 3);
+  std::vector<BatchJob> jobs(6);
+  jobs[0].program = &walker;
+  jobs[1].program = &lookahead;
+  jobs[2].program = &parity;
+  jobs[3].program = &lookahead;
+  jobs[4].program = &walker;
+  jobs[5].program = &parity;
+  for (BatchJob& job : jobs) {
+    job.tree = &t;
+    job.retry.max_attempts = 4;
+    job.retry.initial_backoff_ms = 1;  // exercise the jittered sleep path
+    job.retry.max_backoff_ms = 4;
+  }
+
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    FailpointRegistry::Global().ArmRandomSchedule(seed);
+    BatchResult batch = std::move(BatchEngine({.num_threads = 4,
+                                               .backoff_seed = seed})
+                                      .RunBatch(jobs))
+                            .value();
+    FailpointRegistry::Global().DisableAll();
+
+    EngineStats expect;
+    for (const JobResult& r : batch.results) {
+      ++expect.jobs;
+      ASSERT_GE(r.attempts.size(), 1u) << "seed " << seed;
+      ASSERT_LE(r.attempts.size(), 4u) << "seed " << seed;
+      EXPECT_EQ(r.attempts.back().status, r.status) << "seed " << seed;
+      for (const JobResult::Attempt& a : r.attempts) {
+        if (a.status.code() == StatusCode::kDeadlineExceeded) {
+          ++expect.deadline_hits;
+        }
+        if (a.memory_tripped) ++expect.memory_trips;
+      }
+      expect.retries += static_cast<std::int64_t>(r.attempts.size()) - 1;
+      if (r.status.ok()) {
+        if (r.attempts.back().rung > 0) ++expect.degraded_successes;
+        ++(r.run.accepted ? expect.accepted : expect.rejected);
+      } else {
+        ++expect.failed;
+        if (r.status.code() == StatusCode::kCancelled) ++expect.cancelled;
+      }
+    }
+    EXPECT_EQ(batch.stats.jobs, expect.jobs) << "seed " << seed;
+    EXPECT_EQ(batch.stats.retries, expect.retries) << "seed " << seed;
+    EXPECT_EQ(batch.stats.deadline_hits, expect.deadline_hits)
+        << "seed " << seed;
+    EXPECT_EQ(batch.stats.memory_trips, expect.memory_trips)
+        << "seed " << seed;
+    EXPECT_EQ(batch.stats.degraded_successes, expect.degraded_successes)
+        << "seed " << seed;
+    EXPECT_EQ(batch.stats.accepted, expect.accepted) << "seed " << seed;
+    EXPECT_EQ(batch.stats.rejected, expect.rejected) << "seed " << seed;
+    EXPECT_EQ(batch.stats.failed, expect.failed) << "seed " << seed;
+    EXPECT_EQ(batch.stats.cancelled, expect.cancelled) << "seed " << seed;
+    // The verdict partition covers every job exactly once.
+    EXPECT_EQ(batch.stats.accepted + batch.stats.rejected +
+                  batch.stats.failed,
+              batch.stats.jobs)
+        << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace treewalk

@@ -72,10 +72,11 @@ TEST_F(FailpointTest, DisableAllDisarms) {
 
 TEST_F(FailpointTest, KnownSitesInventoryIsStable) {
   const std::vector<std::string>& sites = FailpointRegistry::KnownSites();
-  EXPECT_EQ(sites.size(), 5u);
+  EXPECT_EQ(sites.size(), 8u);
   for (const char* site :
        {"interpreter/step", "interpreter/select", "compiler/compile",
-        "axis_index/alloc", "engine/worker"}) {
+        "axis_index/alloc", "engine/worker", "journal/append",
+        "journal/fsync", "journal/rename"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
         << site;
   }

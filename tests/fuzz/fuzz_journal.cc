@@ -1,0 +1,33 @@
+// libFuzzer harness for the write-ahead journal reader (journal.h) and
+// the batch-record resume planner stacked on it (batch_journal.h): an
+// arbitrary byte image must parse to an intact prefix or a clean error,
+// never crash, and whatever parses must round-trip through the resume
+// planner without violating its invariants.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/journal.h"
+#include "src/engine/batch_journal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view image(reinterpret_cast<const char*>(data), size);
+  auto parsed = treewalk::ParseJournal(image);
+  if (parsed.ok()) {
+    // valid_bytes never exceeds the image and bounds the intact prefix.
+    if (parsed->valid_bytes > size) __builtin_trap();
+    auto plan = treewalk::BuildResumePlan(*parsed);
+    if (plan.ok()) {
+      // completed and in_flight partition the journaled ids.
+      for (std::uint64_t id : plan->completed) {
+        if (plan->in_flight.count(id) != 0) __builtin_trap();
+      }
+    }
+  }
+  // Each record payload is also an independent decoder input.
+  auto record = treewalk::DecodeBatchRecord(image);
+  (void)record;
+  return 0;
+}

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "src/automata/text_format.h"
+#include "src/common/journal.h"
+#include "src/engine/batch_journal.h"
 #include "src/logic/parser.h"
 #include "src/tree/term_io.h"
 #include "src/tree/xml_io.h"
@@ -77,6 +79,27 @@ TEST(FuzzCorpus, XmlSeedsReplayWithoutCrashing) {
 TEST(FuzzCorpus, ProgramSeedsReplayWithoutCrashing) {
   ReplayCorpus("program", [](const std::string& s) {
     return ParseProgramText(s).ok();
+  });
+}
+
+TEST(FuzzCorpus, JournalSeedsReplayWithoutCrashing) {
+  // Mirrors fuzz_journal.cc: parse the image, feed whatever parses into
+  // the resume planner, and also try the image as a bare batch record.
+  ReplayCorpus("journal", [](const std::string& s) {
+    Result<JournalContents> parsed = ParseJournal(s);
+    bool clean = false;
+    if (parsed.ok()) {
+      EXPECT_LE(parsed->valid_bytes, s.size());
+      Result<ResumePlan> plan = BuildResumePlan(*parsed);
+      if (plan.ok()) {
+        for (std::uint64_t id : plan->completed) {
+          EXPECT_EQ(plan->in_flight.count(id), 0u);
+        }
+      }
+      clean = !parsed->torn && plan.ok();
+    }
+    (void)DecodeBatchRecord(s);
+    return clean;
   });
 }
 

@@ -1,0 +1,370 @@
+// The write-ahead journal (src/common/journal.h): CRC framing, atomic
+// header creation, torn-tail detection at *every* byte offset, repair
+// on reopen, and failpoint-injected I/O errors.  The batch-record
+// layer on top (src/engine/batch_journal.h) is covered here too:
+// encode/decode round trips and resume-plan construction.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/failpoint.h"
+#include "src/common/journal.h"
+#include "src/engine/batch_journal.h"
+
+namespace treewalk {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Global().DisableAll();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("treewalk_journal_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailpointRegistry::Global().DisableAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  static void Spit(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(JournalTest, Crc32cMatchesKnownVectors) {
+  // RFC 3720 test vector.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST_F(JournalTest, AppendReadRoundTrip) {
+  std::string path = Path("j");
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE(writer->Append("first record").ok());
+    ASSERT_TRUE(writer->Append("").ok());  // empty payload is legal
+    ASSERT_TRUE(writer->Append(std::string("bin\0ary", 7)).ok());
+    ASSERT_TRUE(writer->Sync().ok());
+    EXPECT_EQ(writer->appended(), 3);
+  }
+  Result<JournalContents> contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_FALSE(contents->torn);
+  ASSERT_EQ(contents->records.size(), 3u);
+  EXPECT_EQ(contents->records[0], "first record");
+  EXPECT_EQ(contents->records[1], "");
+  EXPECT_EQ(contents->records[2], std::string("bin\0ary", 7));
+  EXPECT_EQ(contents->valid_bytes, std::filesystem::file_size(path));
+}
+
+TEST_F(JournalTest, ReopenAppendsAfterExistingRecords) {
+  std::string path = Path("j");
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("one").ok());
+  }
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("two").ok());
+  }
+  Result<JournalContents> contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[0], "one");
+  EXPECT_EQ(contents->records[1], "two");
+}
+
+TEST_F(JournalTest, MissingAndMalformedHeadersAreErrors) {
+  EXPECT_EQ(ReadJournal(Path("absent")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseJournal("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseJournal("TWJR").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseJournal("XXXXXXXX\x01\x00\x00\x00\x00\x00\x00\x00")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Wrong version.
+  std::string bytes(kJournalMagic, sizeof(kJournalMagic));
+  bytes += std::string("\x07\x00\x00\x00\x00\x00\x00\x00", 8);
+  EXPECT_EQ(ParseJournal(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+/// The tentpole recovery property: truncating a journal at EVERY byte
+/// offset yields a cleanly parsed prefix (never a crash, never a
+/// misframed record), and reopening the truncated file for append
+/// repairs it so new records land after the intact prefix.
+TEST_F(JournalTest, TruncationAtEveryByteOffsetRecovers) {
+  std::string path = Path("j");
+  std::vector<std::string> payloads = {"alpha", "", "gamma gamma gamma",
+                                       std::string(200, 'x'),
+                                       std::string("\x00\xff\x7f", 3)};
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (const std::string& p : payloads) ASSERT_TRUE(writer->Append(p).ok());
+  }
+  std::string full = Slurp(path);
+  ASSERT_GT(full.size(), kJournalHeaderBytes);
+
+  // Expected record count for a given prefix length.
+  auto intact_records = [&](std::size_t len) {
+    std::size_t at = kJournalHeaderBytes;
+    std::size_t count = 0;
+    for (const std::string& p : payloads) {
+      if (at + 8 + p.size() > len) break;
+      at += 8 + p.size();
+      ++count;
+    }
+    return count;
+  };
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    std::string prefix = full.substr(0, cut);
+    Result<JournalContents> parsed = ParseJournal(prefix);
+    if (cut < kJournalHeaderBytes) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << "cut=" << cut;
+      continue;
+    }
+    ASSERT_TRUE(parsed.ok()) << "cut=" << cut << ": " << parsed.status();
+    EXPECT_EQ(parsed->records.size(), intact_records(cut)) << "cut=" << cut;
+    EXPECT_EQ(parsed->torn, parsed->valid_bytes != cut) << "cut=" << cut;
+    EXPECT_LE(parsed->valid_bytes, cut);
+
+    // File-level repair: reopen-for-append truncates the torn tail and
+    // appends cleanly after the intact prefix.
+    if (cut < kJournalHeaderBytes) continue;
+    std::string repaired_path = Path("repair");
+    Spit(repaired_path, prefix);
+    Result<JournalWriter> writer = JournalWriter::Open(repaired_path);
+    ASSERT_TRUE(writer.ok()) << "cut=" << cut << ": " << writer.status();
+    ASSERT_TRUE(writer->Append("appended-after-repair").ok());
+    writer->Close();
+    Result<JournalContents> reread = ReadJournal(repaired_path);
+    ASSERT_TRUE(reread.ok()) << "cut=" << cut;
+    EXPECT_FALSE(reread->torn) << "cut=" << cut;
+    ASSERT_EQ(reread->records.size(), intact_records(cut) + 1)
+        << "cut=" << cut;
+    EXPECT_EQ(reread->records.back(), "appended-after-repair");
+    std::filesystem::remove(repaired_path);
+  }
+}
+
+TEST_F(JournalTest, MidFileCorruptionStopsAtTheCorruptFrame) {
+  std::string path = Path("j");
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("aaaa").ok());
+    ASSERT_TRUE(writer->Append("bbbb").ok());
+    ASSERT_TRUE(writer->Append("cccc").ok());
+  }
+  std::string bytes = Slurp(path);
+  // Flip one payload byte of the middle record: its CRC no longer
+  // matches, so parsing keeps the first record and truncates there.
+  std::size_t middle_payload = kJournalHeaderBytes + (8 + 4) + 8;
+  bytes[middle_payload] ^= 0x01;
+  Result<JournalContents> parsed = ParseJournal(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->torn);
+  ASSERT_EQ(parsed->records.size(), 1u);
+  EXPECT_EQ(parsed->records[0], "aaaa");
+  EXPECT_NE(parsed->tail_error.find("crc mismatch"), std::string::npos);
+}
+
+TEST_F(JournalTest, OversizedLengthPrefixIsTreatedAsTorn) {
+  std::string bytes(kJournalMagic, sizeof(kJournalMagic));
+  bytes += std::string("\x01\x00\x00\x00\x00\x00\x00\x00", 8);
+  bytes += std::string("\xff\xff\xff\x7f", 4);  // length = 2^31-ish
+  bytes += std::string("\x00\x00\x00\x00", 4);
+  Result<JournalContents> parsed = ParseJournal(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->torn);
+  EXPECT_EQ(parsed->records.size(), 0u);
+  EXPECT_NE(parsed->tail_error.find("oversized"), std::string::npos);
+}
+
+TEST_F(JournalTest, FailpointsInjectIntoAppendFsyncAndRename) {
+  // Creation: an injected rename failure must not leave the journal (or
+  // its tmp file) behind.
+  FailpointRegistry::Config config;
+  config.code = StatusCode::kInternal;
+  FailpointRegistry::Global().Enable("journal/rename", config);
+  std::string path = Path("j");
+  Result<JournalWriter> failed = JournalWriter::Open(path);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  FailpointRegistry::Global().DisableAll();
+
+  Result<JournalWriter> writer = JournalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+
+  FailpointRegistry::Global().Enable("journal/append", config);
+  EXPECT_EQ(writer->Append("x").code(), StatusCode::kInternal);
+  FailpointRegistry::Global().DisableAll();
+  EXPECT_TRUE(writer->Append("x").ok());
+
+  FailpointRegistry::Global().Enable("journal/fsync", config);
+  EXPECT_EQ(writer->Sync().code(), StatusCode::kInternal);
+  FailpointRegistry::Global().DisableAll();
+  EXPECT_TRUE(writer->Sync().ok());
+}
+
+TEST_F(JournalTest, BatchRecordEncodeDecodeRoundTrips) {
+  BatchRecord started;
+  started.type = BatchRecord::Type::kJobStarted;
+  started.job_id = 0xdeadbeef12345678ULL;
+  started.attempt = 2;
+  started.rung = 1;
+  Result<BatchRecord> s = DecodeBatchRecord(EncodeBatchRecord(started));
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(*s, started);
+
+  BatchRecord finished;
+  finished.type = BatchRecord::Type::kJobFinished;
+  finished.job_id = 1;
+  finished.code = StatusCode::kDeadlineExceeded;
+  finished.accepted = false;
+  finished.attempts = 4;
+  finished.rung = 3;
+  finished.steps = 0;
+  Result<BatchRecord> f = DecodeBatchRecord(EncodeBatchRecord(finished));
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(*f, finished);
+
+  BatchRecord ok_run = finished;
+  ok_run.code = StatusCode::kOk;
+  ok_run.accepted = true;
+  ok_run.steps = 123456789;
+  Result<BatchRecord> o = DecodeBatchRecord(EncodeBatchRecord(ok_run));
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(*o, ok_run);
+}
+
+TEST_F(JournalTest, MalformedBatchRecordsAreRejected) {
+  for (const char* bad :
+       {"", "Q 0011223344556677 0 0", "S xyz 0 0", "S 0011223344556677 0",
+        "S 0011223344556677 0 0 extra", "F 0011223344556677 1 2 3",
+        "F 0011223344556677 99 0 1 0 5", "F 0011223344556677 0 2 1 0 5",
+        "S 0011223344556677 -1 0"}) {
+    EXPECT_FALSE(DecodeBatchRecord(bad).ok()) << "accepted: '" << bad << "'";
+  }
+  EXPECT_FALSE(DecodeBatchRecord(std::string_view("S \0", 3)).ok());
+}
+
+TEST_F(JournalTest, ResumePlanClassifiesRecords) {
+  std::string path = Path("j");
+  {
+    Result<BatchJournal> journal = BatchJournal::Open(path);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    // Job 1: started then finished OK -> completed.
+    journal->RecordStarted(1, 0, 0);
+    journal->RecordFinished(1, StatusCode::kOk, true, 1, 0, 42);
+    // Job 2: started, never finished -> in-flight.
+    journal->RecordStarted(2, 0, 0);
+    // Job 3: cancelled -> in-flight (rerun on resume).
+    journal->RecordStarted(3, 0, 0);
+    journal->RecordFinished(3, StatusCode::kCancelled, false, 1, 0, 0);
+    // Job 4: deterministic failure -> completed (not rerun).
+    journal->RecordStarted(4, 0, 0);
+    journal->RecordFinished(4, StatusCode::kInvalidArgument, false, 1, 0, 0);
+    ASSERT_TRUE(journal->Flush().ok());
+    ASSERT_TRUE(journal->first_error().ok());
+  }
+  Result<ResumePlan> plan = LoadResumePlan(path);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->records, 7);
+  EXPECT_FALSE(plan->torn);
+  EXPECT_TRUE(plan->duplicate_finishes.empty());
+  EXPECT_EQ(plan->completed,
+            (std::unordered_set<std::uint64_t>{1, 4}));
+  EXPECT_EQ(plan->in_flight,
+            (std::unordered_set<std::uint64_t>{2, 3}));
+}
+
+TEST_F(JournalTest, ResumePlanFlagsDuplicateTerminalFinishes) {
+  std::string path = Path("j");
+  {
+    Result<BatchJournal> journal = BatchJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    journal->RecordFinished(7, StatusCode::kOk, true, 1, 0, 10);
+    journal->RecordFinished(7, StatusCode::kOk, true, 1, 0, 10);
+    // Cancelled-then-terminal is the normal resume pattern, NOT a dup.
+    journal->RecordFinished(8, StatusCode::kCancelled, false, 1, 0, 0);
+    journal->RecordFinished(8, StatusCode::kOk, false, 1, 0, 3);
+    ASSERT_TRUE(journal->Flush().ok());
+  }
+  Result<ResumePlan> plan = LoadResumePlan(path);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->duplicate_finishes,
+            (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(plan->completed,
+            (std::unordered_set<std::uint64_t>{7, 8}));
+}
+
+TEST_F(JournalTest, ResumePlanRejectsUndecodableRecords) {
+  std::string path = Path("j");
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("not a batch record").ok());
+  }
+  EXPECT_EQ(LoadResumePlan(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(JournalTest, BatchJournalLatchesFirstErrorAndDropsLaterWrites) {
+  std::string path = Path("j");
+  Result<BatchJournal> journal = BatchJournal::Open(path);
+  ASSERT_TRUE(journal.ok());
+  journal->RecordStarted(1, 0, 0);
+
+  FailpointRegistry::Config config;
+  config.code = StatusCode::kInternal;
+  FailpointRegistry::Global().Enable("journal/append", config);
+  journal->RecordFinished(1, StatusCode::kOk, true, 1, 0, 5);
+  FailpointRegistry::Global().DisableAll();
+  EXPECT_EQ(journal->first_error().code(), StatusCode::kInternal);
+
+  // Later writes are no-ops; the journal still holds only the record
+  // that landed before the error.
+  journal->RecordStarted(2, 0, 0);
+  EXPECT_EQ(journal->Flush().code(), StatusCode::kInternal);
+  Result<JournalContents> contents = ReadJournal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace treewalk

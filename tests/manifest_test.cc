@@ -1,0 +1,166 @@
+// Manifest loading: stable content-derived job ids, duplicate-pair
+// rejection with both line numbers, and malformed-line diagnostics
+// (src/engine/manifest.h).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/engine/manifest.h"
+
+namespace treewalk {
+namespace {
+
+/// Reader over an in-memory path -> contents map.
+ManifestFileReader MapReader(std::map<std::string, std::string> files) {
+  return [files = std::move(files)](const std::string& path,
+                                    std::string& out) {
+    auto it = files.find(path);
+    if (it == files.end()) return false;
+    out = it->second;
+    return true;
+  };
+}
+
+TEST(ManifestTest, ParsesPairsSkippingBlanksAndComments) {
+  Result<Manifest> manifest = ParseManifest(
+      "# batch of two\n"
+      "\n"
+      "p1.twp t1.xml\n"
+      "   \n"
+      "p2.twp t2.xml\n",
+      MapReader({{"p1.twp", "prog1"},
+                 {"t1.xml", "tree1"},
+                 {"p2.twp", "prog2"},
+                 {"t2.xml", "tree2"}}));
+  ASSERT_TRUE(manifest.ok()) << manifest.status();
+  ASSERT_EQ(manifest->entries.size(), 2u);
+  EXPECT_EQ(manifest->entries[0].program_path, "p1.twp");
+  EXPECT_EQ(manifest->entries[0].tree_path, "t1.xml");
+  EXPECT_EQ(manifest->entries[0].line_number, 3);
+  EXPECT_EQ(manifest->entries[1].line_number, 5);
+
+  // The grammar is whitespace-split fields, so an inline comment after
+  // a pair is a third field — rejected, not silently ignored.
+  EXPECT_FALSE(
+      ParseManifest("p1.twp t1.xml # inline comment\n",
+                    MapReader({{"p1.twp", "x"}, {"t1.xml", "y"}}))
+          .ok());
+}
+
+TEST(ManifestTest, AssignsStableNonZeroJobIds) {
+  ManifestFileReader reader = MapReader({{"p.twp", "program bytes"},
+                                         {"q.twp", "other program"},
+                                         {"t.xml", "tree bytes"}});
+  Result<Manifest> first = ParseManifest("p.twp t.xml\nq.twp t.xml\n", reader);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->entries.size(), 2u);
+  EXPECT_NE(first->entries[0].job_id, 0u);
+  EXPECT_NE(first->entries[1].job_id, 0u);
+  EXPECT_NE(first->entries[0].job_id, first->entries[1].job_id);
+  EXPECT_EQ(first->entries[0].line_number, 1);
+  EXPECT_EQ(first->entries[1].line_number, 2);
+
+  // Same inputs -> same ids, independent of manifest order.
+  Result<Manifest> second =
+      ParseManifest("q.twp t.xml\np.twp t.xml\n", reader);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->entries[1].job_id, first->entries[0].job_id);
+  EXPECT_EQ(second->entries[0].job_id, first->entries[1].job_id);
+}
+
+TEST(ManifestTest, JobIdDependsOnFileContent) {
+  std::uint64_t before =
+      ParseManifest("p.twp t.xml\n",
+                    MapReader({{"p.twp", "v1"}, {"t.xml", "tree"}}))
+          ->entries[0]
+          .job_id;
+  std::uint64_t after =
+      ParseManifest("p.twp t.xml\n",
+                    MapReader({{"p.twp", "v2"}, {"t.xml", "tree"}}))
+          ->entries[0]
+          .job_id;
+  EXPECT_NE(before, after);
+
+  std::uint64_t tree_changed =
+      ParseManifest("p.twp t.xml\n",
+                    MapReader({{"p.twp", "v1"}, {"t.xml", "other tree"}}))
+          ->entries[0]
+          .job_id;
+  EXPECT_NE(before, tree_changed);
+}
+
+TEST(ManifestTest, JobIdDependsOnPathsNotJustContent) {
+  ManifestFileReader reader =
+      MapReader({{"a.twp", "same"}, {"b.twp", "same"}, {"t.xml", "tree"}});
+  Result<Manifest> manifest = ParseManifest("a.twp t.xml\nb.twp t.xml\n",
+                                            reader);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_NE(manifest->entries[0].job_id, manifest->entries[1].job_id);
+}
+
+TEST(ManifestTest, UnreadableFilesStillGetStableIds) {
+  ManifestFileReader reader = MapReader({{"t.xml", "tree"}});
+  Result<Manifest> first = ParseManifest("missing.twp t.xml\n", reader);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->entries.size(), 1u);
+  EXPECT_NE(first->entries[0].job_id, 0u);
+  Result<Manifest> second = ParseManifest("missing.twp t.xml\n", reader);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->entries[0].job_id, first->entries[0].job_id);
+}
+
+TEST(ManifestTest, RejectsDuplicatePairsNamingBothLines) {
+  ManifestFileReader reader =
+      MapReader({{"p.twp", "prog"}, {"t.xml", "tree"}, {"u.xml", "tree2"}});
+  Result<Manifest> manifest = ParseManifest(
+      "p.twp t.xml\n"
+      "p.twp u.xml\n"
+      "p.twp t.xml\n",
+      reader);
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument);
+  // The diagnostic names both offending lines.
+  EXPECT_NE(manifest.status().message().find("1"), std::string::npos)
+      << manifest.status();
+  EXPECT_NE(manifest.status().message().find("3"), std::string::npos)
+      << manifest.status();
+  EXPECT_NE(manifest.status().message().find("duplicate"), std::string::npos)
+      << manifest.status();
+}
+
+TEST(ManifestTest, RejectsMalformedLinesWithLineNumber) {
+  ManifestFileReader reader = MapReader({});
+  Result<Manifest> one_field = ParseManifest("only-one-field\n", reader);
+  ASSERT_FALSE(one_field.ok());
+  EXPECT_EQ(one_field.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(one_field.status().message().find("line 1"), std::string::npos)
+      << one_field.status();
+
+  Result<Manifest> three_fields =
+      ParseManifest("# fine\np.twp t.xml extra\n", reader);
+  ASSERT_FALSE(three_fields.ok());
+  EXPECT_NE(three_fields.status().message().find("line 2"),
+            std::string::npos)
+      << three_fields.status();
+}
+
+TEST(ManifestTest, LoadManifestFileMissingIsNotFound) {
+  Result<Manifest> manifest =
+      LoadManifestFile("/nonexistent/definitely/missing.manifest");
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ManifestTest, ManifestJobIdZeroIsRemapped) {
+  // Whatever the inputs, the id is never the 0 sentinel (0 means
+  // "unjournaled" to the engine).  Spot-check the exposed helper.
+  std::string program = "p";
+  std::string tree = "t";
+  EXPECT_NE(ManifestJobId("a", "b", &program, &tree), 0u);
+  EXPECT_NE(ManifestJobId("a", "b", nullptr, nullptr), 0u);
+}
+
+}  // namespace
+}  // namespace treewalk

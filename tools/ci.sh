@@ -39,6 +39,12 @@ for preset in $presets; do
       "$root/build-asan/tests/failpoint_test"
       "$root/build-asan/tests/engine_fault_test"
       "$root/build-asan/tests/parser_limits_test"
+      # Crash-recovery pass: the write-ahead journal, torn-tail repair,
+      # and the SIGKILL/SIGTERM drain-and-resume protocol, with the
+      # sanitizers watching the recovery paths.
+      "$root/build-asan/tests/journal_test"
+      "$root/build-asan/tests/manifest_test"
+      "$root/build-asan/tests/crash_recovery_test"
       ;;
   esac
 done
@@ -48,7 +54,7 @@ done
 # give each harness 30 seconds from its seed corpus.
 if [ -d "$root/build-fuzz/tests/fuzz" ]; then
   echo "==== fuzz smoke (30s per target) ===="
-  for target in formula term xml program; do
+  for target in formula term xml program journal; do
     bin="$root/build-fuzz/tests/fuzz/fuzz_$target"
     [ -x "$bin" ] || continue
     "$bin" "$root/tests/fuzz/corpus/$target" -max_total_time=30 \
