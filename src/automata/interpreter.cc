@@ -8,8 +8,11 @@
 #include <tuple>
 #include <utility>
 
+#include <chrono>
+
 #include "src/common/failpoint.h"
 #include "src/common/governor.h"
+#include "src/common/metrics.h"
 #include "src/logic/compile.h"
 #include "src/logic/tree_eval.h"
 #include "src/relstore/store_eval.h"
@@ -34,6 +37,68 @@ const char* RejectReasonName(RejectReason r) {
 }
 
 namespace {
+
+/// Interpreter instrument family (docs/OBSERVABILITY.md).  RunStats
+/// stays the per-run view; these registry counters are its process-wide
+/// aggregation, flushed once per run (end of Runner::Run, success or
+/// error) so the per-transition hot loop never touches an atomic.
+struct InterpMetrics {
+  Counter* runs;
+  Counter* steps;
+  Counter* subcomputations;
+  Counter* atp_calls;
+  Counter* cache_hits;
+  Counter* cache_misses;
+  Counter* compiled_evals;
+  Counter* reference_evals;
+  Counter* store_updates;
+  Histogram* compiled_eval_us;
+  Histogram* reference_eval_us;
+
+  static InterpMetrics& Get() {
+    static InterpMetrics* metrics = [] {
+      auto* m = new InterpMetrics;
+      MetricsRegistry& r = MetricsRegistry::Global();
+      m->runs = r.FindOrCreateCounter("treewalk_interp_runs_total",
+                                      "Interpreter runs started");
+      m->steps = r.FindOrCreateCounter("treewalk_interp_steps_total",
+                                       "Transitions executed");
+      m->subcomputations =
+          r.FindOrCreateCounter("treewalk_interp_subcomputations_total",
+                                "atp() subcomputations spawned");
+      m->atp_calls = r.FindOrCreateCounter("treewalk_interp_atp_calls_total",
+                                           "atp() rule firings");
+      m->cache_hits = r.FindOrCreateCounter(
+          "treewalk_interp_selector_cache_total",
+          "Selector evaluations answered from the per-run cache",
+          {{"outcome", "hit"}});
+      m->cache_misses = r.FindOrCreateCounter(
+          "treewalk_interp_selector_cache_total",
+          "Selector evaluations answered from the per-run cache",
+          {{"outcome", "miss"}});
+      m->compiled_evals = r.FindOrCreateCounter(
+          "treewalk_interp_selector_evals_total",
+          "Actual selector evaluations by evaluator path",
+          {{"path", "compiled"}});
+      m->reference_evals = r.FindOrCreateCounter(
+          "treewalk_interp_selector_evals_total",
+          "Actual selector evaluations by evaluator path",
+          {{"path", "reference"}});
+      m->store_updates = r.FindOrCreateCounter(
+          "treewalk_interp_store_updates_total", "Register store writes");
+      m->compiled_eval_us = r.FindOrCreateHistogram(
+          "treewalk_interp_selector_eval_us",
+          "Selector evaluation latency by evaluator path", LatencyBucketsUs(),
+          {{"path", "compiled"}});
+      m->reference_eval_us = r.FindOrCreateHistogram(
+          "treewalk_interp_selector_eval_us",
+          "Selector evaluation latency by evaluator path", LatencyBucketsUs(),
+          {{"path", "reference"}});
+      return m;
+    }();
+    return *metrics;
+  }
+};
 
 /// Outcome of one (sub)computation.
 struct Outcome {
@@ -81,13 +146,16 @@ class Runner {
   }
 
   Result<RunResult> Run() {
-    TREEWALK_ASSIGN_OR_RETURN(
-        Outcome outcome,
+    Result<Outcome> outcome =
         Compute(tree_.root(), program_.initial_state(),
-                program_.initial_store(), /*depth=*/0));
+                program_.initial_store(), /*depth=*/0);
+    // Flush stats into the registry whether the run completed or
+    // aborted — observability counts work done, not work finished.
+    FlushMetrics();
+    if (!outcome.ok()) return outcome.status();
     RunResult result;
-    result.accepted = outcome.accepted;
-    result.reason = outcome.reason;
+    result.accepted = outcome->accepted;
+    result.reason = outcome->reason;
     result.stats = stats_;
     result.trace = std::move(trace_);
     return result;
@@ -293,10 +361,26 @@ class Runner {
       }
       if (it->second.has_value()) {
         ++stats_.compiled_selector_evals;
+        ScopedLatencyUs timer(InterpMetrics::Get().compiled_eval_us);
         return it->second->SelectFrom(origin);
       }
     }
+    ScopedLatencyUs timer(InterpMetrics::Get().reference_eval_us);
     return SelectNodes(tree_, selector, origin);
+  }
+
+  void FlushMetrics() const {
+    InterpMetrics& m = InterpMetrics::Get();
+    m.runs->Increment();
+    m.steps->Increment(stats_.steps);
+    m.subcomputations->Increment(stats_.subcomputations);
+    m.atp_calls->Increment(stats_.atp_calls);
+    m.cache_hits->Increment(stats_.selector_cache_hits);
+    m.cache_misses->Increment(stats_.selector_cache_misses);
+    m.compiled_evals->Increment(stats_.compiled_selector_evals);
+    m.reference_evals->Increment(stats_.selector_cache_misses -
+                                 stats_.compiled_selector_evals);
+    m.store_updates->Increment(stats_.store_updates);
   }
 
   static Result<Outcome> Rejected(RejectReason reason) {

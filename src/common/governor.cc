@@ -50,7 +50,10 @@ Status MemoryAccountant::Charge(MemoryCategory category, std::int64_t bytes) {
         " (" + Breakdown() + ")");
   }
   used_ += bytes;
-  by_category_[static_cast<int>(category)] += bytes;
+  std::int64_t& cat = by_category_[static_cast<int>(category)];
+  cat += bytes;
+  std::int64_t& cat_peak = peak_by_category_[static_cast<int>(category)];
+  if (cat > cat_peak) cat_peak = cat;
   if (used_ > peak_) peak_ = used_;
   return Status::Ok();
 }
@@ -77,6 +80,7 @@ std::string MemoryAccountant::Breakdown() const {
 
 Status ResourceGovernor::CheckDeadlineNow() {
   if (!deadline_.has_value()) return Status::Ok();
+  ++clock_reads_;
   auto now = std::chrono::steady_clock::now();
   if (now < *deadline_) return Status::Ok();
   auto over = std::chrono::duration_cast<std::chrono::milliseconds>(

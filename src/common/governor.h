@@ -53,6 +53,11 @@ class MemoryAccountant {
   std::int64_t used(MemoryCategory category) const {
     return by_category_[static_cast<int>(category)];
   }
+  /// High-water mark of one category over the accountant's lifetime
+  /// (exported as treewalk_governor_memory_peak_bytes{category=...}).
+  std::int64_t peak(MemoryCategory category) const {
+    return peak_by_category_[static_cast<int>(category)];
+  }
   /// True once any charge was rejected.
   bool tripped() const { return tripped_; }
 
@@ -66,6 +71,7 @@ class MemoryAccountant {
   std::int64_t peak_ = 0;
   bool tripped_ = false;
   std::array<std::int64_t, kNumMemoryCategories> by_category_{};
+  std::array<std::int64_t, kNumMemoryCategories> peak_by_category_{};
 };
 
 /// Per-job resource governor: a wall-clock deadline plus an optional
@@ -112,6 +118,15 @@ class ResourceGovernor {
   /// selector compilation) where the stride would be too lazy.
   Status CheckDeadlineNow();
 
+  /// Instrumentation: strided CheckDeadline() calls made while a
+  /// deadline was set, and how many of them actually read the clock.
+  /// The engine flushes these into the metrics registry per attempt
+  /// (treewalk_governor_deadline_polls_total / _clock_reads_total).
+  std::int64_t deadline_polls() const {
+    return static_cast<std::int64_t>(tick_);
+  }
+  std::int64_t deadline_clock_reads() const { return clock_reads_; }
+
   /// Memory charge; OK when no budget is attached.
   Status Charge(MemoryCategory category, std::int64_t bytes) {
     if (!accountant_.has_value()) return Status::Ok();
@@ -122,11 +137,12 @@ class ResourceGovernor {
   }
 
  private:
-  static constexpr std::uint32_t kDeadlineStride = 64;
+  static constexpr std::uint64_t kDeadlineStride = 64;
 
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::optional<MemoryAccountant> accountant_;
-  std::uint32_t tick_ = 0;
+  std::uint64_t tick_ = 0;
+  std::int64_t clock_reads_ = 0;
 };
 
 /// Null-safe helpers: the governor is optional nearly everywhere, and

@@ -4,16 +4,50 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "src/common/failpoint.h"
+#include "src/common/metrics.h"
 
 namespace treewalk {
 
 namespace {
+
+/// Journal instrument family, registered once per process
+/// (docs/OBSERVABILITY.md).
+struct JournalMetrics {
+  Counter* records;
+  Counter* bytes;
+  Counter* fsyncs;
+  Counter* errors;
+  Histogram* fsync_us;
+
+  static JournalMetrics& Get() {
+    static JournalMetrics* metrics = [] {
+      auto* m = new JournalMetrics;
+      MetricsRegistry& r = MetricsRegistry::Global();
+      m->records = r.FindOrCreateCounter(
+          "treewalk_journal_records_appended_total",
+          "WAL records appended (frames written)");
+      m->bytes = r.FindOrCreateCounter(
+          "treewalk_journal_bytes_appended_total",
+          "WAL bytes appended, including frame headers");
+      m->fsyncs = r.FindOrCreateCounter("treewalk_journal_fsyncs_total",
+                                        "Explicit and cadenced fsync calls");
+      m->errors = r.FindOrCreateCounter("treewalk_journal_fsync_errors_total",
+                                        "fsync calls that returned an error");
+      m->fsync_us = r.FindOrCreateHistogram(
+          "treewalk_journal_fsync_us", "fsync latency in microseconds",
+          LatencyBucketsUs());
+      return m;
+    }();
+    return *metrics;
+  }
+};
 
 /// CRC32C lookup table for the reflected polynomial 0x82F63B78,
 /// generated on first use.
@@ -260,6 +294,9 @@ Status JournalWriter::Append(std::string_view payload) {
   frame.append(payload);
   TREEWALK_RETURN_IF_ERROR(WriteAll(fd_, path_, frame));
   ++appended_;
+  JournalMetrics& metrics = JournalMetrics::Get();
+  metrics.records->Increment();
+  metrics.bytes->Increment(static_cast<std::int64_t>(frame.size()));
   if (sync_every_ > 0 && ++since_sync_ >= sync_every_) return Sync();
   return Status::Ok();
 }
@@ -267,7 +304,16 @@ Status JournalWriter::Append(std::string_view payload) {
 Status JournalWriter::Sync() {
   if (fd_ < 0) return FailedPrecondition("journal writer is closed");
   since_sync_ = 0;
-  return FsyncFd(fd_, path_);
+  auto start = std::chrono::steady_clock::now();
+  Status status = FsyncFd(fd_, path_);
+  JournalMetrics& metrics = JournalMetrics::Get();
+  metrics.fsyncs->Increment();
+  metrics.fsync_us->Observe(
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (!status.ok()) metrics.errors->Increment();
+  return status;
 }
 
 }  // namespace treewalk

@@ -9,12 +9,109 @@
 
 #include "src/common/failpoint.h"
 #include "src/common/governor.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/engine/batch_journal.h"
 #include "src/tree/delimited.h"
 
 namespace treewalk {
 
 namespace {
+
+/// Engine instrument family (docs/OBSERVABILITY.md).  The job/attempt
+/// counters are incremented in real time on the worker threads by the
+/// same predicates that later build EngineStats in job order, so a
+/// snapshot over a fresh registry reconciles exactly with the batch's
+/// EngineStats (asserted in tests/observability_test.cc).
+struct EngineMetrics {
+  Counter* jobs_accepted;
+  Counter* jobs_rejected;
+  Counter* jobs_failed;
+  Counter* jobs_cancelled;
+  Counter* attempts;
+  Counter* retries;
+  Counter* deadline_hits;
+  Counter* memory_trips;
+  Counter* degraded_successes;
+  Counter* governor_polls;
+  Counter* governor_clock_reads;
+  Gauge* jobs_running;
+  Gauge* workers;
+  Gauge* memory_peak[kNumMemoryCategories];
+  Histogram* job_latency_ms;
+  Histogram* queue_wait_ms;
+  Histogram* backoff_ms;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* metrics = [] {
+      auto* m = new EngineMetrics;
+      MetricsRegistry& r = MetricsRegistry::Global();
+      const char* jobs_help = "Batch jobs finished, by outcome (failed "
+                              "includes cancelled, as in EngineStats)";
+      m->jobs_accepted = r.FindOrCreateCounter(
+          "treewalk_engine_jobs_total", jobs_help, {{"status", "accepted"}});
+      m->jobs_rejected = r.FindOrCreateCounter(
+          "treewalk_engine_jobs_total", jobs_help, {{"status", "rejected"}});
+      m->jobs_failed = r.FindOrCreateCounter(
+          "treewalk_engine_jobs_total", jobs_help, {{"status", "failed"}});
+      m->jobs_cancelled = r.FindOrCreateCounter(
+          "treewalk_engine_jobs_total", jobs_help, {{"status", "cancelled"}});
+      m->attempts = r.FindOrCreateCounter("treewalk_engine_attempts_total",
+                                          "Job attempts started");
+      m->retries = r.FindOrCreateCounter(
+          "treewalk_engine_retries_total",
+          "Attempts beyond each job's first (RetryPolicy re-runs)");
+      m->deadline_hits = r.FindOrCreateCounter(
+          "treewalk_engine_deadline_hits_total",
+          "Attempts that failed with kDeadlineExceeded");
+      m->memory_trips = r.FindOrCreateCounter(
+          "treewalk_engine_memory_trips_total",
+          "Attempts whose memory budget rejected a charge");
+      m->degraded_successes = r.FindOrCreateCounter(
+          "treewalk_engine_degraded_successes_total",
+          "Jobs that succeeded on a degradation rung > 0");
+      m->governor_polls = r.FindOrCreateCounter(
+          "treewalk_governor_deadline_polls_total",
+          "Strided deadline polls at transition boundaries");
+      m->governor_clock_reads = r.FindOrCreateCounter(
+          "treewalk_governor_deadline_clock_reads_total",
+          "Deadline polls that actually read the steady clock");
+      m->jobs_running = r.FindOrCreateGauge(
+          "treewalk_engine_jobs_running",
+          "Jobs currently executing on a worker (worker utilization)");
+      m->workers = r.FindOrCreateGauge(
+          "treewalk_engine_workers",
+          "Worker threads of the most recent/current batch");
+      for (int c = 0; c < kNumMemoryCategories; ++c) {
+        m->memory_peak[c] = r.FindOrCreateGauge(
+            "treewalk_governor_memory_peak_bytes",
+            "High-water governor-tracked bytes per category (max over "
+            "attempts)",
+            {{"category", MemoryCategoryName(static_cast<MemoryCategory>(c))}});
+      }
+      m->job_latency_ms = r.FindOrCreateHistogram(
+          "treewalk_engine_job_latency_ms",
+          "Per-job wall time on a worker, retries and backoff included",
+          LatencyBucketsMs());
+      m->queue_wait_ms = r.FindOrCreateHistogram(
+          "treewalk_engine_queue_wait_ms",
+          "Time from batch start to a job's first attempt",
+          LatencyBucketsMs());
+      m->backoff_ms = r.FindOrCreateHistogram(
+          "treewalk_engine_backoff_ms",
+          "Retry backoff sleeps actually taken", LatencyBucketsMs());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 /// splitmix64, the backoff-jitter generator: deterministic across
 /// standard libraries (results never depend on it, only sleep lengths).
@@ -127,6 +224,12 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
   }
   cancel_.store(false, std::memory_order_relaxed);
 
+  EngineMetrics& metrics = EngineMetrics::Get();
+  Tracer& tracer = Tracer::Global();
+  ScopedSpan batch_span("batch", "\"jobs\":" + std::to_string(jobs.size()));
+  const auto batch_start = std::chrono::steady_clock::now();
+  const std::uint64_t batch_start_us = tracer.NowMicros();
+
   BatchResult batch;
   batch.results.resize(jobs.size());
 
@@ -147,6 +250,10 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
   // One attempt of job i on degradation rung `rung`; status + run out.
   auto run_attempt = [&](std::size_t i, int rung, JobResult::Attempt& attempt,
                          RunResult& run) {
+    ScopedSpan attempt_span("attempt", "\"job\":" + std::to_string(i) +
+                                           ",\"rung\":" +
+                                           std::to_string(rung));
+    metrics.attempts->Increment();
     RunOptions options = jobs[i].options;
     options.cancel = &cancel_;
     ApplyRung(rung, jobs[i].retry, options);
@@ -181,8 +288,19 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
     attempt.status = status;
     attempt.memory_tripped =
         governor.accountant() != nullptr && governor.accountant()->tripped();
+    // Per-attempt governor flush: the governor itself stays counter-free
+    // (it sits on the per-transition hot path), the engine folds its
+    // totals into the registry once the attempt is over.
+    metrics.governor_polls->Increment(governor.deadline_polls());
+    metrics.governor_clock_reads->Increment(governor.deadline_clock_reads());
+    if (const MemoryAccountant* accountant = governor.accountant()) {
+      for (int c = 0; c < kNumMemoryCategories; ++c) {
+        metrics.memory_peak[c]->UpdateMax(
+            accountant->peak(static_cast<MemoryCategory>(c)));
+      }
+    }
   };
-  auto run_job = [&](std::size_t i) {
+  auto run_job_impl = [&](std::size_t i) {
     JobResult& out = batch.results[i];
     // Journal sink for this job (write-ahead: started before each
     // attempt, one terminal finished after the last).  Jobs without a
@@ -190,6 +308,7 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
     const bool journaled = journal != nullptr && jobs[i].job_id != 0;
     auto journal_finished = [&]() {
       if (!journaled) return;
+      ScopedSpan span("journal-append", "\"job\":" + std::to_string(i));
       int final_rung = out.attempts.empty() ? 0 : out.attempts.back().rung;
       journal->RecordFinished(jobs[i].job_id, out.status.code(),
                               out.status.ok() && out.run.accepted,
@@ -221,11 +340,17 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
       }
       int rung = retry.degrade ? std::min(attempt_no, 3) : 0;
       if (journaled) {
+        ScopedSpan span("journal-append", "\"job\":" + std::to_string(i));
         journal->RecordStarted(jobs[i].job_id, attempt_no, rung);
       }
+      if (attempt_no > 0) metrics.retries->Increment();
       JobResult::Attempt attempt;
       RunResult run;
       run_attempt(i, rung, attempt, run);
+      if (attempt.status.code() == StatusCode::kDeadlineExceeded) {
+        metrics.deadline_hits->Increment();
+      }
+      if (attempt.memory_tripped) metrics.memory_trips->Increment();
       out.attempts.push_back(attempt);
       out.status = attempt.status;
       if (attempt.status.ok()) {
@@ -240,8 +365,50 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
       }
       std::int64_t backoff_ms =
           JitteredBackoffMs(retry, attempt_no, rng_state);
-      if (backoff_ms > 0) SleepUnlessCancelled(backoff_ms, cancel_);
+      if (backoff_ms > 0) {
+        metrics.backoff_ms->Observe(static_cast<double>(backoff_ms));
+        ScopedSpan backoff_span("backoff", "\"job\":" + std::to_string(i) +
+                                               ",\"ms\":" +
+                                               std::to_string(backoff_ms));
+        SleepUnlessCancelled(backoff_ms, cancel_);
+      }
     }
+  };
+  auto run_job = [&](std::size_t i) {
+    metrics.jobs_running->Add(1);
+    const auto job_start = std::chrono::steady_clock::now();
+    metrics.queue_wait_ms->Observe(
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            job_start - batch_start)
+            .count());
+    if (tracer.enabled()) {
+      tracer.RecordComplete("queue-wait", "\"job\":" + std::to_string(i),
+                            batch_start_us,
+                            tracer.NowMicros() - batch_start_us);
+    }
+    {
+      ScopedSpan job_span("job", "\"job\":" + std::to_string(i));
+      run_job_impl(i);
+    }
+    // Mirror the EngineStats aggregation predicates below, so a snapshot
+    // over a fresh registry reconciles exactly (BatchResult contract).
+    const JobResult& out = batch.results[i];
+    if (!out.status.ok()) {
+      metrics.jobs_failed->Increment();
+      if (out.status.code() == StatusCode::kCancelled) {
+        metrics.jobs_cancelled->Increment();
+      }
+    } else if (out.run.accepted) {
+      metrics.jobs_accepted->Increment();
+    } else {
+      metrics.jobs_rejected->Increment();
+    }
+    if (out.status.ok() && !out.attempts.empty() &&
+        out.attempts.back().rung > 0) {
+      metrics.degraded_successes->Increment();
+    }
+    metrics.job_latency_ms->Observe(MillisSince(job_start));
+    metrics.jobs_running->Add(-1);
   };
   auto worker = [&]() {
     while (true) {
@@ -255,6 +422,7 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
   if (static_cast<std::size_t>(num_threads) > jobs.size()) {
     num_threads = static_cast<int>(jobs.size());
   }
+  metrics.workers->Set(num_threads);
   if (num_threads <= 1) {
     worker();
   } else {
@@ -298,6 +466,7 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
     batch.stats.compiled_selector_evals += r.run.stats.compiled_selector_evals;
     batch.stats.store_updates += r.run.stats.store_updates;
   }
+  batch.metrics = MetricsRegistry::Global().Snapshot();
   return batch;
 }
 

@@ -7,6 +7,7 @@
 
 #include "src/automata/interpreter.h"
 #include "src/automata/program.h"
+#include "src/common/metrics.h"
 #include "src/common/result.h"
 #include "src/tree/tree.h"
 
@@ -129,6 +130,13 @@ struct BatchResult {
   /// Index-aligned with the submitted jobs.
   std::vector<JobResult> results;
   EngineStats stats;
+  /// Process-global registry snapshot taken as the batch returns
+  /// (docs/OBSERVABILITY.md).  The engine-family counters are
+  /// incremented by the exact rules that build `stats`, so on a
+  /// fresh registry the two reconcile exactly; unlike `stats`, the
+  /// snapshot also counts the work of *failed* attempts and carries
+  /// latency histograms.  Empty when built with -DTREEWALK_METRICS=OFF.
+  MetricsSnapshot metrics;
 };
 
 struct EngineOptions {

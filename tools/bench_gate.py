@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares fresh Google-Benchmark JSON files (written by the `bench`
+ctest configuration, e.g. build-release/bench/BENCH_selectors.json)
+against the committed baselines at the repository root and fails when
+any series regresses by more than the threshold (default 25%).
+
+    tools/bench_gate.py --fresh-dir build-release/bench --baseline-dir .
+    tools/bench_gate.py --fresh BENCH_selectors.json=build-release/bench/BENCH_selectors.json
+
+Series are matched by exact benchmark name; a series present on only
+one side is reported but never fails the gate (benchmarks come and go).
+Aggregate rows (_mean/_median/_stddev/_cv) are skipped — with
+--benchmark_repetitions they would double-count, and single-run rows
+are what the baselines hold.
+
+Baseline refresh (see docs/OBSERVABILITY.md): after an intentional
+perf change, regenerate on a quiet machine and commit the new files:
+
+    cmake --preset release && cmake --build --preset release -j
+    (cd build-release && ctest -C bench -L bench)
+    cp build-release/bench/BENCH_*.json .
+
+Exit codes: 0 ok (including "no baseline found"), 1 regression, 2 bad
+invocation or malformed JSON.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+AGGREGATE_SUFFIXES = ("_mean", "_median", "_stddev", "_cv", "_BigO", "_RMS")
+
+
+def load_series(path):
+    """name -> cpu_time in ns for every non-aggregate benchmark row."""
+    with open(path) as f:
+        doc = json.load(f)
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    series = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("name", "")
+        if not name or name.endswith(AGGREGATE_SUFFIXES):
+            continue
+        if row.get("run_type") == "aggregate":
+            continue
+        cpu = row.get("cpu_time")
+        if cpu is None:
+            continue
+        series[name] = cpu * unit_ns.get(row.get("time_unit", "ns"), 1.0)
+    return series
+
+
+def compare(baseline_path, fresh_path, threshold, report):
+    baseline = load_series(baseline_path)
+    fresh = load_series(fresh_path)
+    regressions = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in baseline:
+            report.append(f"  NEW      {name} (no baseline; not gated)")
+            continue
+        if name not in fresh:
+            report.append(f"  GONE     {name} (in baseline only)")
+            continue
+        base, cur = baseline[name], fresh[name]
+        if base <= 0:
+            continue
+        ratio = cur / base
+        tag = "OK"
+        if ratio > 1 + threshold:
+            tag = "REGRESS"
+            regressions.append((name, ratio))
+        elif ratio < 1 - threshold:
+            tag = "FASTER"
+        report.append(
+            f"  {tag:8} {name}: {base:.0f}ns -> {cur:.0f}ns "
+            f"({(ratio - 1) * 100:+.1f}%)"
+        )
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail CI on >threshold benchmark regressions"
+    )
+    parser.add_argument(
+        "--fresh-dir", help="directory holding freshly generated BENCH_*.json"
+    )
+    parser.add_argument(
+        "--baseline-dir", default=".", help="directory with committed baselines"
+    )
+    parser.add_argument(
+        "--fresh",
+        action="append",
+        default=[],
+        metavar="BASENAME=PATH",
+        help="explicit baseline-basename=fresh-path pair (repeatable)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional cpu-time regression that fails the gate "
+        "(default 0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    pairs = []  # (baseline_path, fresh_path)
+    for spec in args.fresh:
+        if "=" not in spec:
+            print(f"bench_gate: bad --fresh '{spec}' (want BASENAME=PATH)")
+            return 2
+        basename, path = spec.split("=", 1)
+        pairs.append((os.path.join(args.baseline_dir, basename), path))
+    if args.fresh_dir:
+        for path in sorted(glob.glob(os.path.join(args.fresh_dir, "BENCH_*.json"))):
+            pairs.append(
+                (os.path.join(args.baseline_dir, os.path.basename(path)), path)
+            )
+    if not pairs:
+        print("bench_gate: nothing to compare (no --fresh/--fresh-dir matches)")
+        return 2
+
+    all_regressions = []
+    for baseline_path, fresh_path in pairs:
+        name = os.path.basename(fresh_path)
+        if not os.path.exists(fresh_path):
+            print(f"bench_gate: fresh file missing: {fresh_path}")
+            return 2
+        if not os.path.exists(baseline_path):
+            print(f"bench_gate: {name}: no committed baseline; skipping "
+                  f"(commit {baseline_path} to gate it)")
+            continue
+        report = []
+        try:
+            regressions = compare(
+                baseline_path, fresh_path, args.threshold, report
+            )
+        except (json.JSONDecodeError, OSError) as e:
+            print(f"bench_gate: {name}: {e}")
+            return 2
+        print(f"bench_gate: {name} vs {baseline_path} "
+              f"(threshold {args.threshold:.0%}):")
+        print("\n".join(report))
+        all_regressions += [(name, s, r) for s, r in regressions]
+
+    if all_regressions:
+        print("bench_gate: FAIL — regressions over threshold:")
+        for name, series, ratio in all_regressions:
+            print(f"  {name}: {series} {(ratio - 1) * 100:+.1f}%")
+        return 1
+    print("bench_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,17 @@
 //       any job has more than one terminal JobFinished record (an
 //       exactly-once violation).
 //
+// Global options (any subcommand, docs/OBSERVABILITY.md):
+//   --metrics-out <file>   Write a metrics snapshot at exit: Prometheus
+//                          text exposition v0.0.4, or JSON when <file>
+//                          ends in .json.
+//   --trace-out <file>     Record spans for the whole invocation and
+//                          write Chrome trace-event JSON at exit (load
+//                          in chrome://tracing or ui.perfetto.dev).
+//
+// `twq batch` additionally prints a progress line to stderr every 500ms
+// (jobs done/failed/running, p95 job latency) unless --quiet is given.
+//
 // Trees are read as the compact term syntax (a[x=1](b, c)) unless the
 // file ends in .xml.
 
@@ -54,6 +65,8 @@
 #include "src/automata/interpreter.h"
 #include "src/automata/text_format.h"
 #include "src/caterpillar/caterpillar.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/engine/batch_journal.h"
 #include "src/engine/engine.h"
 #include "src/engine/manifest.h"
@@ -369,9 +382,44 @@ int CmdBatch(int argc, char** argv) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
       }
     });
+    // Progress reporter: snapshots the metrics registry every 500ms and
+    // prints one stderr line — immediately on start (so even an instant
+    // batch reports once) and once more after the batch drains.
+    std::thread progress;
+    if (!quiet) {
+      std::size_t total = jobs.size();
+      progress = std::thread([&, total]() {
+        while (true) {
+          tw::MetricsSnapshot snap = tw::MetricsRegistry::Global().Snapshot();
+          std::int64_t failed =
+              snap.Value("treewalk_engine_jobs_total", "failed");
+          std::int64_t done =
+              snap.Value("treewalk_engine_jobs_total", "accepted") +
+              snap.Value("treewalk_engine_jobs_total", "rejected") + failed;
+          std::int64_t running = snap.Value("treewalk_engine_jobs_running");
+          double p95 = 0;
+          if (const tw::MetricSample* s =
+                  snap.Find("treewalk_engine_job_latency_ms")) {
+            p95 = s->histogram.p95();
+          }
+          std::fprintf(stderr,
+                       "progress: %lld/%zu jobs done, %lld failed, "
+                       "%lld running, p95=%.2fms\n",
+                       static_cast<long long>(done), total,
+                       static_cast<long long>(failed),
+                       static_cast<long long>(running), p95);
+          if (batch_done.load(std::memory_order_relaxed)) return;
+          for (int t = 0; t < 10; ++t) {
+            if (batch_done.load(std::memory_order_relaxed)) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }
+      });
+    }
     auto run = engine.RunBatch(jobs, journal.get());
     batch_done.store(true, std::memory_order_relaxed);
     monitor.join();
+    if (progress.joinable()) progress.join();
     if (!run.ok()) return Fail("batch: " + run.status().ToString());
     batch = std::move(run).value();
   }
@@ -520,19 +568,88 @@ int CmdCat(int argc, char** argv) {
   return 0;
 }
 
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (out) {
+    out << content;
+    out.flush();
+  }
+  if (!out) {
+    std::fprintf(stderr, "twq: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    return Fail("usage: twq <run|xpath|check|cat|batch|journal> ...  "
+  // Global observability flags work with every subcommand; strip them
+  // before dispatch.
+  std::string metrics_out, trace_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) {
+    return Fail("usage: twq <run|xpath|check|cat|batch|journal> "
+                "[--metrics-out <file>] [--trace-out <file>] ...  "
                 "(see file header)");
   }
-  std::string command = argv[1];
-  if (command == "run") return CmdRun(argc - 2, argv + 2);
-  if (command == "xpath") return CmdXPath(argc - 2, argv + 2);
-  if (command == "check") return CmdCheck(argc - 2, argv + 2);
-  if (command == "cat") return CmdCat(argc - 2, argv + 2);
-  if (command == "batch") return CmdBatch(argc - 2, argv + 2);
-  if (command == "journal") return CmdJournal(argc - 2, argv + 2);
-  return Fail("unknown command '" + command + "'");
+  if (!trace_out.empty()) tw::Tracer::Global().Enable();
+
+  std::string command = args[1];
+  int sub_argc = static_cast<int>(args.size()) - 2;
+  char** sub_argv = args.data() + 2;
+  int code;
+  if (command == "run") {
+    code = CmdRun(sub_argc, sub_argv);
+  } else if (command == "xpath") {
+    code = CmdXPath(sub_argc, sub_argv);
+  } else if (command == "check") {
+    code = CmdCheck(sub_argc, sub_argv);
+  } else if (command == "cat") {
+    code = CmdCat(sub_argc, sub_argv);
+  } else if (command == "batch") {
+    code = CmdBatch(sub_argc, sub_argv);
+  } else if (command == "journal") {
+    code = CmdJournal(sub_argc, sub_argv);
+  } else {
+    code = Fail("unknown command '" + command + "'");
+  }
+
+  // Written even when the command failed: a failed run's metrics and
+  // trace are exactly what you want to look at.
+  if (!metrics_out.empty()) {
+    tw::MetricsSnapshot snap = tw::MetricsRegistry::Global().Snapshot();
+    std::string content = EndsWith(metrics_out, ".json")
+                              ? snap.ToJson()
+                              : snap.ToPrometheusText();
+    if (!WriteTextFile(metrics_out, content) && code == 0) code = 1;
+  }
+  if (!trace_out.empty()) {
+    tw::Tracer& tracer = tw::Tracer::Global();
+    tracer.Disable();
+    if (!WriteTextFile(trace_out, tracer.ChromeTraceJson()) && code == 0) {
+      code = 1;
+    }
+    if (tracer.dropped() > 0) {
+      std::fprintf(stderr,
+                   "twq: trace buffer full, %llu span(s) dropped\n",
+                   static_cast<unsigned long long>(tracer.dropped()));
+    }
+  }
+  return code;
 }
