@@ -51,6 +51,8 @@ struct InterpMetrics {
   Counter* cache_misses;
   Counter* compiled_evals;
   Counter* reference_evals;
+  Counter* interval_evals;
+  Counter* dense_evals;
   Counter* store_updates;
   Histogram* compiled_eval_us;
   Histogram* reference_eval_us;
@@ -84,6 +86,14 @@ struct InterpMetrics {
           "treewalk_interp_selector_evals_total",
           "Actual selector evaluations by evaluator path",
           {{"path", "reference"}});
+      m->interval_evals = r.FindOrCreateCounter(
+          "treewalk_interp_selector_repr_total",
+          "Compiled selector evaluations by matrix representation",
+          {{"repr", "interval"}});
+      m->dense_evals = r.FindOrCreateCounter(
+          "treewalk_interp_selector_repr_total",
+          "Compiled selector evaluations by matrix representation",
+          {{"repr", "dense"}});
       m->store_updates = r.FindOrCreateCounter(
           "treewalk_interp_store_updates_total", "Register store writes");
       m->compiled_eval_us = r.FindOrCreateHistogram(
@@ -337,8 +347,8 @@ class Runner {
           // as the run's error rather than in a getter.
           TREEWALK_RETURN_IF_ERROR(axis_index_->status());
         }
-        Result<CompiledSelector> compiled = CompileSelector(*axis_index_,
-                                                            selector);
+        Result<CompiledSelector> compiled = CompileSelector(
+            *axis_index_, selector, "x", "y", options_.axis_repr);
         if (!compiled.ok() &&
             (compiled.status().code() == StatusCode::kResourceExhausted ||
              compiled.status().code() == StatusCode::kDeadlineExceeded)) {
@@ -361,6 +371,11 @@ class Runner {
       }
       if (it->second.has_value()) {
         ++stats_.compiled_selector_evals;
+        if (it->second->repr() == AxisRepr::kInterval) {
+          ++stats_.interval_selector_evals;
+        } else {
+          ++stats_.dense_selector_evals;
+        }
         ScopedLatencyUs timer(InterpMetrics::Get().compiled_eval_us);
         return it->second->SelectFrom(origin);
       }
@@ -380,6 +395,8 @@ class Runner {
     m.compiled_evals->Increment(stats_.compiled_selector_evals);
     m.reference_evals->Increment(stats_.selector_cache_misses -
                                  stats_.compiled_selector_evals);
+    m.interval_evals->Increment(stats_.interval_selector_evals);
+    m.dense_evals->Increment(stats_.dense_selector_evals);
     m.store_updates->Increment(stats_.store_updates);
   }
 

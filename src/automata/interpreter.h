@@ -9,6 +9,7 @@
 #include "src/automata/program.h"
 #include "src/common/governor.h"
 #include "src/common/result.h"
+#include "src/tree/axis_index.h"
 #include "src/tree/delimited.h"
 #include "src/tree/tree.h"
 
@@ -48,6 +49,13 @@ struct RunOptions {
   /// back to the reference evaluator, so this is semantically
   /// invisible; turn off to ablate or to force the reference path.
   bool compile_selectors = true;
+  /// Matrix representation for compiled selectors (src/tree/axis_index.h):
+  /// kAuto picks dense for small trees and interval spans for large
+  /// ones; kInterval / kDense force one.  Both produce identical
+  /// answers — this trades O(n^2) bitset matrices against O(n·spans)
+  /// pre-order interval lists, which is what lets compiled evaluation
+  /// (and a linear memory budget) survive million-node inputs.
+  AxisRepr axis_repr = AxisRepr::kAuto;
   /// Cooperative cancellation: when non-null and set, the run aborts
   /// with kCancelled at the next transition boundary.  The pointee must
   /// outlive the run; src/engine points every job of a batch at one
@@ -87,6 +95,10 @@ struct RunStats {
   /// evaluator (subset of selector_cache_misses when the cache is on);
   /// misses beyond this count fell back to the reference evaluator.
   std::int64_t compiled_selector_evals = 0;
+  /// compiled_selector_evals split by the matrix representation the
+  /// serving selector compiled under (RunOptions::axis_repr, resolved).
+  std::int64_t interval_selector_evals = 0;
+  std::int64_t dense_selector_evals = 0;
   /// Register writes (update rules and look-ahead collections).
   std::int64_t store_updates = 0;
   std::size_t max_store_tuples = 0;

@@ -464,6 +464,8 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
     batch.stats.selector_cache_hits += r.run.stats.selector_cache_hits;
     batch.stats.selector_cache_misses += r.run.stats.selector_cache_misses;
     batch.stats.compiled_selector_evals += r.run.stats.compiled_selector_evals;
+    batch.stats.interval_selector_evals += r.run.stats.interval_selector_evals;
+    batch.stats.dense_selector_evals += r.run.stats.dense_selector_evals;
     batch.stats.store_updates += r.run.stats.store_updates;
   }
   batch.metrics = MetricsRegistry::Global().Snapshot();

@@ -113,6 +113,10 @@ struct EngineStats {
   std::int64_t selector_cache_hits = 0;
   std::int64_t selector_cache_misses = 0;
   std::int64_t compiled_selector_evals = 0;
+  /// compiled_selector_evals split by matrix representation
+  /// (RunOptions::axis_repr).
+  std::int64_t interval_selector_evals = 0;
+  std::int64_t dense_selector_evals = 0;
   std::int64_t store_updates = 0;
   /// Attempts that failed with kDeadlineExceeded.
   std::int64_t deadline_hits = 0;

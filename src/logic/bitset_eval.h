@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/tree/axis_index.h"
+#include "src/tree/interval_matrix.h"
 #include "src/tree/tree.h"
 
 namespace treewalk {
@@ -23,6 +24,14 @@ namespace treewalk {
 /// word-parallel pass (kCompose, the existential join, is O(n^3/64)
 /// worst case).  Shapes and variable bookkeeping live entirely in the
 /// compiler; the ops here are shape-correct by construction.
+///
+/// The Mat shape has two interchangeable carriers, chosen per
+/// compilation by AxisRepr (src/tree/axis_index.h): dense NodeMatrix
+/// rows, or span-compressed IntervalMatrix rows
+/// (src/tree/interval_matrix.h) whose axis loads, range algebra, and
+/// guarded joins stay O(n·spans) instead of O(n^2) — the representation
+/// that reaches million-node trees.  A compilation is homogeneous: all
+/// Mat-shaped ops of one program carry the same representation.
 enum class OpKind : std::uint8_t {
   kConstBool,   ///< literal truth value
   kLoadSet,     ///< precomputed NodeSet (axis-index unary predicate)
@@ -43,25 +52,37 @@ enum class OpKind : std::uint8_t {
   kAllRow,      ///< Mat -> Set: {u : forall v M[u][v]} (forall on cols)
   kAnySet,      ///< Set -> Bool: nonempty
   kAllSet,      ///< Set -> Bool: full
-  kCompose,     ///< Mats P, Q -> Mat R: R[u][v] = exists w P[u][w] & Q[v][w]
+  kCompose,     ///< Mats P, Q (opt. Set guard C) -> Mat R:
+                ///< R[u][v] = exists w P[u][w] & Q[v][w] & (c < 0 || C[w])
 };
 
 struct Op {
   OpKind kind = OpKind::kConstBool;
   int a = -1;  ///< first operand op index
   int b = -1;  ///< second operand op index
-  bool literal = false;                   ///< kConstBool
+  /// kCompose: op index of an optional Set-shaped guard on the joined
+  /// variable w, or -1 for an unguarded join.  Folding the quantified
+  /// variable's unary constraints here (instead of broadcasting them to
+  /// a matrix and intersecting) is what keeps interval joins narrow.
+  int c = -1;
+  bool literal = false;  ///< kConstBool
+  /// kSetToMatRow/kSetToMatCol: produce an IntervalMatrix broadcast
+  /// instead of a dense one (the compiler sets this under kInterval).
+  bool interval = false;
   std::shared_ptr<const NodeSet> set;     ///< kLoadSet
-  std::shared_ptr<const NodeMatrix> mat;  ///< kLoadMat
+  std::shared_ptr<const NodeMatrix> mat;  ///< kLoadMat (dense repr)
+  std::shared_ptr<const IntervalMatrix> imat;  ///< kLoadMat (interval repr)
 };
 
 /// One evaluated op result; exactly one field is active per the op's
-/// shape.  Loads alias their precomputed payload, so evaluating a
-/// program allocates only for derived ops.
+/// shape (Mat-shaped values carry `mat` or `imat`, never both).  Loads
+/// alias their precomputed payload, so evaluating a program allocates
+/// only for derived ops.
 struct OpValue {
   bool b = false;
   std::shared_ptr<const NodeSet> set;
   std::shared_ptr<const NodeMatrix> mat;
+  std::shared_ptr<const IntervalMatrix> imat;
 };
 
 /// Evaluates `ops` (children always precede parents) over a domain of
@@ -98,9 +119,15 @@ class CompiledSelector {
   std::size_t tree_size() const { return n_; }
 
   /// Approximate heap bytes the materialized payload retains (0 for a
-  /// constant, one bitset row for a set, n rows for a matrix); what a
-  /// caller keeping the selector alive charges its memory budget.
+  /// constant, one bitset row for a set, n rows for a matrix, the
+  /// descriptor+pool footprint for an interval matrix); what a caller
+  /// keeping the selector alive charges its memory budget.
   std::int64_t RetainedBytes() const;
+
+  /// Which matrix representation this selector was compiled under:
+  /// kDense or kInterval (never kAuto — resolved at compile time),
+  /// reported even when the result degenerated to a set or constant.
+  AxisRepr repr() const { return repr_; }
 
  private:
   friend class Compiler;
@@ -111,9 +138,11 @@ class CompiledSelector {
 
   std::size_t n_ = 0;
   Shape shape_ = Shape::kBool;
+  AxisRepr repr_ = AxisRepr::kDense;
   bool literal_ = false;
   std::shared_ptr<const NodeSet> set_;
-  std::shared_ptr<const NodeMatrix> mat_;  // rows = x, cols = y
+  std::shared_ptr<const NodeMatrix> mat_;       // rows = x, cols = y
+  std::shared_ptr<const IntervalMatrix> imat_;  // same, interval repr
 };
 
 /// A sentence compiled and evaluated against one tree.  Build with

@@ -11,6 +11,7 @@
 
 #include "src/common/failpoint.h"
 #include "src/logic/normalize.h"
+#include "src/tree/interval_matrix.h"
 
 namespace treewalk {
 
@@ -24,6 +25,10 @@ std::shared_ptr<const NodeSet> Alias(const NodeSet& s) {
 }
 std::shared_ptr<const NodeMatrix> Alias(const NodeMatrix& m) {
   return std::shared_ptr<const NodeMatrix>(std::shared_ptr<const void>(), &m);
+}
+std::shared_ptr<const IntervalMatrix> Alias(const IntervalMatrix& m) {
+  return std::shared_ptr<const IntervalMatrix>(std::shared_ptr<const void>(),
+                                               &m);
 }
 
 void FlattenConnective(FormulaKind kind, const Formula& f,
@@ -47,9 +52,10 @@ bool MentionsVar(const Formula& f, const std::string& v) {
 /// befriend it.
 class Compiler {
  public:
-  explicit Compiler(const AxisIndex& index)
+  Compiler(const AxisIndex& index, AxisRepr repr)
       : index_(index), tree_(index.tree()), n_(index.size()),
-        governor_(index.governor()) {}
+        governor_(index.governor()),
+        repr_(ResolveAxisRepr(repr, index.size())) {}
 
   Result<CompiledSelector> Selector(const Formula& formula,
                                     const std::string& x,
@@ -77,6 +83,7 @@ class Compiler {
                               EvaluateOpsGoverned(ops_, n_, governor_));
     CompiledSelector out;
     out.n_ = n_;
+    out.repr_ = repr_;
     switch (v.shape) {
       case Shape::kBool:
         out.shape_ = CompiledSelector::Shape::kBool;
@@ -90,7 +97,14 @@ class Compiler {
       case Shape::kMat:
         assert(v.a == 0 && v.b == 1);
         out.shape_ = CompiledSelector::Shape::kMat;
-        out.mat_ = std::make_shared<NodeMatrix>(*vals[v.op].mat);
+        // The interval copy shares (co-owns) the evaluation's immutable
+        // span pools, so it stays self-contained after the index dies
+        // without re-materializing anything.
+        if (vals[v.op].imat != nullptr) {
+          out.imat_ = std::make_shared<IntervalMatrix>(*vals[v.op].imat);
+        } else {
+          out.mat_ = std::make_shared<NodeMatrix>(*vals[v.op].mat);
+        }
         break;
     }
     return out;
@@ -162,10 +176,22 @@ class Compiler {
     op.mat = std::move(m);
     return Emit(std::move(op), extra);
   }
+  int EmitLoadIMat(std::shared_ptr<const IntervalMatrix> m) {
+    std::uint64_t extra = reinterpret_cast<std::uintptr_t>(m.get());
+    Op op;
+    op.kind = OpKind::kLoadMat;
+    op.imat = std::move(m);
+    return Emit(std::move(op), extra);
+  }
   int Emit1(OpKind kind, int a) {
     Op op;
     op.kind = kind;
     op.a = a;
+    // One Compiler compiles under one representation, so the flag needs
+    // no slot in the hash-cons key.
+    if (kind == OpKind::kSetToMatRow || kind == OpKind::kSetToMatCol) {
+      op.interval = interval();
+    }
     return Emit(std::move(op), 0);
   }
   int Emit2(OpKind kind, int a, int b) {
@@ -174,6 +200,16 @@ class Compiler {
     op.a = a;
     op.b = b;
     return Emit(std::move(op), 0);
+  }
+  int EmitCompose(int a, int b, int guard) {
+    Op op;
+    op.kind = OpKind::kCompose;
+    op.a = a;
+    op.b = b;
+    op.c = guard;
+    // guard participates in identity: same (P, Q) under different
+    // guards are different joins.
+    return Emit(std::move(op), static_cast<std::uint64_t>(guard + 1));
   }
 
   // --- Shape algebra. -------------------------------------------------
@@ -533,11 +569,20 @@ class Compiler {
     ++it;
     int slot_b = it->first;
     TREEWALK_ASSIGN_OR_RETURN(Val mat_b, CombineAll(exists, it->second));
-    // Fold guards that mention only w into one side.
+    // Fold parts that mention only w into the join's guard set: the
+    // composition then tests C[w] per joined member instead of paying
+    // for a column-broadcast matrix and an intersection — on the
+    // interval representation that broadcast is the difference between
+    // an O(n + spans) join and an O(n * spans) one.  Under the forall
+    // dual (forall w (P | Q | S) = !exists w (!P & !Q & !S)) the guard
+    // is the complement of the disjoined w-sets.
+    int guard = -1;
     for (const Val& s : wsets) {
-      Val lifted = MatVal(Emit1(OpKind::kSetToMatCol, s.op), slot_a, slot_w);
-      TREEWALK_ASSIGN_OR_RETURN(mat_a, Combine(exists, mat_a, lifted));
+      guard = guard < 0 ? s.op
+                        : Emit2(exists ? OpKind::kAndSet : OpKind::kOrSet,
+                                guard, s.op);
     }
+    if (guard >= 0 && !exists) guard = Emit1(OpKind::kNotSet, guard);
     int pa = mat_a.op, pb = mat_b.op;
     if (!exists) {
       pa = Emit1(OpKind::kNotMat, pa);
@@ -545,8 +590,8 @@ class Compiler {
     }
     // kCompose rows come from the first operand; order so the smaller
     // slot is the row, keeping the result canonical.
-    int composed = slot_a < slot_b ? Emit2(OpKind::kCompose, pa, pb)
-                                   : Emit2(OpKind::kCompose, pb, pa);
+    int composed = slot_a < slot_b ? EmitCompose(pa, pb, guard)
+                                   : EmitCompose(pb, pa, guard);
     if (!exists) composed = Emit1(OpKind::kNotMat, composed);
     int row = slot_a < slot_b ? slot_a : slot_b;
     int col = slot_a < slot_b ? slot_b : slot_a;
@@ -567,24 +612,18 @@ class Compiler {
         return UnarySet(node.terms[0], index_.LastChildren());
       case AtomKind::kLabel:
         return UnarySet(node.terms[0], index_.LabelSet(node.symbol));
-      case AtomKind::kEdge: {
-        TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m, index_.TryEdgeMatrix());
-        return BinaryAxis(node, *m);
-      }
-      case AtomKind::kSibling: {
-        TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m,
-                                  index_.TrySiblingMatrix());
-        return BinaryAxis(node, *m);
-      }
-      case AtomKind::kDescendant: {
-        TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m,
-                                  index_.TryDescendantMatrix());
-        return BinaryAxis(node, *m);
-      }
-      case AtomKind::kSucc: {
-        TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m, index_.TrySuccMatrix());
-        return BinaryAxis(node, *m);
-      }
+      case AtomKind::kEdge:
+        return AxisAtom(node, &AxisIndex::TryEdgeMatrix,
+                        &AxisIndex::TryEdgeIntervals);
+      case AtomKind::kSibling:
+        return AxisAtom(node, &AxisIndex::TrySiblingMatrix,
+                        &AxisIndex::TrySiblingIntervals);
+      case AtomKind::kDescendant:
+        return AxisAtom(node, &AxisIndex::TryDescendantMatrix,
+                        &AxisIndex::TryDescendantIntervals);
+      case AtomKind::kSucc:
+        return AxisAtom(node, &AxisIndex::TrySuccMatrix,
+                        &AxisIndex::TrySuccIntervals);
       case AtomKind::kEq: {
         const Term& a = node.terms[0];
         const Term& b = node.terms[1];
@@ -600,6 +639,20 @@ class Compiler {
   Result<Val> UnarySet(const Term& t, const NodeSet& s) {
     TREEWALK_ASSIGN_OR_RETURN(int slot, SlotOf(t.var));
     return SetVal(EmitLoadSet(Alias(s)), slot);
+  }
+
+  /// Loads the axis relation named by the (dense, interval) accessor
+  /// pair in this compilation's representation.
+  Result<Val> AxisAtom(const FormulaNode& node,
+                       Result<const NodeMatrix*> (AxisIndex::*dense)() const,
+                       Result<const IntervalMatrix*> (AxisIndex::*spans)()
+                           const) {
+    if (interval()) {
+      TREEWALK_ASSIGN_OR_RETURN(const IntervalMatrix* m, (index_.*spans)());
+      return BinaryAxis(node, *m);
+    }
+    TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* m, (index_.*dense)());
+    return BinaryAxis(node, *m);
   }
 
   /// Irreflexive axis relation R(u, v): loads R (or its cached
@@ -619,6 +672,20 @@ class Compiler {
     return MatVal(EmitLoadMat(std::move(t)), sv, su);
   }
 
+  Result<Val> BinaryAxis(const FormulaNode& node, const IntervalMatrix& rel) {
+    TREEWALK_ASSIGN_OR_RETURN(int su, SlotOf(node.terms[0].var));
+    TREEWALK_ASSIGN_OR_RETURN(int sv, SlotOf(node.terms[1].var));
+    if (su == sv) {
+      return SetVal(EmitLoadSet(Alias(index_.Empty())), su);
+    }
+    if (su < sv) {
+      return MatVal(EmitLoadIMat(Alias(rel)), su, sv);
+    }
+    TREEWALK_ASSIGN_OR_RETURN(std::shared_ptr<const IntervalMatrix> t,
+                              Transposed(rel));
+    return MatVal(EmitLoadIMat(std::move(t)), sv, su);
+  }
+
   Result<Val> NodeEq(const Term& a, const Term& b) {
     TREEWALK_ASSIGN_OR_RETURN(int sa, SlotOf(a.var));
     TREEWALK_ASSIGN_OR_RETURN(int sb, SlotOf(b.var));
@@ -626,6 +693,12 @@ class Compiler {
       return SetVal(EmitLoadSet(Alias(index_.Full())), sa);
     }
     // The identity matrix is symmetric; no transpose needed.
+    if (interval()) {
+      TREEWALK_ASSIGN_OR_RETURN(const IntervalMatrix* id,
+                                index_.TryIdentityIntervals());
+      return MatVal(EmitLoadIMat(Alias(*id)), sa < sb ? sa : sb,
+                    sa < sb ? sb : sa);
+    }
     TREEWALK_ASSIGN_OR_RETURN(const NodeMatrix* id,
                               index_.TryIdentityMatrix());
     return MatVal(EmitLoadMat(Alias(*id)), sa < sb ? sa : sb,
@@ -662,6 +735,12 @@ class Compiler {
     // Canonical orientation: rows are the smaller slot's variable.
     AttrId row_attr = sa < sb ? aa : ab;
     AttrId col_attr = sa < sb ? ab : aa;
+    if (interval()) {
+      TREEWALK_ASSIGN_OR_RETURN(std::shared_ptr<const IntervalMatrix> m,
+                                AttrPairIMat(row_attr, col_attr));
+      return MatVal(EmitLoadIMat(std::move(m)), sa < sb ? sa : sb,
+                    sa < sb ? sb : sa);
+    }
     TREEWALK_ASSIGN_OR_RETURN(std::shared_ptr<const NodeMatrix> m,
                               AttrPairMat(row_attr, col_attr));
     return MatVal(EmitLoadMat(std::move(m)), sa < sb ? sa : sb,
@@ -706,6 +785,31 @@ class Compiler {
       it->second = std::make_shared<const NodeMatrix>(m.Transposed());
     }
     return it->second;
+  }
+
+  /// Interval counterpart: output size is data-dependent (O(input
+  /// spans)), so construction runs against a transient charge that
+  /// bounds its peak, and the survivor is then re-charged at its exact
+  /// footprint for the compilation's lifetime like the dense caches.
+  Result<std::shared_ptr<const IntervalMatrix>> Transposed(
+      const IntervalMatrix& m) {
+    auto found = itransposed_.find(&m);
+    if (found != itransposed_.end()) return found->second;
+    Result<IntervalMatrix> built = IntervalMatrix();
+    {
+      ScopedMemoryCharge building(governor_, MemoryCategory::kCompiledOps);
+      built = IntervalMatrix::Transposed(
+          m, governor_ != nullptr ? &building : nullptr);
+      if (built.ok()) {
+        TREEWALK_RETURN_IF_ERROR(GovernorCharge(governor_,
+                                                MemoryCategory::kCompiledOps,
+                                                (*built).ApproxBytes()));
+      }
+    }
+    if (!built.ok()) return built.status();
+    auto sp = std::make_shared<const IntervalMatrix>(std::move(built).value());
+    itransposed_.emplace(&m, sp);
+    return sp;
   }
 
   /// {u : attr(a, u) == attr(b, u)}.
@@ -757,10 +861,69 @@ class Compiler {
     return it->second;
   }
 
+  /// Interval carrier of the attribute value join: all rows whose
+  /// row-attr value is v alias one span image of
+  /// {u : attr(col_attr, u) == v}, so the matrix costs
+  /// O(n + total column runs) instead of |rows| * n bits.
+  Result<std::shared_ptr<const IntervalMatrix>> AttrPairIMat(AttrId row_attr,
+                                                             AttrId col_attr) {
+    auto found = attr_pair_imats_.find({row_attr, col_attr});
+    if (found != attr_pair_imats_.end()) return found->second;
+    TREEWALK_ASSIGN_OR_RETURN(const std::vector<DataValue>* values,
+                              index_.TryAttrValues(row_attr));
+    TREEWALK_ASSIGN_OR_RETURN(const std::vector<DataValue>* col_values,
+                              index_.TryAttrValues(col_attr));
+    (void)col_values;
+    Result<IntervalMatrix> built = IntervalMatrix();
+    {
+      // Same charge discipline as the interval Transposed cache.
+      ScopedMemoryCharge building(governor_, MemoryCategory::kCompiledOps);
+      IntervalMatrixBuilder b(n_, governor_ != nullptr ? &building : nullptr);
+      for (DataValue v : *values) {
+        const NodeSet& cols = index_.AttrValueSet(col_attr, v);
+        std::vector<NodeId> rows = index_.AttrValueSet(row_attr, v).ToVector();
+        if (rows.empty() || !cols.any()) continue;
+        // The builder latches its first failure and Finish() reports
+        // it, so the span statuses need no per-call handling.
+        NodeId run_begin = kNoNode, run_end = kNoNode;
+        for (NodeId u : cols.ToVector()) {
+          if (run_begin == kNoNode) {
+            run_begin = u;
+            run_end = u + 1;
+          } else if (u == run_end) {
+            ++run_end;
+          } else {
+            (void)b.AddSpan(run_begin, run_end);
+            run_begin = u;
+            run_end = u + 1;
+          }
+        }
+        if (run_begin != kNoNode) (void)b.AddSpan(run_begin, run_end);
+        (void)b.CommitRow(rows[0]);
+        for (std::size_t i = 1; i < rows.size(); ++i) {
+          (void)b.AliasRow(rows[i], rows[0]);
+        }
+      }
+      built = std::move(b).Finish();
+      if (built.ok()) {
+        TREEWALK_RETURN_IF_ERROR(GovernorCharge(governor_,
+                                                MemoryCategory::kCompiledOps,
+                                                (*built).ApproxBytes()));
+      }
+    }
+    if (!built.ok()) return built.status();
+    auto sp = std::make_shared<const IntervalMatrix>(std::move(built).value());
+    attr_pair_imats_.emplace(std::make_pair(row_attr, col_attr), sp);
+    return sp;
+  }
+
+  bool interval() const { return repr_ == AxisRepr::kInterval; }
+
   const AxisIndex& index_;
   const Tree& tree_;
   std::size_t n_;
   ResourceGovernor* governor_ = nullptr;
+  AxisRepr repr_ = AxisRepr::kDense;  ///< resolved; never kAuto
 
   std::vector<Op> ops_;
   std::map<std::array<std::uint64_t, 4>, int> cse_;
@@ -768,23 +931,28 @@ class Compiler {
   int next_slot_ = 0;
 
   std::map<const NodeMatrix*, std::shared_ptr<const NodeMatrix>> transposed_;
+  std::map<const IntervalMatrix*, std::shared_ptr<const IntervalMatrix>>
+      itransposed_;
   std::map<std::pair<AttrId, AttrId>, std::shared_ptr<const NodeSet>>
       attr_pair_sets_;
   std::map<std::pair<AttrId, AttrId>, std::shared_ptr<const NodeMatrix>>
       attr_pair_mats_;
+  std::map<std::pair<AttrId, AttrId>, std::shared_ptr<const IntervalMatrix>>
+      attr_pair_imats_;
 };
 
 Result<CompiledSelector> CompileSelector(const AxisIndex& index,
                                          const Formula& formula,
                                          const std::string& x,
-                                         const std::string& y) {
-  Compiler compiler(index);
+                                         const std::string& y, AxisRepr repr) {
+  Compiler compiler(index, repr);
   return compiler.Selector(formula, x, y);
 }
 
 Result<CompiledSentence> CompileSentence(const AxisIndex& index,
-                                         const Formula& formula) {
-  Compiler compiler(index);
+                                         const Formula& formula,
+                                         AxisRepr repr) {
+  Compiler compiler(index, repr);
   return compiler.Sentence(formula);
 }
 

@@ -38,14 +38,22 @@ namespace treewalk {
 
 /// Compiles a binary selector phi(x, y) against the tree behind `index`.
 /// Free variables must be within {x, y} (either may be unused).
+///
+/// `repr` picks the Mat-shape carrier for the whole compilation: dense
+/// NodeMatrix rows or interval-encoded rows (kAuto resolves by tree
+/// size, see ResolveAxisRepr).  Both produce byte-identical SelectFrom
+/// answers; they differ only in space (O(n^2) vs O(n·spans)) and in
+/// which op costs dominate.
 Result<CompiledSelector> CompileSelector(const AxisIndex& index,
                                          const Formula& formula,
                                          const std::string& x = "x",
-                                         const std::string& y = "y");
+                                         const std::string& y = "y",
+                                         AxisRepr repr = AxisRepr::kAuto);
 
 /// Compiles and evaluates a sentence (no free variables).
 Result<CompiledSentence> CompileSentence(const AxisIndex& index,
-                                         const Formula& formula);
+                                         const Formula& formula,
+                                         AxisRepr repr = AxisRepr::kAuto);
 
 }  // namespace treewalk
 

@@ -4,8 +4,34 @@
 #include <cassert>
 
 #include "src/common/failpoint.h"
+#include "src/tree/interval_matrix.h"
+#include "src/tree/traversal.h"
 
 namespace treewalk {
+
+const char* AxisReprName(AxisRepr repr) {
+  switch (repr) {
+    case AxisRepr::kAuto:
+      return "auto";
+    case AxisRepr::kInterval:
+      return "interval";
+    case AxisRepr::kDense:
+      return "dense";
+  }
+  return "auto";
+}
+
+std::optional<AxisRepr> ParseAxisRepr(std::string_view name) {
+  if (name == "auto") return AxisRepr::kAuto;
+  if (name == "interval") return AxisRepr::kInterval;
+  if (name == "dense") return AxisRepr::kDense;
+  return std::nullopt;
+}
+
+AxisRepr ResolveAxisRepr(AxisRepr requested, std::size_t n) {
+  if (requested != AxisRepr::kAuto) return requested;
+  return n <= kDenseAxisNodeLimit ? AxisRepr::kDense : AxisRepr::kInterval;
+}
 
 namespace {
 
@@ -412,6 +438,211 @@ Result<const NodeMatrix*> AxisIndex::TrySuccMatrix() const {
 Result<const NodeMatrix*> AxisIndex::TryIdentityMatrix() const {
   TREEWALK_RETURN_IF_ERROR(EnsureMatrix(identity_, &AxisIndex::FillIdentity));
   return &*identity_;
+}
+
+// --- Interval-encoded axes. --------------------------------------------
+
+AxisIndex::~AxisIndex() = default;
+
+namespace {
+
+/// Exact footprint of an interval axis with `spans` total spans: the
+/// row-descriptor array plus the one shared span pool.
+std::int64_t IntervalBytes(std::size_t n, std::size_t spans) {
+  return static_cast<std::int64_t>(n) *
+             static_cast<std::int64_t>(sizeof(IntervalMatrix::Row)) +
+         static_cast<std::int64_t>(spans) *
+             static_cast<std::int64_t>(sizeof(NodeSpan)) +
+         64;
+}
+
+}  // namespace
+
+Status AxisIndex::EnsureIntervals(std::unique_ptr<IntervalMatrix>& slot,
+                                  Result<IntervalMatrix> (AxisIndex::*build)()
+                                      const) const {
+  if (slot != nullptr) return Status::Ok();
+  TREEWALK_FAILPOINT("axis_index/alloc");
+  auto built = (this->*build)();
+  if (!built.ok()) return built.status();
+  slot = std::make_unique<IntervalMatrix>(std::move(built).value());
+  return Status::Ok();
+}
+
+Result<IntervalMatrix> AxisIndex::BuildEdgeIntervals() const {
+  // Children of u sit at non-contiguous pre-order ids (each child is
+  // followed by its own subtree), so row u is one span per maximal run
+  // of adjacent children — adjacency happens exactly when the previous
+  // child is a leaf.  Prepass counts the runs for an exact charge.
+  std::size_t spans = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    NodeId prev_end = kNoNode;
+    for (NodeId c = tree_->FirstChild(u); c != kNoNode;
+         c = tree_->NextSibling(c)) {
+      if (c != prev_end) ++spans;
+      prev_end = tree_->SubtreeEnd(c);
+    }
+  }
+  TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+      governor_, MemoryCategory::kAxisIndex, IntervalBytes(n_, spans)));
+  IntervalMatrixBuilder builder(n_);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    NodeId run_begin = kNoNode, run_end = kNoNode;
+    for (NodeId c = tree_->FirstChild(u); c != kNoNode;
+         c = tree_->NextSibling(c)) {
+      if (c == run_end) {
+        run_end = c + 1;
+        continue;
+      }
+      if (run_begin != kNoNode)
+        TREEWALK_RETURN_IF_ERROR(builder.AddSpan(run_begin, run_end));
+      run_begin = c;
+      run_end = c + 1;
+    }
+    if (run_begin != kNoNode)
+      TREEWALK_RETURN_IF_ERROR(builder.AddSpan(run_begin, run_end));
+    TREEWALK_RETURN_IF_ERROR(builder.CommitRow(u));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<IntervalMatrix> AxisIndex::BuildDescendantIntervals() const {
+  std::size_t spans = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u)
+    if (tree_->SubtreeEnd(u) > u + 1) ++spans;
+  TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+      governor_, MemoryCategory::kAxisIndex, IntervalBytes(n_, spans)));
+  IntervalMatrixBuilder builder(n_);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    NodeId end = tree_->SubtreeEnd(u);
+    if (end > u + 1) TREEWALK_RETURN_IF_ERROR(builder.AddSpan(u + 1, end));
+    TREEWALK_RETURN_IF_ERROR(builder.CommitRow(u));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<IntervalMatrix> AxisIndex::BuildSiblingIntervals() const {
+  // Later siblings of u are exactly the family members with id > u, so
+  // one shared child-run list per family serves every child: the first
+  // child commits it, then re-clips itself out, and each later child
+  // aliases a [c+1, n) suffix window of it.  O(1) spans amortized per
+  // node.
+  std::size_t spans = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    NodeId prev_end = kNoNode;
+    for (NodeId c = tree_->FirstChild(u); c != kNoNode;
+         c = tree_->NextSibling(c)) {
+      if (c != prev_end) ++spans;
+      prev_end = tree_->SubtreeEnd(c);
+    }
+  }
+  TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+      governor_, MemoryCategory::kAxisIndex, IntervalBytes(n_, spans)));
+  IntervalMatrixBuilder builder(n_);
+  const NodeId nn = static_cast<NodeId>(n_);
+  auto commit_family = [&](NodeId first) -> Status {
+    NodeId run_begin = kNoNode, run_end = kNoNode;
+    for (NodeId c = first; c != kNoNode; c = tree_->NextSibling(c)) {
+      if (c == run_end) {
+        run_end = c + 1;
+        continue;
+      }
+      if (run_begin != kNoNode)
+        TREEWALK_RETURN_IF_ERROR(builder.AddSpan(run_begin, run_end));
+      run_begin = c;
+      run_end = c + 1;
+    }
+    if (run_begin != kNoNode)
+      TREEWALK_RETURN_IF_ERROR(builder.AddSpan(run_begin, run_end));
+    TREEWALK_RETURN_IF_ERROR(builder.CommitRow(first));
+    TREEWALK_RETURN_IF_ERROR(builder.ReclipRow(first, first + 1, nn));
+    for (NodeId c = tree_->NextSibling(first); c != kNoNode;
+         c = tree_->NextSibling(c)) {
+      TREEWALK_RETURN_IF_ERROR(builder.AliasRowWindow(c, first, c + 1, nn));
+    }
+    return Status::Ok();
+  };
+  for (NodeId u = 0; u < nn; ++u) {
+    if (tree_->IsFirstChild(u)) TREEWALK_RETURN_IF_ERROR(commit_family(u));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<IntervalMatrix> AxisIndex::BuildSuccIntervals() const {
+  std::size_t spans = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u)
+    if (tree_->NextSibling(u) != kNoNode) ++spans;
+  TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+      governor_, MemoryCategory::kAxisIndex, IntervalBytes(n_, spans)));
+  IntervalMatrixBuilder builder(n_);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    NodeId v = tree_->NextSibling(u);
+    if (v != kNoNode) TREEWALK_RETURN_IF_ERROR(builder.AddSpan(v, v + 1));
+    TREEWALK_RETURN_IF_ERROR(builder.CommitRow(u));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<IntervalMatrix> AxisIndex::BuildIdentityIntervals() const {
+  TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+      governor_, MemoryCategory::kAxisIndex, IntervalBytes(n_, n_)));
+  IntervalMatrixBuilder builder(n_);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_); ++u) {
+    TREEWALK_RETURN_IF_ERROR(builder.AddSpan(u, u + 1));
+    TREEWALK_RETURN_IF_ERROR(builder.CommitRow(u));
+  }
+  return std::move(builder).Finish();
+}
+
+Result<const IntervalMatrix*> AxisIndex::TryEdgeIntervals() const {
+  TREEWALK_RETURN_IF_ERROR(
+      EnsureIntervals(iedge_, &AxisIndex::BuildEdgeIntervals));
+  return iedge_.get();
+}
+Result<const IntervalMatrix*> AxisIndex::TryDescendantIntervals() const {
+  TREEWALK_RETURN_IF_ERROR(
+      EnsureIntervals(idesc_, &AxisIndex::BuildDescendantIntervals));
+  return idesc_.get();
+}
+Result<const IntervalMatrix*> AxisIndex::TrySiblingIntervals() const {
+  TREEWALK_RETURN_IF_ERROR(
+      EnsureIntervals(isib_, &AxisIndex::BuildSiblingIntervals));
+  return isib_.get();
+}
+Result<const IntervalMatrix*> AxisIndex::TrySuccIntervals() const {
+  TREEWALK_RETURN_IF_ERROR(
+      EnsureIntervals(isucc_, &AxisIndex::BuildSuccIntervals));
+  return isucc_.get();
+}
+Result<const IntervalMatrix*> AxisIndex::TryIdentityIntervals() const {
+  TREEWALK_RETURN_IF_ERROR(
+      EnsureIntervals(iidentity_, &AxisIndex::BuildIdentityIntervals));
+  return iidentity_.get();
+}
+
+Result<const std::vector<NodeId>*> AxisIndex::TryPostorderRanks() const {
+  if (!post_ranks_.has_value()) {
+    TREEWALK_RETURN_IF_ERROR(GovernorCharge(
+        governor_, MemoryCategory::kAxisIndex,
+        static_cast<std::int64_t>(n_ * sizeof(NodeId)) + 48));
+    std::vector<NodeId> order = PostOrder(*tree_);
+    post_ranks_.emplace(n_);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      (*post_ranks_)[static_cast<std::size_t>(order[i])] =
+          static_cast<NodeId>(i);
+    }
+  }
+  return &*post_ranks_;
+}
+
+const std::vector<NodeId>& AxisIndex::PostorderRanks() const {
+  if (!post_ranks_.has_value()) {
+    ResourceGovernor* saved = governor_;
+    const_cast<AxisIndex*>(this)->governor_ = nullptr;
+    (void)TryPostorderRanks();
+    const_cast<AxisIndex*>(this)->governor_ = saved;
+  }
+  return *post_ranks_;
 }
 
 }  // namespace treewalk

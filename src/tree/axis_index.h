@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/common/data_value.h"
@@ -12,6 +14,36 @@
 #include "src/tree/tree.h"
 
 namespace treewalk {
+
+class IntervalMatrix;  // src/tree/interval_matrix.h
+
+/// How axis relations and compiled-selector matrices are represented.
+///
+///   - kDense: n-by-n bitset NodeMatrix rows (O(n^2) bytes, O(1) bit
+///     tests, word-parallel row algebra) — unbeatable at small n.
+///   - kInterval: pre-order span lists per row (O(n) bytes for every
+///     tau axis, range algebra) — the only representation that reaches
+///     the million-node target.
+///   - kAuto: pick per tree size (ResolveAxisRepr).
+enum class AxisRepr {
+  kAuto = 0,
+  kInterval,
+  kDense,
+};
+
+/// "auto" / "interval" / "dense".
+const char* AxisReprName(AxisRepr repr);
+/// Inverse of AxisReprName; nullopt for unknown spellings.
+std::optional<AxisRepr> ParseAxisRepr(std::string_view name);
+
+/// Trees at or below this node count stay dense under kAuto: the whole
+/// matrix fits in ~2MiB, word-parallel ops win, and existing small-tree
+/// behavior (and perf baselines) are preserved.
+inline constexpr std::size_t kDenseAxisNodeLimit = 4096;
+
+/// Resolves kAuto against the tree size; returns the request verbatim
+/// otherwise.
+AxisRepr ResolveAxisRepr(AxisRepr requested, std::size_t n);
 
 /// Dense bitset over Dom(t): one bit per NodeId, packed 64 per word.
 /// Because nodes are stored in document order, iterating set bits from
@@ -151,6 +183,7 @@ class AxisIndex {
   /// the Try* accessors surface kResourceExhausted instead of growing
   /// without bound.  Without one (the default) behavior is unchanged.
   explicit AxisIndex(const Tree& tree, ResourceGovernor* governor = nullptr);
+  ~AxisIndex();  // out of line: interval slots hold an incomplete type here
 
   const Tree& tree() const { return *tree_; }
   std::size_t size() const { return n_; }
@@ -204,6 +237,28 @@ class AxisIndex {
   /// the Try* accessors charge per materialized relation.
   std::int64_t MatrixBytes() const;
 
+  /// Interval-encoded axis relations: the same five relations as the
+  /// Try*Matrix accessors, as O(n)-byte IntervalMatrix objects.  The
+  /// pre-order arena makes every one span-sparse — desc(u) is the
+  /// single range (u, SubtreeEnd(u)), succ(u) one point, sib(u) a
+  /// suffix window onto one shared child-run list per family.  Each is
+  /// materialized on first use with an *exact* pre-charge (a span-count
+  /// prepass, not the dense MatrixBytes worst case) under
+  /// MemoryCategory::kAxisIndex, and cached.
+  Result<const IntervalMatrix*> TryEdgeIntervals() const;
+  Result<const IntervalMatrix*> TryDescendantIntervals() const;
+  Result<const IntervalMatrix*> TrySiblingIntervals() const;
+  Result<const IntervalMatrix*> TrySuccIntervals() const;
+  Result<const IntervalMatrix*> TryIdentityIntervals() const;
+
+  /// rank[u] = position of u in post-order (pre-order rank is the
+  /// NodeId itself).  desc(u, v) iff u < v and rank[v] < rank[u]: the
+  /// interval-numbering invariant the metamorphic suite checks.
+  /// Lazy, cached, charged under kAxisIndex.
+  Result<const std::vector<NodeId>*> TryPostorderRanks() const;
+  /// Ungoverned variant (materializes unconditionally).
+  const std::vector<NodeId>& PostorderRanks() const;
+
  private:
   struct AttrIndex {
     std::map<DataValue, NodeSet> sets;
@@ -220,6 +275,17 @@ class AxisIndex {
   void FillSucc(NodeMatrix& m) const;
   void FillIdentity(NodeMatrix& m) const;
 
+  /// Charges exactly (prepassed span count) + builds `slot` via
+  /// `build`; OK and cached on reuse.
+  Status EnsureIntervals(std::unique_ptr<IntervalMatrix>& slot,
+                         Result<IntervalMatrix> (AxisIndex::*build)()
+                             const) const;
+  Result<IntervalMatrix> BuildEdgeIntervals() const;
+  Result<IntervalMatrix> BuildDescendantIntervals() const;
+  Result<IntervalMatrix> BuildSiblingIntervals() const;
+  Result<IntervalMatrix> BuildSuccIntervals() const;
+  Result<IntervalMatrix> BuildIdentityIntervals() const;
+
   const Tree* tree_;
   std::size_t n_;
   ResourceGovernor* governor_ = nullptr;
@@ -228,6 +294,9 @@ class AxisIndex {
   std::vector<NodeSet> label_sets_;  // indexed by Symbol
   mutable std::vector<std::optional<AttrIndex>> attr_index_;
   mutable std::optional<NodeMatrix> edge_, desc_, sib_, succ_, identity_;
+  mutable std::unique_ptr<IntervalMatrix> iedge_, idesc_, isib_, isucc_,
+      iidentity_;
+  mutable std::optional<std::vector<NodeId>> post_ranks_;
 };
 
 }  // namespace treewalk

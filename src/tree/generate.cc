@@ -205,4 +205,64 @@ Tree Example32Tree(std::mt19937& rng, int num_nodes, bool uniform) {
   return tree;
 }
 
+Tree XmlLikeTree(std::mt19937& rng, int num_nodes) {
+  assert(num_nodes >= 1);
+  static constexpr const char* kTags[] = {"doc",  "section", "para",
+                                          "item", "ref",     "text"};
+  TreeBuilder builder;
+  // Stack of open elements: children go to the innermost one; a
+  // weighted coin closes elements, which is what produces the long
+  // flat sibling runs characteristic of documents.
+  std::vector<TreeBuilder::Ref> open;
+  open.push_back(builder.AddRoot(kTags[0]));
+  std::uniform_int_distribution<int> tag(1, 5);
+  std::uniform_int_distribution<int> action(0, 9);
+  for (int i = 1; i < num_nodes; ++i) {
+    int roll = action(rng);
+    if (roll < 2 && open.size() > 1) {
+      open.pop_back();  // close the innermost element
+    }
+    TreeBuilder::Ref child =
+        builder.AddChild(open.back(), kTags[tag(rng)]);
+    // Descend into ~1/3 of new elements, depth-capped so the tree stays
+    // document-shallow no matter how large it grows.
+    if (roll >= 7 && open.size() < 12) open.push_back(child);
+  }
+  return builder.Build();
+}
+
+Tree TreeFromBytes(const std::uint8_t* data, std::size_t size,
+                   int max_nodes) {
+  assert(max_nodes >= 1);
+  static constexpr const char* kLabels[] = {"a", "b", "c"};
+  TreeBuilder builder;
+  std::vector<TreeBuilder::Ref> path;  // root .. current node
+  path.push_back(builder.AddRoot(kLabels[0]));
+  int nodes = 1;
+  for (std::size_t i = 0; i < size && nodes < max_nodes; ++i) {
+    std::uint8_t byte = data[i];
+    const char* label = kLabels[byte % 3];
+    switch ((byte >> 2) % 3) {
+      case 0: {  // child of the current node; descend
+        path.push_back(builder.AddChild(path.back(), label));
+        ++nodes;
+        break;
+      }
+      case 1: {  // sibling: child of the current node's parent
+        TreeBuilder::Ref parent =
+            path.size() > 1 ? path[path.size() - 2] : path[0];
+        if (path.size() > 1) path.pop_back();
+        path.push_back(builder.AddChild(parent, label));
+        ++nodes;
+        break;
+      }
+      default: {  // pop toward the root (no node added)
+        if (path.size() > 1) path.pop_back();
+        break;
+      }
+    }
+  }
+  return builder.Build();
+}
+
 }  // namespace treewalk

@@ -50,6 +50,22 @@ std::vector<Tree> EnumerateTrees(int num_nodes,
 /// attribute "a" iff `uniform` (one leaf is poisoned otherwise).
 Tree Example32Tree(std::mt19937& rng, int num_nodes, bool uniform);
 
+/// Document-shaped tree: a handful of element tags nested to a bounded
+/// depth with wide sibling runs (element children attach to the most
+/// recent open ancestor, closing elements randomly), the shape XML
+/// workloads stress — long child families and shallow recursion, as
+/// opposed to RandomTree's uniform attach.  Exactly `num_nodes` nodes,
+/// no attributes.
+Tree XmlLikeTree(std::mt19937& rng, int num_nodes);
+
+/// Deterministic tree from an arbitrary byte string (fuzz driver):
+/// each byte decides, from the current node, whether to add a child and
+/// descend, add a sibling, or pop toward the root.  Always yields a
+/// valid tree with between 1 and max_nodes nodes; every byte sequence
+/// is a valid input, and every tree shape up to max_nodes is reachable.
+Tree TreeFromBytes(const std::uint8_t* data, std::size_t size,
+                   int max_nodes);
+
 }  // namespace treewalk
 
 #endif  // TREEWALK_TREE_GENERATE_H_

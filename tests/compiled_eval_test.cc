@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <set>
 #include <string>
@@ -122,20 +123,29 @@ TEST(AxisIndex, MatchesTreePredicatesOnRandomTrees) {
 
 // --- Compiled selector equivalence on targeted shapes. -----------------
 
-/// Asserts that CompileSelector succeeds on `selector` and agrees with
-/// the reference SelectNodes at every origin of `tree`.
+/// Asserts that CompileSelector succeeds on `selector` under BOTH
+/// matrix representations and that each agrees with the reference
+/// SelectNodes at every origin of `tree` — the three-way oracle
+/// interval == dense == reference.
 void ExpectCompiledMatches(const Tree& tree, const std::string& selector) {
   AxisIndex index(tree);
   Formula formula = Parse(selector);
-  auto compiled = CompileSelector(index, formula);
-  ASSERT_TRUE(compiled.ok()) << selector << ": "
-                             << compiled.status().ToString();
+  auto dense = CompileSelector(index, formula, "x", "y", AxisRepr::kDense);
+  ASSERT_TRUE(dense.ok()) << selector << ": " << dense.status().ToString();
+  auto interval =
+      CompileSelector(index, formula, "x", "y", AxisRepr::kInterval);
+  ASSERT_TRUE(interval.ok()) << selector << ": "
+                             << interval.status().ToString();
+  EXPECT_EQ(dense->repr(), AxisRepr::kDense);
+  EXPECT_EQ(interval->repr(), AxisRepr::kInterval);
   for (NodeId origin = 0; origin < static_cast<NodeId>(tree.size());
        ++origin) {
     auto reference = SelectNodes(tree, formula, origin);
     ASSERT_TRUE(reference.ok()) << selector;
-    EXPECT_EQ(compiled->SelectFrom(origin), *reference)
-        << selector << " at origin " << origin;
+    EXPECT_EQ(dense->SelectFrom(origin), *reference)
+        << selector << " (dense) at origin " << origin;
+    EXPECT_EQ(interval->SelectFrom(origin), *reference)
+        << selector << " (interval) at origin " << origin;
   }
 }
 
@@ -331,11 +341,21 @@ TEST(CompiledSelectorProperty, MatchesReferenceOnRandomInstances) {
     Tree tree = RandomTree(rng, options);
     AxisIndex index(tree);
     Formula formula = gen.Gen(1 + static_cast<int>(rng() % 3), {"x", "y"});
-    auto compiled = CompileSelector(index, formula);
+    auto compiled = CompileSelector(index, formula, "x", "y",
+                                    AxisRepr::kDense);
     if (!compiled.ok()) {
       ++declined_instances;
+      // The compiler declines on formula shape, never on representation.
+      EXPECT_FALSE(
+          CompileSelector(index, formula, "x", "y", AxisRepr::kInterval)
+              .ok())
+          << formula.ToString();
       continue;
     }
+    auto interval =
+        CompileSelector(index, formula, "x", "y", AxisRepr::kInterval);
+    ASSERT_TRUE(interval.ok()) << formula.ToString() << ": "
+                               << interval.status().ToString();
     ++compiled_instances;
     for (NodeId origin = 0; origin < static_cast<NodeId>(tree.size());
          ++origin) {
@@ -344,13 +364,71 @@ TEST(CompiledSelectorProperty, MatchesReferenceOnRandomInstances) {
       ASSERT_EQ(compiled->SelectFrom(origin), *reference)
           << formula.ToString() << " on " << PrintTerm(tree) << " at origin "
           << origin;
+      ASSERT_EQ(interval->SelectFrom(origin), *reference)
+          << formula.ToString() << " (interval) on " << PrintTerm(tree)
+          << " at origin " << origin;
     }
   }
   // The acceptance bar: >= 1000 random (formula, tree) instances proven
-  // equal (each checked at every origin).  Also make sure the fallback
-  // path is actually exercised by the generator.
+  // equal under both representations (each checked at every origin).
+  // Also make sure the fallback path is actually exercised.
   EXPECT_GE(compiled_instances, 1000);
   EXPECT_GT(declined_instances, 0);
+}
+
+// --- Large-n spot checks: interval selectors at n = 100000. ------------
+//
+// Exhaustive every-origin comparison is quadratic, so at n = 10^5 the
+// oracle samples: a fixed spread of origins checked against the
+// reference evaluator, plus ground-truth navigation for the
+// grandchildren selector.  kAuto must resolve to the interval
+// representation at this size — the dense matrix alone would be 1.25GB.
+TEST(CompiledSelectorLargeN, IntervalMatchesReferenceAtSampledOrigins) {
+  std::mt19937 rng(3301);
+  RandomTreeOptions options;
+  options.num_nodes = 100000;
+  options.max_children = 6;
+  options.attributes = {};
+  Tree tree = RandomTree(rng, options);
+  AxisIndex index(tree);
+
+  Formula grandchildren = Parse("exists z (E(x, z) & E(z, y))");
+  auto compiled = CompileSelector(index, grandchildren);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled->repr(), AxisRepr::kInterval);
+
+  std::vector<NodeId> origins = {0, 1, 17, 4096, 50000, 99998, 99999};
+  for (int i = 0; i < 40; ++i) {
+    origins.push_back(static_cast<NodeId>(rng() % tree.size()));
+  }
+  for (NodeId origin : origins) {
+    // Ground truth by direct navigation: v is a grandchild of origin.
+    std::vector<NodeId> expected;
+    for (NodeId c = tree.FirstChild(origin); c != kNoNode;
+         c = tree.NextSibling(c)) {
+      for (NodeId g = tree.FirstChild(c); g != kNoNode;
+           g = tree.NextSibling(g)) {
+        expected.push_back(g);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(compiled->SelectFrom(origin), expected)
+        << "grandchildren at origin " << origin;
+  }
+
+  // A mixed-axis selector checked against the reference evaluator at a
+  // few origins (the reference is per-origin linear-ish here, so a
+  // handful is affordable).
+  Formula mixed = Parse("desc(x, y) & lab(y, #a) & !leaf(y)");
+  auto compiled_mixed = CompileSelector(index, mixed);
+  ASSERT_TRUE(compiled_mixed.ok()) << compiled_mixed.status().ToString();
+  EXPECT_EQ(compiled_mixed->repr(), AxisRepr::kInterval);
+  for (NodeId origin : {NodeId{0}, NodeId{123}, NodeId{77777}}) {
+    auto reference = SelectNodes(tree, mixed, origin);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(compiled_mixed->SelectFrom(origin), *reference)
+        << "mixed at origin " << origin;
+  }
 }
 
 TEST(CompiledSentenceProperty, MatchesReferenceOnRandomInstances) {
@@ -374,10 +452,14 @@ TEST(CompiledSentenceProperty, MatchesReferenceOnRandomInstances) {
     auto compiled = CompileSentence(index, sentence);
     if (!compiled.ok()) continue;
     ++compiled_instances;
+    auto interval = CompileSentence(index, sentence, AxisRepr::kInterval);
+    ASSERT_TRUE(interval.ok()) << sentence.ToString();
     auto reference = EvalTreeSentence(tree, sentence);
     ASSERT_TRUE(reference.ok()) << sentence.ToString();
     ASSERT_EQ(compiled->Eval(), *reference)
         << sentence.ToString() << " on " << PrintTerm(tree);
+    ASSERT_EQ(interval->Eval(), *reference)
+        << sentence.ToString() << " (interval) on " << PrintTerm(tree);
   }
   EXPECT_GE(compiled_instances, 300);
 }

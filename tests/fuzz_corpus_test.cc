@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/automata/text_format.h"
+#include "tests/fuzz/axis_interval_driver.h"
 #include "src/common/journal.h"
 #include "src/engine/batch_journal.h"
 #include "src/logic/parser.h"
@@ -101,6 +102,22 @@ TEST(FuzzCorpus, JournalSeedsReplayWithoutCrashing) {
     (void)DecodeBatchRecord(s);
     return clean;
   });
+}
+
+TEST(FuzzCorpus, AxisIntervalSeedsReplayWithoutCrashing) {
+  // Mirrors fuzz_axis_interval.cc.  Unlike the parser corpora, every
+  // byte string decodes to a valid tree, so "well-formed" here means
+  // the interval/dense differential check agreed — which must be true
+  // of every seed, not just one.
+  std::vector<std::filesystem::path> files = CorpusFiles("axis_interval");
+  ASSERT_FALSE(files.empty());
+  for (const std::filesystem::path& file : files) {
+    std::string bytes = Slurp(file);
+    EXPECT_TRUE(AxisIntervalAgrees(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size(),
+        512))
+        << file;
+  }
 }
 
 }  // namespace

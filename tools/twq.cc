@@ -107,7 +107,10 @@ tw::Result<tw::Tree> LoadTree(const std::string& path) {
 }
 
 int CmdRun(int argc, char** argv) {
-  if (argc < 2) return Fail("usage: twq run <program.twp> <tree> [--trace]");
+  if (argc < 2) {
+    return Fail("usage: twq run <program.twp> <tree> [--trace] "
+                "[--axis-repr auto|interval|dense]");
+  }
   std::string program_text;
   if (!ReadFile(argv[0], program_text)) {
     return Fail(std::string("cannot read program '") + argv[0] + "'");
@@ -118,9 +121,18 @@ int CmdRun(int argc, char** argv) {
   if (!tree.ok()) return Fail("tree: " + tree.status().ToString());
 
   bool trace = false, graph = false;
+  tw::AxisRepr axis_repr = tw::AxisRepr::kAuto;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--graph") == 0) graph = true;
+    if (std::strcmp(argv[i], "--axis-repr") == 0 && i + 1 < argc) {
+      auto repr = tw::ParseAxisRepr(argv[++i]);
+      if (!repr.has_value()) {
+        return Fail(std::string("unknown --axis-repr '") + argv[i] +
+                    "' (want auto, interval, or dense)");
+      }
+      axis_repr = *repr;
+    }
   }
 
   if (graph) {
@@ -134,6 +146,7 @@ int CmdRun(int argc, char** argv) {
 
   tw::RunOptions options;
   options.record_trace = trace;
+  options.axis_repr = axis_repr;
   tw::Interpreter interpreter(*program, options);
   auto r = interpreter.Run(*tree);
   if (!r.ok()) return Fail("run: " + r.status().ToString());
@@ -189,7 +202,8 @@ int CmdCheck(int argc, char** argv) {
 int CmdBatch(int argc, char** argv) {
   if (argc < 1) {
     return Fail("usage: twq batch <manifest> [--jobs N] [--max-steps M] "
-                "[--quiet] [--no-cache] [--no-compiled] [--deadline-ms D] "
+                "[--quiet] [--no-cache] [--no-compiled] "
+                "[--axis-repr auto|interval|dense] [--deadline-ms D] "
                 "[--memory-budget-mb B] [--retries R] "
                 "[--journal <path> [--resume] [--journal-sync N]]");
   }
@@ -198,6 +212,7 @@ int CmdBatch(int argc, char** argv) {
   bool quiet = false;
   bool cache_selectors = true;
   bool compile_selectors = true;
+  tw::AxisRepr axis_repr = tw::AxisRepr::kAuto;
   long long deadline_ms = 0;        // 0 = no deadline
   long long memory_budget_mb = 0;   // 0 = unlimited
   int retries = 0;                  // extra attempts beyond the first
@@ -219,6 +234,13 @@ int CmdBatch(int argc, char** argv) {
       cache_selectors = false;
     } else if (std::strcmp(argv[i], "--no-compiled") == 0) {
       compile_selectors = false;
+    } else if (std::strcmp(argv[i], "--axis-repr") == 0 && i + 1 < argc) {
+      auto repr = tw::ParseAxisRepr(argv[++i]);
+      if (!repr.has_value()) {
+        return Fail(std::string("unknown --axis-repr '") + argv[i] +
+                    "' (want auto, interval, or dense)");
+      }
+      axis_repr = *repr;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       deadline_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0 &&
@@ -345,6 +367,7 @@ int CmdBatch(int argc, char** argv) {
       if (max_steps > 0) job.options.max_steps = max_steps;
       job.options.cache_selectors = cache_selectors;
       job.options.compile_selectors = compile_selectors;
+      job.options.axis_repr = axis_repr;
       job.deadline_ms = deadline_ms;
       job.memory_budget_bytes = memory_budget_mb * 1024 * 1024;
       job.retry.max_attempts = 1 + std::max(0, retries);
@@ -480,12 +503,15 @@ int CmdBatch(int argc, char** argv) {
                         .c_str()
                   : "");
   std::printf("steps=%lld atp_calls=%lld cache_hits=%lld cache_misses=%lld "
-              "compiled_evals=%lld store_updates=%lld\n",
+              "compiled_evals=%lld (interval=%lld dense=%lld) "
+              "store_updates=%lld\n",
               static_cast<long long>(s.steps),
               static_cast<long long>(s.atp_calls),
               static_cast<long long>(s.selector_cache_hits),
               static_cast<long long>(s.selector_cache_misses),
               static_cast<long long>(s.compiled_selector_evals),
+              static_cast<long long>(s.interval_selector_evals),
+              static_cast<long long>(s.dense_selector_evals),
               static_cast<long long>(s.store_updates));
   if (s.deadline_hits + s.memory_trips + s.retries + s.degraded_successes >
       0) {
