@@ -1,0 +1,20 @@
+// Stamps every benchmark's JSON `context` with the build type, so
+// tools/bench_gate.py can refuse to compare debug-build numbers (a
+// debug baseline makes every release candidate look like a regression
+// fixed, and vice versa).  Linked into all bench targets; the key is
+// read by the gate before any ratio is computed.
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+const int kBuildTypeContext = [] {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("treewalk_build_type", "release");
+#else
+  benchmark::AddCustomContext("treewalk_build_type", "debug");
+#endif
+  return 0;
+}();
+
+}  // namespace

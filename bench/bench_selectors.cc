@@ -17,12 +17,16 @@
 
 #include "src/automata/interpreter.h"
 #include "src/automata/library.h"
+#include "src/common/atomic_file.h"
 #include "src/common/governor.h"
 #include "src/logic/compile.h"
 #include "src/logic/parser.h"
+#include "src/logic/selector_cache.h"
 #include "src/logic/tree_eval.h"
 #include "src/tree/axis_index.h"
 #include "src/tree/generate.h"
+#include "src/tree/snapshot.h"
+#include "src/tree/term_io.h"
 
 namespace {
 
@@ -339,6 +343,158 @@ BENCHMARK_CAPTURE(BM_MillionNodeSelector, xml_tree, XmlInput, kChain,
 BENCHMARK_CAPTURE(BM_MillionNodeSelector, random_guarded_forall, Input,
                   kGuardedForall, GuardedForallAnswer)
     ->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// --- E19: zero-parse startup. ----------------------------------------
+//
+// What does it cost to go from "files on disk" to "compiled selector
+// answering queries"?  Two arms at n=10^5 over the same random
+// attributed tree and the same quantifier-depth-2 selector:
+//
+//   parse_compile   read the .term text, parse it, build the axis
+//                   index, compile the selector — the pre-snapshot
+//                   cold start every invocation used to pay;
+//   snapshot_cache  mmap the .twsnap (zero parsing, zero re-numbering;
+//                   the compiled-axis postorder section is adopted
+//                   directly) and deserialize the compiled selector
+//                   from the persistent cache (zero compilation).
+//
+// Both arms run under a memory-budgeted governor and report the
+// governor-accounted peak as `peak_mb`; both cross-check the selected
+// set at the origin spread against the other arm before timing, so the
+// speedup is on identical answers.  EXPERIMENTS.md E19 targets >= 10x.
+
+constexpr int kE19Nodes = 100000;
+
+struct E19Fixture {
+  std::string term_path;
+  std::string snap_path;
+  std::string cache_dir;
+  SelectorCacheKey key;
+};
+
+// Writes the .term, the .twsnap, and a warm selector-cache entry under
+// the current (build) directory once; every E19 arm shares them.
+const E19Fixture& E19Setup() {
+  static const E19Fixture* fixture = [] {
+    auto* f = new E19Fixture();
+    f->term_path = "e19_input.term";
+    f->snap_path = "e19_input.twsnap";
+    f->cache_dir = ".";
+    Tree t = Input(kE19Nodes);
+    if (!WriteFileAtomic(f->term_path, PrintTerm(t)).ok() ||
+        !WriteTreeSnapshot(t, f->snap_path).ok()) {
+      return f;  // arms will SkipWithError on the missing files
+    }
+    Formula phi = std::move(ParseFormula(kChain)).value();
+    AxisIndex index(t);
+    Result<CompiledSelector> compiled =
+        CompileSelector(index, phi, "x", "y", AxisRepr::kInterval);
+    if (compiled.ok()) {
+      f->key.formula_hash = StableFormulaHash(phi, "x", "y");
+      f->key.tree_hash = TreeContentHash(t);
+      f->key.repr = AxisRepr::kInterval;
+      SelectorDiskCache cache(f->cache_dir);
+      (void)cache.Store(f->key, *compiled);
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_ColdStartParseCompile(benchmark::State& state) {
+  const E19Fixture& f = E19Setup();
+  Formula phi = std::move(ParseFormula(kChain)).value();
+  std::size_t selected = 0;
+  std::int64_t peak = 0;
+  for (auto _ : state) {
+    ResourceGovernor governor;
+    governor.set_memory_budget(std::int64_t{4} << 30);
+    auto text = ReadFileBytes(f.term_path);
+    if (!text.ok()) {
+      state.SkipWithError(text.status().ToString().c_str());
+      return;
+    }
+    auto tree = ParseTerm(*text);
+    if (!tree.ok()) {
+      state.SkipWithError(tree.status().ToString().c_str());
+      return;
+    }
+    AxisIndex index(*tree, &governor);
+    Result<CompiledSelector> compiled =
+        CompileSelector(index, phi, "x", "y", AxisRepr::kInterval);
+    if (!compiled.ok()) {
+      state.SkipWithError(compiled.status().ToString().c_str());
+      return;
+    }
+    selected = 0;
+    for (NodeId origin : Origins(*tree)) {
+      selected += compiled->SelectFrom(origin).size();
+    }
+    peak = governor.accountant()->peak();
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["peak_mb"] = static_cast<double>(peak) / (1024.0 * 1024.0);
+}
+
+void BM_ColdStartSnapshotCache(benchmark::State& state) {
+  const E19Fixture& f = E19Setup();
+  Formula phi = std::move(ParseFormula(kChain)).value();
+  // Cross-check: the mmap + cache answer must match parse + compile.
+  {
+    auto text = ReadFileBytes(f.term_path);
+    auto tree = text.ok() ? ParseTerm(*text) : Result<Tree>(text.status());
+    auto snap = LoadTreeSnapshot(f.snap_path);
+    if (!tree.ok() || !snap.ok()) {
+      state.SkipWithError("E19 fixture missing");
+      return;
+    }
+    AxisIndex fresh_index(*tree);
+    AxisIndex snap_index(*snap);
+    SelectorDiskCache cache(f.cache_dir);
+    Result<CompiledSelector> fresh =
+        CompileSelector(fresh_index, phi, "x", "y", AxisRepr::kInterval);
+    Result<CompiledSelector> cached = cache.Load(f.key);
+    if (!fresh.ok() || !cached.ok()) {
+      state.SkipWithError("E19 cross-check compile/load failed");
+      return;
+    }
+    for (NodeId origin : Origins(*tree)) {
+      if (fresh->SelectFrom(origin) != cached->SelectFrom(origin)) {
+        state.SkipWithError("snapshot+cache/fresh mismatch");
+        return;
+      }
+    }
+  }
+  std::size_t selected = 0;
+  std::int64_t peak = 0;
+  for (auto _ : state) {
+    ResourceGovernor governor;
+    governor.set_memory_budget(std::int64_t{4} << 30);
+    auto tree = LoadTreeSnapshot(f.snap_path, &governor);
+    if (!tree.ok()) {
+      state.SkipWithError(tree.status().ToString().c_str());
+      return;
+    }
+    AxisIndex index(*tree, &governor);
+    SelectorDiskCache cache(f.cache_dir);
+    Result<CompiledSelector> compiled = CompileSelectorCached(
+        index, phi, "x", "y", AxisRepr::kInterval, &cache, f.key.tree_hash);
+    if (!compiled.ok()) {
+      state.SkipWithError(compiled.status().ToString().c_str());
+      return;
+    }
+    selected = 0;
+    for (NodeId origin : Origins(*tree)) {
+      selected += compiled->SelectFrom(origin).size();
+    }
+    peak = governor.accountant()->peak();
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["peak_mb"] = static_cast<double>(peak) / (1024.0 * 1024.0);
+}
+
+BENCHMARK(BM_ColdStartParseCompile)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColdStartSnapshotCache)->Unit(benchmark::kMillisecond);
 
 // --- E15: resource-governor overhead. --------------------------------
 //

@@ -14,7 +14,9 @@
 #include "src/common/governor.h"
 #include "src/common/metrics.h"
 #include "src/logic/compile.h"
+#include "src/logic/selector_cache.h"
 #include "src/logic/tree_eval.h"
+#include "src/tree/snapshot.h"
 #include "src/relstore/store_eval.h"
 #include "src/tree/axis_index.h"
 
@@ -347,8 +349,14 @@ class Runner {
           // as the run's error rather than in a getter.
           TREEWALK_RETURN_IF_ERROR(axis_index_->status());
         }
-        Result<CompiledSelector> compiled = CompileSelector(
-            *axis_index_, selector, "x", "y", options_.axis_repr);
+        if (options_.selector_disk_cache != nullptr &&
+            !tree_hash_.has_value()) {
+          // One content hash per run, shared by every cached compile.
+          tree_hash_ = TreeContentHash(tree_);
+        }
+        Result<CompiledSelector> compiled = CompileSelectorCached(
+            *axis_index_, selector, "x", "y", options_.axis_repr,
+            options_.selector_disk_cache, tree_hash_.value_or(0));
         if (!compiled.ok() &&
             (compiled.status().code() == StatusCode::kResourceExhausted ||
              compiled.status().code() == StatusCode::kDeadlineExceeded)) {
@@ -508,6 +516,7 @@ class Runner {
   std::vector<std::vector<int>> selector_rels_;
   std::map<SelectorKey, std::vector<NodeId>> selector_cache_;
   std::optional<AxisIndex> axis_index_;
+  std::optional<std::uint64_t> tree_hash_;  // lazy; disk-cache key half
   /// Per-canonical-selector compile result: absent = untried, nullopt =
   /// compiler declined (reference fallback), value = compiled.
   std::map<std::size_t, std::optional<CompiledSelector>> compiled_;

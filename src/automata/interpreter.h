@@ -15,6 +15,8 @@
 
 namespace treewalk {
 
+class SelectorDiskCache;  // src/logic/selector_cache.h
+
 /// Resource limits for a run.  Exceeding any limit aborts the run with
 /// kResourceExhausted (an *error*, distinct from semantic rejection).
 struct RunOptions {
@@ -56,6 +58,13 @@ struct RunOptions {
   /// pre-order interval lists, which is what lets compiled evaluation
   /// (and a linear memory budget) survive million-node inputs.
   AxisRepr axis_repr = AxisRepr::kAuto;
+  /// Persistent compiled-selector cache (src/logic/selector_cache.h).
+  /// When non-null, each selector compile first consults the on-disk
+  /// cache keyed by (formula, tree content hash, resolved repr) and
+  /// persists fresh compiles back.  Any cache failure degrades to a
+  /// plain compile — semantically invisible, like compile_selectors
+  /// itself.  Must outlive the run.
+  const SelectorDiskCache* selector_disk_cache = nullptr;
   /// Cooperative cancellation: when non-null and set, the run aborts
   /// with kCancelled at the next transition boundary.  The pointee must
   /// outlive the run; src/engine points every job of a batch at one

@@ -44,6 +44,12 @@ const std::vector<std::string>& FailpointRegistry::KnownSites() {
       "journal/append",      // journal record write entry
       "journal/fsync",       // journal fsync barrier
       "journal/rename",      // atomic header tmp+rename at creation
+      "atomic_file/write",        // atomic tmp-file creation + write
+      "atomic_file/fsync",        // atomic-write fsync barrier
+      "atomic_file/rename",       // atomic-write rename commit
+      "snapshot/load",            // tree-snapshot open/map/validate entry
+      "selector_cache/load",      // compiled-selector cache read entry
+      "selector_cache/store",     // compiled-selector cache write entry
   };
   return sites;
 }

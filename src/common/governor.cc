@@ -36,6 +36,8 @@ const char* MemoryCategoryName(MemoryCategory category) {
       return "trace";
     case MemoryCategory::kSelectorCache:
       return "selector-cache";
+    case MemoryCategory::kMappedSnapshot:
+      return "mapped-snapshot";
   }
   return "?";
 }

@@ -22,8 +22,9 @@ enum class MemoryCategory {
   kStore,           ///< register store tuple growth (peak, monotone)
   kTrace,           ///< recorded trace entries
   kSelectorCache,   ///< per-run atp() selector-result cache
+  kMappedSnapshot,  ///< mmap-ed tree snapshot regions (src/tree/snapshot.h)
 };
-inline constexpr int kNumMemoryCategories = 6;
+inline constexpr int kNumMemoryCategories = 7;
 
 const char* MemoryCategoryName(MemoryCategory category);
 

@@ -71,6 +71,21 @@ class ValueInterner {
   /// the decimal number, and "_|_" for kBottom.
   std::string Render(DataValue v) const;
 
+  /// Number of interned strings; with NameAt() this enumerates the pool
+  /// in handle order, which is how snapshots persist it
+  /// (docs/SNAPSHOT.md) — re-interning the strings in that order on
+  /// load reproduces every handle, so raw attribute values stay valid.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return interner_.size();
+  }
+  /// String of handle `i` (0 <= i < size()), by value: the lock cannot
+  /// protect a returned reference.
+  std::string NameAt(std::int64_t i) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return interner_.NameOf(i);
+  }
+
  private:
   mutable std::mutex mutex_;
   Interner interner_;

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/common/atomic_file.h"
 #include "src/common/failpoint.h"
 #include "src/common/metrics.h"
 
@@ -49,40 +50,6 @@ struct JournalMetrics {
   }
 };
 
-/// CRC32C lookup table for the reflected polynomial 0x82F63B78,
-/// generated on first use.
-const std::uint32_t* Crc32cTable() {
-  static const std::uint32_t* table = [] {
-    auto* t = new std::uint32_t[256];
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  return table;
-}
-
-void PutU32Le(std::uint32_t v, std::string& out) {
-  out.push_back(static_cast<char>(v & 0xff));
-  out.push_back(static_cast<char>((v >> 8) & 0xff));
-  out.push_back(static_cast<char>((v >> 16) & 0xff));
-  out.push_back(static_cast<char>((v >> 24) & 0xff));
-}
-
-std::uint32_t GetU32Le(std::string_view bytes, std::size_t at) {
-  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at])) |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 1]))
-             << 8 |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 2]))
-             << 16 |
-         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + 3]))
-             << 24;
-}
-
 std::string HeaderBytes() {
   std::string header(kJournalMagic, sizeof(kJournalMagic));
   PutU32Le(kJournalVersion, header);
@@ -90,40 +57,11 @@ std::string HeaderBytes() {
   return header;
 }
 
-Status ErrnoStatus(const std::string& op, const std::string& path) {
-  return Internal(op + " '" + path + "': " + std::strerror(errno));
-}
-
-/// write(2) until every byte landed (or a real error).
-Status WriteAll(int fd, const std::string& path, std::string_view bytes) {
-  std::size_t done = 0;
-  while (done < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("write", path);
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
-}
-
-Status FsyncFd(int fd, const std::string& path) {
+/// fsync with the journal's durability-barrier failpoint; the raw
+/// syscall wrappers live in src/common/atomic_file.h.
+Status FsyncJournalFd(int fd, const std::string& path) {
   TREEWALK_FAILPOINT("journal/fsync");
-  if (::fsync(fd) != 0) return ErrnoStatus("fsync", path);
-  return Status::Ok();
-}
-
-/// fsyncs the directory containing `path`, making a rename into it
-/// durable.  Best-effort: some filesystems refuse O_RDONLY on dirs.
-void FsyncParentDir(const std::string& path) {
-  std::string dir = ".";
-  std::size_t slash = path.find_last_of('/');
-  if (slash != std::string::npos) dir = path.substr(0, slash + 1);
-  int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
+  return FsyncFd(fd, path);
 }
 
 /// Creates `path` with a valid empty-journal header via tmp+rename, so a
@@ -132,8 +70,8 @@ Status CreateJournalFile(const std::string& path) {
   std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("create", tmp);
-  Status status = WriteAll(fd, tmp, HeaderBytes());
-  if (status.ok()) status = FsyncFd(fd, tmp);
+  Status status = WriteAllFd(fd, tmp, HeaderBytes());
+  if (status.ok()) status = FsyncJournalFd(fd, tmp);
   ::close(fd);
   if (status.ok()) {
     status = [&]() -> Status {
@@ -153,15 +91,6 @@ Status CreateJournalFile(const std::string& path) {
 }
 
 }  // namespace
-
-std::uint32_t Crc32c(std::string_view data) {
-  const std::uint32_t* table = Crc32cTable();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (char c : data) {
-    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xff] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 Result<JournalContents> ParseJournal(std::string_view bytes) {
   if (bytes.size() < kJournalHeaderBytes) {
@@ -292,7 +221,7 @@ Status JournalWriter::Append(std::string_view payload) {
   PutU32Le(static_cast<std::uint32_t>(payload.size()), frame);
   PutU32Le(Crc32c(payload), frame);
   frame.append(payload);
-  TREEWALK_RETURN_IF_ERROR(WriteAll(fd_, path_, frame));
+  TREEWALK_RETURN_IF_ERROR(WriteAllFd(fd_, path_, frame));
   ++appended_;
   JournalMetrics& metrics = JournalMetrics::Get();
   metrics.records->Increment();
@@ -305,7 +234,7 @@ Status JournalWriter::Sync() {
   if (fd_ < 0) return FailedPrecondition("journal writer is closed");
   since_sync_ = 0;
   auto start = std::chrono::steady_clock::now();
-  Status status = FsyncFd(fd_, path_);
+  Status status = FsyncJournalFd(fd_, path_);
   JournalMetrics& metrics = JournalMetrics::Get();
   metrics.fsyncs->Increment();
   metrics.fsync_us->Observe(

@@ -6,13 +6,10 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/crc32c.h"  // journal frames are CRC32C-checked
 #include "src/common/result.h"
 
 namespace treewalk {
-
-/// CRC32C (Castagnoli polynomial, reflected 0x82F63B78) of `data`.
-/// Software table implementation; stable across platforms.
-std::uint32_t Crc32c(std::string_view data);
 
 /// Append-only write-ahead journal with CRC-framed records
 /// (docs/ROBUSTNESS.md, "Durability & recovery").

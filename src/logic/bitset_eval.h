@@ -131,6 +131,9 @@ class CompiledSelector {
 
  private:
   friend class Compiler;
+  // src/logic/selector_cache.cc: persistent-cache (de)serialization of
+  // the materialized payload.
+  friend class SelectorCacheCodec;
 
   /// Which shape the materialized result took: a selector that ignores
   /// one of its variables materializes as a set or a constant.

@@ -625,11 +625,18 @@ Result<const std::vector<NodeId>*> AxisIndex::TryPostorderRanks() const {
     TREEWALK_RETURN_IF_ERROR(GovernorCharge(
         governor_, MemoryCategory::kAxisIndex,
         static_cast<std::int64_t>(n_ * sizeof(NodeId)) + 48));
-    std::vector<NodeId> order = PostOrder(*tree_);
-    post_ranks_.emplace(n_);
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      (*post_ranks_)[static_cast<std::size_t>(order[i])] =
-          static_cast<NodeId>(i);
+    if (const NodeId* snap = tree_->snapshot_postorder();
+        snap != nullptr && n_ > 0) {
+      // Snapshot-backed tree: adopt the persisted ranks instead of
+      // re-running the numbering DFS (src/tree/snapshot.h).
+      post_ranks_.emplace(snap, snap + n_);
+    } else {
+      std::vector<NodeId> order = PostOrder(*tree_);
+      post_ranks_.emplace(n_);
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        (*post_ranks_)[static_cast<std::size_t>(order[i])] =
+            static_cast<NodeId>(i);
+      }
     }
   }
   return &*post_ranks_;

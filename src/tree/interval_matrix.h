@@ -124,6 +124,9 @@ class IntervalMatrix {
 
  private:
   friend class IntervalMatrixBuilder;
+  // src/logic/selector_cache.cc: serializes pools once plus row
+  // descriptors, so pool sharing survives a cache round trip.
+  friend class SelectorCacheCodec;
   using Pool = std::vector<NodeSpan>;
 
   /// Shared body of And/Or (the four complement-flag cases are duals).

@@ -1,0 +1,574 @@
+#include "src/tree/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/atomic_file.h"
+#include "src/common/crc32c.h"
+#include "src/common/failpoint.h"
+#include "src/common/metrics.h"
+#include "src/tree/traversal.h"
+
+namespace treewalk {
+namespace {
+
+// Section kinds, in file order.  docs/SNAPSHOT.md is the normative
+// description; keep the two in sync.
+constexpr std::uint32_t kSecNodes = 1;      // raw Tree::Node records
+constexpr std::uint32_t kSecLabels = 2;     // label interner pool
+constexpr std::uint32_t kSecAttrs = 3;      // attribute-name interner pool
+constexpr std::uint32_t kSecValues = 4;     // value interner pool
+constexpr std::uint32_t kSecColumns = 5;    // attr columns, [attr][node]
+constexpr std::uint32_t kSecPostorder = 6;  // post-order rank per node
+constexpr std::uint32_t kNumSections = 6;
+
+constexpr std::size_t kSectionEntryBytes = 24;
+constexpr std::size_t kTableBytes = kNumSections * kSectionEntryBytes;
+constexpr std::uint32_t kFlagLittleEndian = 1;
+
+// Caps on header counts, checked before any multiplication so section
+// size arithmetic cannot overflow (2^31 nodes * 2^20 attrs * 8 bytes
+// still fits u64 with room to spare).
+constexpr std::uint64_t kMaxNodes =
+    static_cast<std::uint64_t>(std::numeric_limits<NodeId>::max());
+constexpr std::uint64_t kMaxPoolEntries = std::uint64_t{1} << 20;
+
+std::size_t AlignUp8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+std::string_view RawView(const void* base, std::size_t bytes) {
+  return {static_cast<const char*>(base), bytes};
+}
+
+// Pool encoding: u64 count | u32 length per entry | entry bytes.
+std::string EncodePoolStrings(std::size_t count,
+                              const std::function<std::string(std::int64_t)>&
+                                  name_at) {
+  std::string out;
+  PutU64Le(count, out);
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    names.push_back(name_at(static_cast<std::int64_t>(i)));
+    PutU32Le(static_cast<std::uint32_t>(names.back().size()), out);
+  }
+  for (const std::string& name : names) out += name;
+  return out;
+}
+
+Result<std::vector<std::string>> DecodePool(std::string_view sec,
+                                            std::uint64_t expected_count,
+                                            const char* what) {
+  const std::string err = std::string("snapshot ") + what + " pool corrupt";
+  if (sec.size() < 8) return InvalidArgument(err);
+  const std::uint64_t count = GetU64Le(sec, 0);
+  if (count != expected_count || count > kMaxPoolEntries) {
+    return InvalidArgument(err);
+  }
+  if ((sec.size() - 8) / 4 < count) return InvalidArgument(err);
+  std::size_t at = 8 + static_cast<std::size_t>(count) * 4;
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t len = GetU32Le(sec, 8 + static_cast<std::size_t>(i) * 4);
+    if (len > sec.size() - at) return InvalidArgument(err);
+    out.emplace_back(sec.substr(at, len));
+    at += len;
+  }
+  if (at != sec.size()) return InvalidArgument(err);
+  return out;
+}
+
+struct SnapshotMetrics {
+  Counter* loads;
+  Counter* load_failures;
+  Counter* writes;
+
+  static SnapshotMetrics& Get() {
+    static SnapshotMetrics m{
+        MetricsRegistry::Global().FindOrCreateCounter(
+            "treewalk_snapshot_loads_total",
+            "Tree snapshots loaded (mmap or image) successfully"),
+        MetricsRegistry::Global().FindOrCreateCounter(
+            "treewalk_snapshot_load_failures_total",
+            "Snapshot loads rejected (missing, truncated, corrupt, or "
+            "injected fault); callers fall back to parsing"),
+        MetricsRegistry::Global().FindOrCreateCounter(
+            "treewalk_snapshot_writes_total",
+            "Tree snapshots written via the atomic tmp+rename path"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+const char* SnapshotSectionName(std::uint32_t kind) {
+  switch (kind) {
+    case kSecNodes:
+      return "nodes";
+    case kSecLabels:
+      return "label-pool";
+    case kSecAttrs:
+      return "attr-pool";
+    case kSecValues:
+      return "value-pool";
+    case kSecColumns:
+      return "attr-columns";
+    case kSecPostorder:
+      return "postorder-ranks";
+    default:
+      return "?";
+  }
+}
+
+/// Friend of Tree (tree.h): the only code that sees Node's raw layout on
+/// both sides of the disk boundary.
+class SnapshotCodec {
+ public:
+  static std::uint64_t ContentHash(const Tree& tree) {
+    // Node records are persisted as raw bytes, so the record layout is
+    // part of the format; any change here must bump kSnapshotVersion.
+    static_assert(std::is_trivially_copyable_v<Tree::Node>);
+    static_assert(sizeof(Tree::Node) == 40,
+                  "Tree::Node layout changed: bump kSnapshotVersion");
+    static_assert(offsetof(Tree::Node, label) == 0);
+    static_assert(offsetof(Tree::Node, parent) == 8);
+    static_assert(offsetof(Tree::Node, subtree_end) == 28);
+    static_assert(offsetof(Tree::Node, num_children) == 36);
+    static_assert(sizeof(DataValue) == 8);
+
+    const std::size_t n = tree.node_count_;
+    // FNV is byte-serial, so chaining over the section payloads equals
+    // hashing their concatenation; no buffers are materialized for the
+    // two big sections.
+    std::uint64_t h = Fnv1a64(std::string_view(kSnapshotMagic, 8));
+    if (n > 0) {
+      h = Fnv1a64(RawView(tree.nodes_view_, n * sizeof(Tree::Node)), h);
+    }
+    h = Fnv1a64(EncodeLabelPool(tree), h);
+    h = Fnv1a64(EncodeAttrPool(tree), h);
+    h = Fnv1a64(EncodeValuePool(tree), h);
+    if (n > 0) {
+      for (const DataValue* column : tree.attr_views_) {
+        h = Fnv1a64(RawView(column, n * sizeof(DataValue)), h);
+      }
+    }
+    return h;
+  }
+
+  static std::string Encode(const Tree& tree, SnapshotInfo* info) {
+    const std::size_t n = tree.node_count_;
+    std::array<std::string, kNumSections> sections;
+    if (n > 0) {
+      sections[0].assign(RawView(tree.nodes_view_, n * sizeof(Tree::Node)));
+    }
+    sections[1] = EncodeLabelPool(tree);
+    sections[2] = EncodeAttrPool(tree);
+    sections[3] = EncodeValuePool(tree);
+    if (n > 0) {
+      for (const DataValue* column : tree.attr_views_) {
+        sections[4].append(RawView(column, n * sizeof(DataValue)));
+      }
+    }
+    sections[5] = EncodePostorder(tree);
+
+    const std::uint64_t content_hash = ContentHash(tree);
+
+    struct Entry {
+      std::uint32_t crc;
+      std::uint64_t offset;
+      std::uint64_t length;
+    };
+    std::array<Entry, kNumSections> entries;
+    std::size_t off = kSnapshotHeaderBytes + kTableBytes;
+    for (std::uint32_t i = 0; i < kNumSections; ++i) {
+      off = AlignUp8(off);
+      entries[i] = Entry{Crc32c(sections[i]), off, sections[i].size()};
+      off += sections[i].size();
+    }
+
+    std::string out;
+    out.reserve(off);
+    out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+    PutU32Le(kSnapshotVersion, out);
+    PutU32Le(kNumSections, out);
+    PutU64Le(n, out);
+    PutU64Le(tree.labels_.size(), out);
+    PutU64Le(tree.attr_views_.size(), out);
+    PutU64Le(tree.values_->size(), out);
+    PutU64Le(content_hash, out);
+    PutU32Le(kFlagLittleEndian, out);
+    PutU32Le(Crc32c(out), out);  // header CRC over the first 60 bytes
+
+    for (std::uint32_t i = 0; i < kNumSections; ++i) {
+      PutU32Le(i + 1, out);  // kind
+      PutU32Le(entries[i].crc, out);
+      PutU64Le(entries[i].offset, out);
+      PutU64Le(entries[i].length, out);
+    }
+    for (std::uint32_t i = 0; i < kNumSections; ++i) {
+      out.resize(static_cast<std::size_t>(entries[i].offset), '\0');
+      out += sections[i];
+    }
+
+    if (info != nullptr) {
+      info->version = kSnapshotVersion;
+      info->nodes = n;
+      info->labels = tree.labels_.size();
+      info->attrs = tree.attr_views_.size();
+      info->values = tree.values_->size();
+      info->content_hash = content_hash;
+      info->file_bytes = out.size();
+      info->sections.clear();
+      for (std::uint32_t i = 0; i < kNumSections; ++i) {
+        info->sections.push_back(SnapshotSectionInfo{
+            i + 1, entries[i].crc, entries[i].offset, entries[i].length});
+      }
+    }
+    return out;
+  }
+
+  static Result<Tree> Decode(std::shared_ptr<const void> owner,
+                             std::string_view bytes, SnapshotInfo* info) {
+    if (std::endian::native != std::endian::little) {
+      return InvalidArgument("snapshot loading requires a little-endian host");
+    }
+    if (reinterpret_cast<std::uintptr_t>(bytes.data()) % 8 != 0) {
+      return InvalidArgument("snapshot image base is not 8-byte aligned");
+    }
+    if (bytes.size() < kSnapshotHeaderBytes + kTableBytes) {
+      return InvalidArgument("snapshot truncated: no room for header");
+    }
+    if (bytes.substr(0, 8) != std::string_view(kSnapshotMagic, 8)) {
+      return InvalidArgument("not a tree snapshot (bad magic)");
+    }
+    // Header CRC before trusting any header field.
+    if (GetU32Le(bytes, 60) != Crc32c(bytes.substr(0, 60))) {
+      return InvalidArgument("snapshot header CRC mismatch");
+    }
+    const std::uint32_t version = GetU32Le(bytes, 8);
+    if (version != kSnapshotVersion) {
+      return InvalidArgument("unsupported snapshot version " +
+                             std::to_string(version));
+    }
+    if (GetU32Le(bytes, 12) != kNumSections) {
+      return InvalidArgument("snapshot section count mismatch");
+    }
+    const std::uint64_t node_count = GetU64Le(bytes, 16);
+    const std::uint64_t label_count = GetU64Le(bytes, 24);
+    const std::uint64_t attr_count = GetU64Le(bytes, 32);
+    const std::uint64_t value_count = GetU64Le(bytes, 40);
+    const std::uint64_t content_hash = GetU64Le(bytes, 48);
+    if ((GetU32Le(bytes, 56) & kFlagLittleEndian) == 0) {
+      return InvalidArgument("snapshot written on a big-endian host");
+    }
+    if (node_count > kMaxNodes || label_count > kMaxPoolEntries ||
+        attr_count > kMaxPoolEntries || value_count > kMaxPoolEntries) {
+      return InvalidArgument("snapshot header counts are implausible");
+    }
+    const std::size_t n = static_cast<std::size_t>(node_count);
+
+    // Section table: one entry per kind, in bounds, aligned, CRC-clean.
+    std::array<SnapshotSectionInfo, kNumSections> secs{};
+    std::array<bool, kNumSections + 1> seen{};
+    for (std::uint32_t i = 0; i < kNumSections; ++i) {
+      const std::size_t at = kSnapshotHeaderBytes + i * kSectionEntryBytes;
+      SnapshotSectionInfo e;
+      e.kind = GetU32Le(bytes, at);
+      e.crc = GetU32Le(bytes, at + 4);
+      e.offset = GetU64Le(bytes, at + 8);
+      e.length = GetU64Le(bytes, at + 16);
+      if (e.kind < 1 || e.kind > kNumSections || seen[e.kind]) {
+        return InvalidArgument("snapshot section table corrupt");
+      }
+      if (e.offset % 8 != 0 || e.offset > bytes.size() ||
+          e.length > bytes.size() - e.offset) {
+        return InvalidArgument(std::string("snapshot section ") +
+                               SnapshotSectionName(e.kind) +
+                               " out of bounds (truncated?)");
+      }
+      if (Crc32c(bytes.substr(static_cast<std::size_t>(e.offset),
+                              static_cast<std::size_t>(e.length))) != e.crc) {
+        return InvalidArgument(std::string("snapshot section ") +
+                               SnapshotSectionName(e.kind) + " CRC mismatch");
+      }
+      seen[e.kind] = true;
+      secs[e.kind - 1] = e;
+    }
+
+    auto section = [&](std::uint32_t kind) {
+      const SnapshotSectionInfo& e = secs[kind - 1];
+      return bytes.substr(static_cast<std::size_t>(e.offset),
+                          static_cast<std::size_t>(e.length));
+    };
+    if (section(kSecNodes).size() != n * sizeof(Tree::Node) ||
+        section(kSecColumns).size() !=
+            static_cast<std::uint64_t>(attr_count) * n * sizeof(DataValue) ||
+        section(kSecPostorder).size() != n * sizeof(NodeId)) {
+      return InvalidArgument("snapshot section sizes disagree with header");
+    }
+
+    Tree tree;
+    TREEWALK_ASSIGN_OR_RETURN(
+        std::vector<std::string> labels,
+        DecodePool(section(kSecLabels), label_count, "label"));
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      // A fresh interner assigns handles densely from 0, so interning
+      // the pool in order reproduces every persisted handle; a repeat
+      // (impossible for writer output) would silently renumber.
+      if (tree.labels_.Intern(labels[i]) != static_cast<std::int64_t>(i)) {
+        return InvalidArgument("snapshot label pool has duplicates");
+      }
+    }
+    TREEWALK_ASSIGN_OR_RETURN(
+        std::vector<std::string> attrs,
+        DecodePool(section(kSecAttrs), attr_count, "attribute"));
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      if (tree.attrs_.Intern(attrs[i]) != static_cast<std::int64_t>(i)) {
+        return InvalidArgument("snapshot attribute pool has duplicates");
+      }
+    }
+    TREEWALK_ASSIGN_OR_RETURN(
+        std::vector<std::string> values,
+        DecodePool(section(kSecValues), value_count, "value"));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (tree.values_->ValueFor(values[i]) !=
+          ValueInterner::kStringBase + static_cast<DataValue>(i)) {
+        return InvalidArgument("snapshot value pool has duplicates");
+      }
+    }
+
+    // Validate every node record before exposing the view.  The checks
+    // guarantee memory safety of all O(1) accessors and termination of
+    // parent walks (parent < u strictly decreases); they intentionally
+    // do not prove full structural consistency — CRCs plus the writer
+    // being the only producer cover that.
+    const Tree::Node* nodes =
+        n > 0 ? reinterpret_cast<const Tree::Node*>(
+                    bytes.data() +
+                    static_cast<std::size_t>(secs[kSecNodes - 1].offset))
+              : nullptr;
+    const NodeId limit = static_cast<NodeId>(n);
+    for (NodeId u = 0; u < limit; ++u) {
+      const Tree::Node& nd = nodes[static_cast<std::size_t>(u)];
+      const bool bad_label =
+          nd.label < 0 || nd.label >= static_cast<Symbol>(label_count);
+      const bool bad_parent =
+          u == 0 ? nd.parent != kNoNode
+                 : (nd.parent < 0 || nd.parent >= u);
+      auto bad_after = [&](NodeId x) {  // kNoNode or strictly below u
+        return x != kNoNode && (x <= u || x >= limit);
+      };
+      const bool bad_children =
+          bad_after(nd.first_child) || bad_after(nd.last_child) ||
+          nd.num_children < 0 || nd.child_index < 0;
+      const bool bad_siblings =
+          bad_after(nd.next_sibling) ||
+          (nd.prev_sibling != kNoNode &&
+           (nd.prev_sibling < 0 || nd.prev_sibling >= u));
+      const bool bad_subtree = nd.subtree_end <= u || nd.subtree_end > limit;
+      if (bad_label || bad_parent || bad_children || bad_siblings ||
+          bad_subtree) {
+        return InvalidArgument("snapshot node record " + std::to_string(u) +
+                               " fails validation");
+      }
+    }
+    const NodeId* postorder =
+        n > 0 ? reinterpret_cast<const NodeId*>(
+                    bytes.data() +
+                    static_cast<std::size_t>(secs[kSecPostorder - 1].offset))
+              : nullptr;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (postorder[u] < 0 || postorder[u] >= limit) {
+        return InvalidArgument("snapshot post-order rank out of range");
+      }
+    }
+
+    tree.node_count_ = n;
+    tree.nodes_view_ = nodes;
+    tree.postorder_view_ = postorder;
+    tree.attr_values_.resize(static_cast<std::size_t>(attr_count));
+    tree.attr_views_.reserve(static_cast<std::size_t>(attr_count));
+    const char* columns_base =
+        bytes.data() + static_cast<std::size_t>(secs[kSecColumns - 1].offset);
+    for (std::uint64_t a = 0; a < attr_count; ++a) {
+      tree.attr_views_.push_back(reinterpret_cast<const DataValue*>(
+          columns_base + static_cast<std::size_t>(a) * n * sizeof(DataValue)));
+    }
+    tree.mapping_ = std::move(owner);
+
+    if (info != nullptr) {
+      info->version = version;
+      info->nodes = node_count;
+      info->labels = label_count;
+      info->attrs = attr_count;
+      info->values = value_count;
+      info->content_hash = content_hash;
+      info->file_bytes = bytes.size();
+      info->sections.assign(secs.begin(), secs.end());
+    }
+    return tree;
+  }
+
+ private:
+  static std::string EncodeLabelPool(const Tree& tree) {
+    return EncodePoolStrings(tree.labels_.size(), [&](std::int64_t i) {
+      return tree.labels_.NameOf(i);
+    });
+  }
+  static std::string EncodeAttrPool(const Tree& tree) {
+    return EncodePoolStrings(tree.attrs_.size(), [&](std::int64_t i) {
+      return tree.attrs_.NameOf(i);
+    });
+  }
+  static std::string EncodeValuePool(const Tree& tree) {
+    return EncodePoolStrings(tree.values_->size(), [&](std::int64_t i) {
+      return tree.values_->NameAt(i);
+    });
+  }
+  static std::string EncodePostorder(const Tree& tree) {
+    const std::size_t n = tree.node_count_;
+    std::string out;
+    if (n == 0) return out;
+    if (tree.postorder_view_ != nullptr) {
+      out.assign(RawView(tree.postorder_view_, n * sizeof(NodeId)));
+      return out;
+    }
+    std::vector<NodeId> ranks(n);
+    const std::vector<NodeId> order = PostOrder(tree);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      ranks[static_cast<std::size_t>(order[i])] = static_cast<NodeId>(i);
+    }
+    out.assign(RawView(ranks.data(), n * sizeof(NodeId)));
+    return out;
+  }
+};
+
+std::uint64_t TreeContentHash(const Tree& tree) {
+  return SnapshotCodec::ContentHash(tree);
+}
+
+std::string EncodeTreeSnapshot(const Tree& tree) {
+  return SnapshotCodec::Encode(tree, nullptr);
+}
+
+Result<SnapshotInfo> WriteTreeSnapshot(const Tree& tree,
+                                       const std::string& path) {
+  SnapshotInfo info;
+  const std::string image = SnapshotCodec::Encode(tree, &info);
+  TREEWALK_RETURN_IF_ERROR(WriteFileAtomic(path, image));
+  SnapshotMetrics::Get().writes->Increment();
+  return info;
+}
+
+Result<Tree> TreeFromSnapshotImage(std::shared_ptr<const std::string> image,
+                                   SnapshotInfo* info) {
+  if (image == nullptr) return InvalidArgument("null snapshot image");
+  const std::string_view bytes = *image;
+  Result<Tree> tree = SnapshotCodec::Decode(std::move(image), bytes, info);
+  if (tree.ok()) {
+    SnapshotMetrics::Get().loads->Increment();
+  } else {
+    SnapshotMetrics::Get().load_failures->Increment();
+  }
+  return tree;
+}
+
+namespace {
+
+/// Owner object threaded into the decoded Tree's `mapping_`: unmaps and
+/// releases the governor charge when the last aliasing Tree dies.
+class MappedRegion {
+ public:
+  MappedRegion(void* base, std::size_t length, ResourceGovernor* governor)
+      : base_(base), length_(length), governor_(governor) {}
+  // Sole owner of the mapping: a copy would double-munmap.
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  ~MappedRegion() {
+    ::munmap(base_, length_);
+    GovernorRelease(governor_, MemoryCategory::kMappedSnapshot,
+                    static_cast<std::int64_t>(length_));
+  }
+
+ private:
+  void* base_;
+  std::size_t length_;
+  ResourceGovernor* governor_;
+};
+
+Result<Tree> LoadTreeSnapshotImpl(const std::string& path,
+                                  ResourceGovernor* governor,
+                                  SnapshotInfo* info) {
+  TREEWALK_FAILPOINT("snapshot/load");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return NotFound("no snapshot at '" + path + "'");
+    return ErrnoStatus("open", path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = ErrnoStatus("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return InvalidArgument("snapshot file '" + path + "' is empty");
+  }
+  const Status charge = GovernorCharge(
+      governor, MemoryCategory::kMappedSnapshot, static_cast<std::int64_t>(size));
+  if (!charge.ok()) {
+    ::close(fd);
+    return charge;
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    GovernorRelease(governor, MemoryCategory::kMappedSnapshot,
+                    static_cast<std::int64_t>(size));
+    return ErrnoStatus("mmap", path);
+  }
+  auto region = std::make_shared<MappedRegion>(base, size, governor);
+  return SnapshotCodec::Decode(std::move(region), RawView(base, size), info);
+}
+
+}  // namespace
+
+Result<Tree> LoadTreeSnapshot(const std::string& path,
+                              ResourceGovernor* governor, SnapshotInfo* info) {
+  Result<Tree> tree = LoadTreeSnapshotImpl(path, governor, info);
+  if (tree.ok()) {
+    SnapshotMetrics::Get().loads->Increment();
+  } else {
+    SnapshotMetrics::Get().load_failures->Increment();
+  }
+  return tree;
+}
+
+Result<SnapshotInfo> InspectTreeSnapshot(const std::string& path) {
+  TREEWALK_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  auto image = std::make_shared<const std::string>(std::move(bytes));
+  SnapshotInfo info;
+  TREEWALK_ASSIGN_OR_RETURN(Tree tree, TreeFromSnapshotImage(image, &info));
+  (void)tree;
+  return info;
+}
+
+}  // namespace treewalk

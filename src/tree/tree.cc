@@ -5,6 +5,86 @@
 
 namespace treewalk {
 
+// The view pointers (nodes_view_, attr_views_) alias this object's own
+// vectors when the storage is owned, so the compiler-generated copy
+// would leave them dangling at the source's buffers; copies rebind each
+// view that pointed into the source's owned storage and keep mapped
+// views (plus the mapping_ owner) verbatim.
+Tree::Tree(const Tree& other)
+    : nodes_(other.nodes_),
+      labels_(other.labels_),
+      attrs_(other.attrs_),
+      attr_values_(other.attr_values_),
+      nodes_view_(other.nodes_view_),
+      node_count_(other.node_count_),
+      attr_views_(other.attr_views_),
+      postorder_view_(other.postorder_view_),
+      mapping_(other.mapping_),
+      values_(other.values_) {
+  RebindOwnedViews(other);
+}
+
+Tree& Tree::operator=(const Tree& other) {
+  if (this != &other) {
+    Tree copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Tree::Tree(Tree&& other) noexcept { *this = std::move(other); }
+
+Tree& Tree::operator=(Tree&& other) noexcept {
+  if (this == &other) return *this;
+  // Ownedness must be read before the vectors move out of `other`.
+  const bool nodes_owned = other.nodes_view_ == other.nodes_.data();
+  std::vector<bool> column_owned(other.attr_views_.size());
+  for (std::size_t a = 0; a < column_owned.size(); ++a) {
+    column_owned[a] = other.attr_views_[a] == other.attr_values_[a].data();
+  }
+  nodes_ = std::move(other.nodes_);
+  labels_ = std::move(other.labels_);
+  attrs_ = std::move(other.attrs_);
+  attr_values_ = std::move(other.attr_values_);
+  node_count_ = other.node_count_;
+  attr_views_ = std::move(other.attr_views_);
+  postorder_view_ = other.postorder_view_;
+  mapping_ = std::move(other.mapping_);
+  values_ = std::move(other.values_);
+  // Vector moves keep heap buffers, so rebinding is a no-op for data
+  // that was on the heap; it matters for empty/SSO-free edge cases and
+  // keeps the invariant "owned views point at own storage" literal.
+  nodes_view_ = nodes_owned ? nodes_.data() : other.nodes_view_;
+  for (std::size_t a = 0; a < attr_views_.size(); ++a) {
+    if (column_owned[a]) attr_views_[a] = attr_values_[a].data();
+  }
+  other.nodes_view_ = nullptr;
+  other.node_count_ = 0;
+  other.postorder_view_ = nullptr;
+  return *this;
+}
+
+void Tree::RebindOwnedViews(const Tree& other) {
+  if (other.nodes_view_ == other.nodes_.data()) nodes_view_ = nodes_.data();
+  for (std::size_t a = 0; a < attr_views_.size(); ++a) {
+    if (other.attr_views_[a] == other.attr_values_[a].data()) {
+      attr_views_[a] = attr_values_[a].data();
+    }
+  }
+}
+
+DataValue* Tree::MutableColumn(AttrId a) {
+  auto& owned = attr_values_[static_cast<std::size_t>(a)];
+  const DataValue*& view = attr_views_[static_cast<std::size_t>(a)];
+  if (view != owned.data()) {
+    // Snapshot-mapped column: detach copy-on-write.  Other trees (and
+    // the file) sharing the mapping are unaffected.
+    owned.assign(view, view + node_count_);
+    view = owned.data();
+  }
+  return owned.data();
+}
+
 int Tree::Depth(NodeId u) const {
   int depth = 0;
   for (NodeId p = Parent(u); p != kNoNode; p = Parent(p)) ++depth;
@@ -15,14 +95,15 @@ AttrId Tree::AddAttribute(std::string_view name) {
   std::int64_t existing = attrs_.Find(name);
   if (existing >= 0) return existing;
   AttrId id = attrs_.Intern(name);
-  attr_values_.emplace_back(nodes_.size(), DataValue{0});
+  attr_values_.emplace_back(node_count_, DataValue{0});
+  attr_views_.push_back(attr_values_.back().data());
   return id;
 }
 
 std::vector<DataValue> Tree::ActiveDomain() const {
   std::vector<DataValue> out;
-  for (const auto& column : attr_values_) {
-    out.insert(out.end(), column.begin(), column.end());
+  for (const DataValue* column : attr_views_) {
+    out.insert(out.end(), column, column + node_count_);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -115,6 +196,10 @@ Tree TreeBuilder::Build(std::vector<NodeId>* ref_to_node) const {
       stack.pop_back();
     }
   }
+  // The shape is final: bind the views (AddAttribute below sizes
+  // columns off node_count_).
+  tree.node_count_ = tree.nodes_.size();
+  tree.nodes_view_ = tree.nodes_.data();
 
   // Attribute columns.
   for (std::size_t ref = 0; ref < protos_.size(); ++ref) {

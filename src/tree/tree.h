@@ -34,50 +34,58 @@ inline constexpr AttrId kNoAttr = -1;
 ///
 /// Trees are immutable after construction except for attribute values,
 /// which may be overwritten in place (labels and shape are fixed).
-/// Build trees with TreeBuilder, ParseTerm(), or ParseXml().
+/// Build trees with TreeBuilder, ParseTerm(), ParseXml(), or load a
+/// snapshot (src/tree/snapshot.h).
+///
+/// Storage is indirected through views: an ordinary tree owns its node
+/// records and attribute columns (the views point at them), while a
+/// tree loaded from a snapshot aliases the mapped file (`mapping_`
+/// keeps the region alive) with zero copying.  Mutating an attribute of
+/// a mapped tree detaches that one column copy-on-write; node records
+/// never need detaching because shape and labels are immutable.
 class Tree {
  public:
   Tree() = default;
 
-  Tree(const Tree&) = default;
-  Tree& operator=(const Tree&) = default;
-  Tree(Tree&&) = default;
-  Tree& operator=(Tree&&) = default;
+  Tree(const Tree& other);
+  Tree& operator=(const Tree& other);
+  Tree(Tree&& other) noexcept;
+  Tree& operator=(Tree&& other) noexcept;
 
-  bool empty() const { return nodes_.empty(); }
+  bool empty() const { return node_count_ == 0; }
   /// Number of nodes, |Dom(t)|.
-  std::size_t size() const { return nodes_.size(); }
+  std::size_t size() const { return node_count_; }
 
   NodeId root() const { return empty() ? kNoNode : 0; }
   bool Valid(NodeId u) const {
-    return u >= 0 && u < static_cast<NodeId>(nodes_.size());
+    return u >= 0 && u < static_cast<NodeId>(node_count_);
   }
 
   // --- Shape navigation (all O(1)). ---------------------------------
 
-  Symbol label(NodeId u) const { return nodes_[u].label; }
-  NodeId Parent(NodeId u) const { return nodes_[u].parent; }
-  NodeId FirstChild(NodeId u) const { return nodes_[u].first_child; }
-  NodeId LastChild(NodeId u) const { return nodes_[u].last_child; }
-  NodeId NextSibling(NodeId u) const { return nodes_[u].next_sibling; }
-  NodeId PrevSibling(NodeId u) const { return nodes_[u].prev_sibling; }
+  Symbol label(NodeId u) const { return node(u).label; }
+  NodeId Parent(NodeId u) const { return node(u).parent; }
+  NodeId FirstChild(NodeId u) const { return node(u).first_child; }
+  NodeId LastChild(NodeId u) const { return node(u).last_child; }
+  NodeId NextSibling(NodeId u) const { return node(u).next_sibling; }
+  NodeId PrevSibling(NodeId u) const { return node(u).prev_sibling; }
   /// 0-based position of `u` among its siblings (0 for the root).
-  std::int32_t ChildIndex(NodeId u) const { return nodes_[u].child_index; }
-  std::int32_t ChildCount(NodeId u) const { return nodes_[u].num_children; }
+  std::int32_t ChildIndex(NodeId u) const { return node(u).child_index; }
+  std::int32_t ChildCount(NodeId u) const { return node(u).num_children; }
 
   bool IsRoot(NodeId u) const { return u == 0; }
-  bool IsLeaf(NodeId u) const { return nodes_[u].first_child == kNoNode; }
-  bool IsFirstChild(NodeId u) const { return nodes_[u].prev_sibling == kNoNode; }
-  bool IsLastChild(NodeId u) const { return nodes_[u].next_sibling == kNoNode; }
+  bool IsLeaf(NodeId u) const { return node(u).first_child == kNoNode; }
+  bool IsFirstChild(NodeId u) const { return node(u).prev_sibling == kNoNode; }
+  bool IsLastChild(NodeId u) const { return node(u).next_sibling == kNoNode; }
 
   /// The paper's descendant relation u -< v: true iff `v` is a *strict*
   /// descendant of `u`.  O(1) via pre-order subtree intervals.
   bool IsStrictAncestor(NodeId u, NodeId v) const {
-    return u < v && v < nodes_[u].subtree_end;
+    return u < v && v < node(u).subtree_end;
   }
 
   /// One past the last node of u's subtree in document order.
-  NodeId SubtreeEnd(NodeId u) const { return nodes_[u].subtree_end; }
+  NodeId SubtreeEnd(NodeId u) const { return node(u).subtree_end; }
 
   /// Depth of a node (root has depth 0).  O(depth).
   int Depth(NodeId u) const;
@@ -103,10 +111,10 @@ class Tree {
   /// Value of attribute `a` at node `u`.  Every attribute is total
   /// (Definition 2.1); unset values default to 0.
   DataValue attr(AttrId a, NodeId u) const {
-    return attr_values_[static_cast<std::size_t>(a)][static_cast<std::size_t>(u)];
+    return attr_views_[static_cast<std::size_t>(a)][static_cast<std::size_t>(u)];
   }
   void set_attr(AttrId a, NodeId u, DataValue v) {
-    attr_values_[static_cast<std::size_t>(a)][static_cast<std::size_t>(u)] = v;
+    MutableColumn(a)[static_cast<std::size_t>(u)] = v;
   }
 
   /// Adds an attribute column named `name` (all values 0) if absent;
@@ -128,8 +136,14 @@ class Tree {
   /// Section 3), sorted.
   std::vector<DataValue> ActiveDomain() const;
 
+  /// Post-order ranks preloaded from a snapshot (one NodeId per node),
+  /// or nullptr for a parsed/built tree.  AxisIndex adopts these
+  /// instead of re-running its numbering DFS (src/tree/snapshot.h).
+  const NodeId* snapshot_postorder() const { return postorder_view_; }
+
  private:
   friend class TreeBuilder;
+  friend class SnapshotCodec;  // src/tree/snapshot.cc: (de)serialization
 
   struct Node {
     Symbol label = 0;
@@ -143,10 +157,35 @@ class Tree {
     std::int32_t num_children = 0;
   };
 
+  const Node& node(NodeId u) const {
+    return nodes_view_[static_cast<std::size_t>(u)];
+  }
+  /// Column `a` for writing; detaches a snapshot-mapped column into
+  /// owned storage first (copy-on-write), so mutation never touches the
+  /// shared mapped region.
+  DataValue* MutableColumn(AttrId a);
+  /// Points the node/column views at the owned vectors (after a copy).
+  void RebindOwnedViews(const Tree& other);
+
+  // Owned storage.  For a snapshot-backed tree, `nodes_` (and any
+  // column never written to) stays empty and the views below alias the
+  // mapped region instead.
   std::vector<Node> nodes_;
   Interner labels_;
   Interner attrs_;
   std::vector<std::vector<DataValue>> attr_values_;  // [attr][node]
+
+  // Views: always valid for u < node_count_, whether the bytes are
+  // owned or mapped.
+  const Node* nodes_view_ = nullptr;
+  std::size_t node_count_ = 0;
+  std::vector<const DataValue*> attr_views_;  // [attr] -> column base
+  const NodeId* postorder_view_ = nullptr;    // snapshot post-order ranks
+
+  /// Keeps a mapped snapshot region (or an in-memory image) alive for
+  /// as long as any view above aliases it; null for owned trees.
+  std::shared_ptr<const void> mapping_;
+
   std::shared_ptr<ValueInterner> values_ =
       std::make_shared<ValueInterner>();
 };

@@ -72,11 +72,13 @@ TEST_F(FailpointTest, DisableAllDisarms) {
 
 TEST_F(FailpointTest, KnownSitesInventoryIsStable) {
   const std::vector<std::string>& sites = FailpointRegistry::KnownSites();
-  EXPECT_EQ(sites.size(), 8u);
+  EXPECT_EQ(sites.size(), 14u);
   for (const char* site :
        {"interpreter/step", "interpreter/select", "compiler/compile",
         "axis_index/alloc", "engine/worker", "journal/append",
-        "journal/fsync", "journal/rename"}) {
+        "journal/fsync", "journal/rename", "atomic_file/write",
+        "atomic_file/fsync", "atomic_file/rename", "snapshot/load",
+        "selector_cache/load", "selector_cache/store"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
         << site;
   }

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +20,8 @@
 #include "src/common/journal.h"
 #include "src/engine/batch_journal.h"
 #include "src/logic/parser.h"
+#include "src/logic/selector_cache.h"
+#include "src/tree/snapshot.h"
 #include "src/tree/term_io.h"
 #include "src/tree/xml_io.h"
 
@@ -101,6 +104,37 @@ TEST(FuzzCorpus, JournalSeedsReplayWithoutCrashing) {
     }
     (void)DecodeBatchRecord(s);
     return clean;
+  });
+}
+
+TEST(FuzzCorpus, SnapshotSeedsReplayWithoutCrashing) {
+  // Mirrors fuzz_snapshot.cc: decode the image as a tree snapshot
+  // (walking every node's O(1) accessors on success) and as a
+  // selector-cache entry.  The corpus holds one intact snapshot plus
+  // truncations and bit-flips of it; only the intact one may decode.
+  ReplayCorpus("snapshot", [](const std::string& s) {
+    auto image = std::make_shared<const std::string>(s);
+    SnapshotInfo info;
+    auto tree = TreeFromSnapshotImage(image, &info);
+    if (tree.ok()) {
+      EXPECT_EQ(tree->size(), info.nodes);
+      const auto n = static_cast<NodeId>(tree->size());
+      for (NodeId u = 0; u < n; ++u) {
+        auto in_range = [n](NodeId v) {
+          return v == kNoNode || (v >= 0 && v < n);
+        };
+        EXPECT_TRUE(in_range(tree->Parent(u)));
+        EXPECT_TRUE(in_range(tree->FirstChild(u)));
+        EXPECT_TRUE(in_range(tree->NextSibling(u)));
+        EXPECT_LE(tree->SubtreeEnd(u), n);
+        EXPECT_LE(tree->Depth(u), static_cast<int>(tree->size()));
+      }
+    }
+    auto selector = DecodeSelectorCacheEntry(s, nullptr);
+    if (selector.ok() && selector->tree_size() > 0) {
+      (void)selector->SelectFrom(0);
+    }
+    return tree.ok() || selector.ok();
   });
 }
 

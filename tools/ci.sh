@@ -63,7 +63,7 @@ for preset in $presets; do
       ;;
     fuzz)
       echo "==== fuzz smoke (30s per target) ===="
-      for target in formula term xml program journal; do
+      for target in formula term xml program journal snapshot; do
         bin="$root/build-fuzz/tests/fuzz/fuzz_$target"
         [ -x "$bin" ] || continue
         "$bin" "$root/tests/fuzz/corpus/$target" -max_total_time=30 \

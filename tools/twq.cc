@@ -33,6 +33,22 @@
 //       Dump a batch journal's records and summary; exits nonzero when
 //       any job has more than one terminal JobFinished record (an
 //       exactly-once violation).
+//   twq snapshot build <tree.{term,xml}> [-o <out.twsnap>]
+//       Parse a tree once and write a mmap-able zero-parse snapshot
+//       (docs/SNAPSHOT.md); any command accepting a tree also accepts
+//       the .twsnap file.
+//   twq snapshot inspect <file.twsnap>
+//       Validate a snapshot (CRCs and all) and print its header and
+//       section table.
+//
+// Zero-parse startup (run and batch, docs/SNAPSHOT.md):
+//   --snapshot-cache <dir>  Serve tree inputs from a content-addressed
+//                           snapshot cache in <dir>: first use parses
+//                           and persists, later uses mmap in with zero
+//                           parsing.  Corrupt/stale entries re-parse.
+//   --compile-cache <dir>   Persist compiled selector relations keyed
+//                           by (formula, tree, representation); later
+//                           runs skip selector compilation entirely.
 //
 // Global options (any subcommand, docs/OBSERVABILITY.md):
 //   --metrics-out <file>   Write a metrics snapshot at exit: Prometheus
@@ -46,7 +62,9 @@
 // (jobs done/failed/running, p95 job latency) unless --quiet is given.
 //
 // Trees are read as the compact term syntax (a[x=1](b, c)) unless the
-// file ends in .xml.
+// file ends in .xml (XML) or .twsnap (snapshot).
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <atomic>
@@ -57,6 +75,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -69,10 +88,13 @@
 #include "src/common/trace.h"
 #include "src/engine/batch_journal.h"
 #include "src/engine/engine.h"
+#include "src/engine/input_cache.h"
 #include "src/engine/manifest.h"
 #include "src/engine/shutdown.h"
+#include "src/logic/selector_cache.h"
 #include "src/logic/tree_eval.h"
 #include "src/simulation/config_graph.h"
+#include "src/tree/snapshot.h"
 #include "src/tree/term_io.h"
 #include "src/tree/xml_io.h"
 #include "src/xpath/xpath.h"
@@ -95,21 +117,47 @@ bool ReadFile(const std::string& path, std::string& out) {
   return true;
 }
 
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+tw::Result<tw::Tree> ParseTreeText(const std::string& path,
+                                   std::string_view text) {
+  if (HasSuffix(path, ".xml")) return tw::ParseXml(std::string(text));
+  return tw::ParseTerm(std::string(text));
+}
+
 tw::Result<tw::Tree> LoadTree(const std::string& path) {
+  if (HasSuffix(path, ".twsnap")) return tw::LoadTreeSnapshot(path);
   std::string text;
   if (!ReadFile(path, text)) {
     return tw::NotFound("cannot read tree file '" + path + "'");
   }
-  if (path.size() >= 4 && path.substr(path.size() - 4) == ".xml") {
-    return tw::ParseXml(text);
-  }
-  return tw::ParseTerm(text);
+  return ParseTreeText(path, text);
+}
+
+/// LoadTree routed through a --snapshot-cache directory (when given);
+/// explicit .twsnap files bypass the cache — they already are one.
+tw::Result<tw::Tree> LoadTreeCached(const std::string& path,
+                                    const tw::SnapshotCache* cache) {
+  if (cache == nullptr || HasSuffix(path, ".twsnap")) return LoadTree(path);
+  return cache->LoadOrParse(path, [&](std::string_view text) {
+    return ParseTreeText(path, text);
+  });
+}
+
+/// Creates a cache directory if absent (one level; callers pass leaf
+/// dirs).  Failure is left for the first file operation to report.
+void EnsureDir(const std::string& dir) {
+  ::mkdir(dir.c_str(), 0777);
 }
 
 int CmdRun(int argc, char** argv) {
   if (argc < 2) {
     return Fail("usage: twq run <program.twp> <tree> [--trace] "
-                "[--axis-repr auto|interval|dense]");
+                "[--axis-repr auto|interval|dense] "
+                "[--snapshot-cache <dir>] [--compile-cache <dir>]");
   }
   std::string program_text;
   if (!ReadFile(argv[0], program_text)) {
@@ -117,11 +165,11 @@ int CmdRun(int argc, char** argv) {
   }
   auto program = tw::ParseProgramText(program_text);
   if (!program.ok()) return Fail("program: " + program.status().ToString());
-  auto tree = LoadTree(argv[1]);
-  if (!tree.ok()) return Fail("tree: " + tree.status().ToString());
 
   bool trace = false, graph = false;
   tw::AxisRepr axis_repr = tw::AxisRepr::kAuto;
+  std::optional<tw::SnapshotCache> snapshot_cache;
+  std::optional<tw::SelectorDiskCache> compile_cache;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--graph") == 0) graph = true;
@@ -133,7 +181,18 @@ int CmdRun(int argc, char** argv) {
       }
       axis_repr = *repr;
     }
+    if (std::strcmp(argv[i], "--snapshot-cache") == 0 && i + 1 < argc) {
+      EnsureDir(argv[++i]);
+      snapshot_cache.emplace(argv[i]);
+    }
+    if (std::strcmp(argv[i], "--compile-cache") == 0 && i + 1 < argc) {
+      EnsureDir(argv[++i]);
+      compile_cache.emplace(argv[i]);
+    }
   }
+  auto tree = LoadTreeCached(
+      argv[1], snapshot_cache.has_value() ? &*snapshot_cache : nullptr);
+  if (!tree.ok()) return Fail("tree: " + tree.status().ToString());
 
   if (graph) {
     auto r = tw::EvaluateViaConfigGraph(*program, *tree);
@@ -147,6 +206,9 @@ int CmdRun(int argc, char** argv) {
   tw::RunOptions options;
   options.record_trace = trace;
   options.axis_repr = axis_repr;
+  if (compile_cache.has_value()) {
+    options.selector_disk_cache = &*compile_cache;
+  }
   tw::Interpreter interpreter(*program, options);
   auto r = interpreter.Run(*tree);
   if (!r.ok()) return Fail("run: " + r.status().ToString());
@@ -205,6 +267,7 @@ int CmdBatch(int argc, char** argv) {
                 "[--quiet] [--no-cache] [--no-compiled] "
                 "[--axis-repr auto|interval|dense] [--deadline-ms D] "
                 "[--memory-budget-mb B] [--retries R] "
+                "[--snapshot-cache <dir>] [--compile-cache <dir>] "
                 "[--journal <path> [--resume] [--journal-sync N]]");
   }
   int num_threads = 1;
@@ -223,6 +286,8 @@ int CmdBatch(int argc, char** argv) {
   // per-finish fsync costs ~60% wall clock on short jobs (E16).  N > 0
   // adds a power-loss barrier after every Nth finished job.
   int journal_sync = 0;
+  std::optional<tw::SnapshotCache> snapshot_cache;
+  std::optional<tw::SelectorDiskCache> compile_cache;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       num_threads = std::atoi(argv[++i]);
@@ -254,6 +319,12 @@ int CmdBatch(int argc, char** argv) {
       resume = true;
     } else if (std::strcmp(argv[i], "--journal-sync") == 0 && i + 1 < argc) {
       journal_sync = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--snapshot-cache") == 0 && i + 1 < argc) {
+      EnsureDir(argv[++i]);
+      snapshot_cache.emplace(argv[i]);
+    } else if (std::strcmp(argv[i], "--compile-cache") == 0 && i + 1 < argc) {
+      EnsureDir(argv[++i]);
+      compile_cache.emplace(argv[i]);
     } else {
       return Fail(std::string("unknown batch option '") + argv[i] + "'");
     }
@@ -334,7 +405,8 @@ int CmdBatch(int argc, char** argv) {
     if (trees.count(path) > 0) return tw::Status::Ok();
     auto it = load_errors.find(path);
     if (it != load_errors.end()) return it->second;
-    auto parsed = LoadTree(path);
+    auto parsed = LoadTreeCached(
+        path, snapshot_cache.has_value() ? &*snapshot_cache : nullptr);
     tw::Status status;
     if (parsed.ok()) {
       trees[path] =
@@ -368,6 +440,9 @@ int CmdBatch(int argc, char** argv) {
       job.options.cache_selectors = cache_selectors;
       job.options.compile_selectors = compile_selectors;
       job.options.axis_repr = axis_repr;
+      if (compile_cache.has_value()) {
+        job.options.selector_disk_cache = &*compile_cache;
+      }
       job.deadline_ms = deadline_ms;
       job.memory_budget_bytes = memory_budget_mb * 1024 * 1024;
       job.retry.max_attempts = 1 + std::max(0, retries);
@@ -513,6 +588,15 @@ int CmdBatch(int argc, char** argv) {
               static_cast<long long>(s.interval_selector_evals),
               static_cast<long long>(s.dense_selector_evals),
               static_cast<long long>(s.store_updates));
+  if (snapshot_cache.has_value()) {
+    const tw::SnapshotCache::Stats& cs = snapshot_cache->stats();
+    std::printf("snapshot_cache: hits=%lld misses=%lld stores=%lld "
+                "fallbacks=%lld\n",
+                static_cast<long long>(cs.hits.load()),
+                static_cast<long long>(cs.misses.load()),
+                static_cast<long long>(cs.stores.load()),
+                static_cast<long long>(cs.fallbacks.load()));
+  }
   if (s.deadline_hits + s.memory_trips + s.retries + s.degraded_successes >
       0) {
     std::printf("deadline_hits=%lld memory_trips=%lld retries=%lld "
@@ -577,6 +661,62 @@ int CmdJournal(int argc, char** argv) {
   return 0;
 }
 
+int CmdSnapshot(int argc, char** argv) {
+  const char* usage =
+      "usage: twq snapshot build <tree.{term,xml}> [-o <out.twsnap>] | "
+      "twq snapshot inspect <file.twsnap>";
+  if (argc < 2) return Fail(usage);
+  const std::string verb = argv[0];
+  if (verb == "build") {
+    const std::string tree_path = argv[1];
+    std::string out_path = tree_path + ".twsnap";
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+        out_path = argv[++i];
+      } else {
+        return Fail(usage);
+      }
+    }
+    auto tree = LoadTree(tree_path);
+    if (!tree.ok()) return Fail("tree: " + tree.status().ToString());
+    auto info = tw::WriteTreeSnapshot(*tree, out_path);
+    if (!info.ok()) return Fail("snapshot: " + info.status().ToString());
+    std::printf("wrote %s: %llu nodes, %llu labels, %llu attrs, "
+                "%llu values, %llu bytes, content=%016llx\n",
+                out_path.c_str(),
+                static_cast<unsigned long long>(info->nodes),
+                static_cast<unsigned long long>(info->labels),
+                static_cast<unsigned long long>(info->attrs),
+                static_cast<unsigned long long>(info->values),
+                static_cast<unsigned long long>(info->file_bytes),
+                static_cast<unsigned long long>(info->content_hash));
+    return 0;
+  }
+  if (verb == "inspect") {
+    if (argc != 2) return Fail(usage);
+    auto info = tw::InspectTreeSnapshot(argv[1]);
+    if (!info.ok()) return Fail("inspect: " + info.status().ToString());
+    std::printf("%s: version %u, %llu nodes, %llu labels, %llu attrs, "
+                "%llu values, %llu bytes, content=%016llx\n",
+                argv[1], info->version,
+                static_cast<unsigned long long>(info->nodes),
+                static_cast<unsigned long long>(info->labels),
+                static_cast<unsigned long long>(info->attrs),
+                static_cast<unsigned long long>(info->values),
+                static_cast<unsigned long long>(info->file_bytes),
+                static_cast<unsigned long long>(info->content_hash));
+    for (const tw::SnapshotSectionInfo& s : info->sections) {
+      std::printf("  section %-15s offset=%-8llu length=%-10llu "
+                  "crc=%08x\n",
+                  tw::SnapshotSectionName(s.kind),
+                  static_cast<unsigned long long>(s.offset),
+                  static_cast<unsigned long long>(s.length), s.crc);
+    }
+    return 0;
+  }
+  return Fail(usage);
+}
+
 int CmdCat(int argc, char** argv) {
   if (argc != 2) return Fail("usage: twq cat <expression> <tree>");
   auto expr = tw::ParseCaterpillar(argv[0]);
@@ -630,7 +770,7 @@ int main(int argc, char** argv) {
     }
   }
   if (args.size() < 2) {
-    return Fail("usage: twq <run|xpath|check|cat|batch|journal> "
+    return Fail("usage: twq <run|xpath|check|cat|batch|journal|snapshot> "
                 "[--metrics-out <file>] [--trace-out <file>] ...  "
                 "(see file header)");
   }
@@ -652,6 +792,8 @@ int main(int argc, char** argv) {
     code = CmdBatch(sub_argc, sub_argv);
   } else if (command == "journal") {
     code = CmdJournal(sub_argc, sub_argv);
+  } else if (command == "snapshot") {
+    code = CmdSnapshot(sub_argc, sub_argv);
   } else {
     code = Fail("unknown command '" + command + "'");
   }
