@@ -50,6 +50,10 @@ const std::vector<std::string>& FailpointRegistry::KnownSites() {
       "snapshot/load",            // tree-snapshot open/map/validate entry
       "selector_cache/load",      // compiled-selector cache read entry
       "selector_cache/store",     // compiled-selector cache write entry
+      "server/accept",            // twq serve: accepted connection setup
+      "server/read",              // twq serve: request-frame read
+      "server/write",             // twq serve: response-frame write
+      "server/dispatch",          // twq serve: admission -> worker handoff
   };
   return sites;
 }

@@ -38,6 +38,8 @@ const char* MemoryCategoryName(MemoryCategory category) {
       return "selector-cache";
     case MemoryCategory::kMappedSnapshot:
       return "mapped-snapshot";
+    case MemoryCategory::kResidentTree:
+      return "resident-tree";
   }
   return "?";
 }

@@ -23,8 +23,9 @@ enum class MemoryCategory {
   kTrace,           ///< recorded trace entries
   kSelectorCache,   ///< per-run atp() selector-result cache
   kMappedSnapshot,  ///< mmap-ed tree snapshot regions (src/tree/snapshot.h)
+  kResidentTree,    ///< daemon-resident corpus trees (src/engine/input_cache.h)
 };
-inline constexpr int kNumMemoryCategories = 7;
+inline constexpr int kNumMemoryCategories = 8;
 
 const char* MemoryCategoryName(MemoryCategory category);
 

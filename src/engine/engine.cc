@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <thread>
 #include <utility>
@@ -212,7 +213,172 @@ void ApplyRung(int rung, const RetryPolicy& retry, RunOptions& options) {
   }
 }
 
+/// One attempt of `job` on degradation rung `rung`, against an
+/// already-delimited tree.  Shared verbatim by the batch workers and by
+/// RunResidentJob, so the daemon's per-request execution (governor
+/// setup, failpoint site, metric flushes) cannot drift from the batch
+/// path.  `span_id` only labels trace spans.
+void RunAttemptOnce(const BatchJob& job, const Tree& delimited_tree,
+                    const std::atomic<bool>& cancel, int rung,
+                    std::uint64_t span_id, EngineMetrics& metrics,
+                    JobResult::Attempt& attempt, RunResult& run) {
+  ScopedSpan attempt_span("attempt", "\"job\":" + std::to_string(span_id) +
+                                         ",\"rung\":" + std::to_string(rung));
+  metrics.attempts->Increment();
+  RunOptions options = job.options;
+  options.cancel = &cancel;
+  ApplyRung(rung, job.retry, options);
+  // The governor is per-attempt: a retry gets a fresh deadline and an
+  // empty accountant (it is also single-threaded state, so it cannot
+  // be shared across the batch).
+  ResourceGovernor governor;
+  if (job.deadline_ms > 0) {
+    governor.set_deadline_after(std::chrono::milliseconds(job.deadline_ms));
+  }
+  if (job.memory_budget_bytes > 0) {
+    governor.set_memory_budget(job.memory_budget_bytes);
+  }
+  options.governor = &governor;
+
+  Status status;
+  if (FailpointRegistry::armed()) {
+    status = FailpointRegistry::Global().Check("engine/worker");
+  }
+  if (status.ok()) {
+    Interpreter interpreter(*job.program, options);
+    Result<RunResult> r = interpreter.RunDelimited(delimited_tree);
+    if (r.ok()) {
+      run = std::move(r).value();
+    } else {
+      status = r.status();
+    }
+  }
+  attempt.rung = rung;
+  attempt.status = status;
+  attempt.memory_tripped =
+      governor.accountant() != nullptr && governor.accountant()->tripped();
+  // Per-attempt governor flush: the governor itself stays counter-free
+  // (it sits on the per-transition hot path), the engine folds its
+  // totals into the registry once the attempt is over.
+  metrics.governor_polls->Increment(governor.deadline_polls());
+  metrics.governor_clock_reads->Increment(governor.deadline_clock_reads());
+  if (const MemoryAccountant* accountant = governor.accountant()) {
+    for (int c = 0; c < kNumMemoryCategories; ++c) {
+      metrics.memory_peak[c]->UpdateMax(
+          accountant->peak(static_cast<MemoryCategory>(c)));
+    }
+  }
+}
+
+/// The full retry ladder of one job: attempts, degradation rungs,
+/// jittered backoff, cooperative cancellation.  `record_started`, when
+/// non-null, is invoked before each attempt (the batch journal's
+/// write-ahead record); `rng_state` is the already-seeded jitter state.
+/// On exit `out.status`/`out.attempts` are final; `out.run` is set only
+/// on success.
+void RunRetryLadder(const BatchJob& job, const Tree& delimited_tree,
+                    const std::atomic<bool>& cancel, std::uint64_t rng_state,
+                    std::uint64_t span_id, EngineMetrics& metrics,
+                    const std::function<void(int, int)>& record_started,
+                    JobResult& out) {
+  const RetryPolicy& retry = job.retry;
+  for (int attempt_no = 0; attempt_no < retry.max_attempts; ++attempt_no) {
+    if (cancel.load(std::memory_order_relaxed)) {
+      out.status = Cancelled("job " + std::to_string(span_id) +
+                             " cancelled before it started");
+      return;
+    }
+    int rung = retry.degrade ? std::min(attempt_no, 3) : 0;
+    if (record_started) record_started(attempt_no, rung);
+    if (attempt_no > 0) metrics.retries->Increment();
+    JobResult::Attempt attempt;
+    RunResult run;
+    RunAttemptOnce(job, delimited_tree, cancel, rung, span_id, metrics,
+                   attempt, run);
+    if (attempt.status.code() == StatusCode::kDeadlineExceeded) {
+      metrics.deadline_hits->Increment();
+    }
+    if (attempt.memory_tripped) metrics.memory_trips->Increment();
+    out.attempts.push_back(attempt);
+    out.status = attempt.status;
+    if (attempt.status.ok()) {
+      out.run = std::move(run);
+      return;
+    }
+    if (!IsRetryable(attempt.status) ||
+        attempt_no + 1 >= retry.max_attempts) {
+      return;
+    }
+    std::int64_t backoff_ms = JitteredBackoffMs(retry, attempt_no, rng_state);
+    if (backoff_ms > 0) {
+      metrics.backoff_ms->Observe(static_cast<double>(backoff_ms));
+      ScopedSpan backoff_span("backoff", "\"job\":" + std::to_string(span_id) +
+                                             ",\"ms\":" +
+                                             std::to_string(backoff_ms));
+      SleepUnlessCancelled(backoff_ms, cancel);
+    }
+  }
+}
+
+/// Mirrors the EngineStats aggregation predicates into the registry's
+/// outcome counters, so a snapshot over a fresh registry reconciles
+/// exactly with the batch's EngineStats (BatchResult contract).
+void RecordJobOutcome(const JobResult& out, EngineMetrics& metrics) {
+  if (!out.status.ok()) {
+    metrics.jobs_failed->Increment();
+    if (out.status.code() == StatusCode::kCancelled) {
+      metrics.jobs_cancelled->Increment();
+    }
+  } else if (out.run.accepted) {
+    metrics.jobs_accepted->Increment();
+  } else {
+    metrics.jobs_rejected->Increment();
+  }
+  if (out.status.ok() && !out.attempts.empty() &&
+      out.attempts.back().rung > 0) {
+    metrics.degraded_successes->Increment();
+  }
+}
+
 }  // namespace
+
+JobResult RunResidentJob(const BatchJob& job, const Tree& delimited_tree,
+                         const std::atomic<bool>& cancel,
+                         std::uint64_t backoff_seed) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  JobResult out;
+  if (job.program == nullptr) {
+    out.status = InvalidArgument("job has null program");
+    return out;
+  }
+  if (delimited_tree.empty()) {
+    out.status = InvalidArgument("job has empty tree");
+    return out;
+  }
+  if (job.retry.max_attempts < 1) {
+    out.status = InvalidArgument("retry.max_attempts must be >= 1, got " +
+                                 std::to_string(job.retry.max_attempts));
+    return out;
+  }
+  // Interning is internally synchronized (src/common/interner.h), so
+  // unlike the batch prologue this need not run serially — concurrent
+  // requests against one resident tree are safe; only handle values
+  // depend on arrival order, never results.
+  PreInternConstants(*job.program, delimited_tree);
+  metrics.jobs_running->Add(1);
+  const auto job_start = std::chrono::steady_clock::now();
+  std::uint64_t rng_state =
+      Mix64(backoff_seed ^ (0x9e3779b97f4a7c15ULL * (job.job_id + 1)));
+  {
+    ScopedSpan job_span("job", "\"job\":" + std::to_string(job.job_id));
+    RunRetryLadder(job, delimited_tree, cancel, rng_state, job.job_id,
+                   metrics, nullptr, out);
+  }
+  RecordJobOutcome(out, metrics);
+  metrics.job_latency_ms->Observe(MillisSince(job_start));
+  metrics.jobs_running->Add(-1);
+  return out;
+}
 
 BatchEngine::BatchEngine(EngineOptions options) : options_(options) {}
 
@@ -247,59 +413,6 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
   }
 
   std::atomic<std::size_t> next{0};
-  // One attempt of job i on degradation rung `rung`; status + run out.
-  auto run_attempt = [&](std::size_t i, int rung, JobResult::Attempt& attempt,
-                         RunResult& run) {
-    ScopedSpan attempt_span("attempt", "\"job\":" + std::to_string(i) +
-                                           ",\"rung\":" +
-                                           std::to_string(rung));
-    metrics.attempts->Increment();
-    RunOptions options = jobs[i].options;
-    options.cancel = &cancel_;
-    ApplyRung(rung, jobs[i].retry, options);
-    // The governor is per-attempt: a retry gets a fresh deadline and an
-    // empty accountant (it is also single-threaded state, so it cannot
-    // be shared across the batch).
-    ResourceGovernor governor;
-    if (jobs[i].deadline_ms > 0) {
-      governor.set_deadline_after(
-          std::chrono::milliseconds(jobs[i].deadline_ms));
-    }
-    if (jobs[i].memory_budget_bytes > 0) {
-      governor.set_memory_budget(jobs[i].memory_budget_bytes);
-    }
-    options.governor = &governor;
-
-    Status status;
-    if (FailpointRegistry::armed()) {
-      status = FailpointRegistry::Global().Check("engine/worker");
-    }
-    if (status.ok()) {
-      Interpreter interpreter(*jobs[i].program, options);
-      Result<RunResult> r =
-          interpreter.RunDelimited(delimited.at(jobs[i].tree).tree);
-      if (r.ok()) {
-        run = std::move(r).value();
-      } else {
-        status = r.status();
-      }
-    }
-    attempt.rung = rung;
-    attempt.status = status;
-    attempt.memory_tripped =
-        governor.accountant() != nullptr && governor.accountant()->tripped();
-    // Per-attempt governor flush: the governor itself stays counter-free
-    // (it sits on the per-transition hot path), the engine folds its
-    // totals into the registry once the attempt is over.
-    metrics.governor_polls->Increment(governor.deadline_polls());
-    metrics.governor_clock_reads->Increment(governor.deadline_clock_reads());
-    if (const MemoryAccountant* accountant = governor.accountant()) {
-      for (int c = 0; c < kNumMemoryCategories; ++c) {
-        metrics.memory_peak[c]->UpdateMax(
-            accountant->peak(static_cast<MemoryCategory>(c)));
-      }
-    }
-  };
   auto run_job_impl = [&](std::size_t i) {
     JobResult& out = batch.results[i];
     // Journal sink for this job (write-ahead: started before each
@@ -323,55 +436,26 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
       journal_finished();
       return;
     }
-    const RetryPolicy& retry = jobs[i].retry;
     std::uint64_t rng_state =
         Mix64(options_.backoff_seed ^ (0x9e3779b97f4a7c15ULL *
                                        (static_cast<std::uint64_t>(i) + 1)));
-    for (int attempt_no = 0; attempt_no < retry.max_attempts; ++attempt_no) {
-      if (cancel_.load(std::memory_order_relaxed)) {
-        out.status = Cancelled("job " + std::to_string(i) +
-                               " cancelled before it started");
-        // Cancelled before the first attempt: leave no journal trace,
-        // so a resume treats the job as simply not run yet.  Cancelled
-        // between attempts: record the cancellation (the resume plan
-        // reruns cancelled jobs either way).
-        if (!out.attempts.empty()) journal_finished();
-        return;
-      }
-      int rung = retry.degrade ? std::min(attempt_no, 3) : 0;
-      if (journaled) {
+    std::function<void(int, int)> record_started;
+    if (journaled) {
+      record_started = [&](int attempt_no, int rung) {
         ScopedSpan span("journal-append", "\"job\":" + std::to_string(i));
         journal->RecordStarted(jobs[i].job_id, attempt_no, rung);
-      }
-      if (attempt_no > 0) metrics.retries->Increment();
-      JobResult::Attempt attempt;
-      RunResult run;
-      run_attempt(i, rung, attempt, run);
-      if (attempt.status.code() == StatusCode::kDeadlineExceeded) {
-        metrics.deadline_hits->Increment();
-      }
-      if (attempt.memory_tripped) metrics.memory_trips->Increment();
-      out.attempts.push_back(attempt);
-      out.status = attempt.status;
-      if (attempt.status.ok()) {
-        out.run = std::move(run);
-        journal_finished();
-        return;
-      }
-      if (!IsRetryable(attempt.status) ||
-          attempt_no + 1 >= retry.max_attempts) {
-        journal_finished();
-        return;
-      }
-      std::int64_t backoff_ms =
-          JitteredBackoffMs(retry, attempt_no, rng_state);
-      if (backoff_ms > 0) {
-        metrics.backoff_ms->Observe(static_cast<double>(backoff_ms));
-        ScopedSpan backoff_span("backoff", "\"job\":" + std::to_string(i) +
-                                               ",\"ms\":" +
-                                               std::to_string(backoff_ms));
-        SleepUnlessCancelled(backoff_ms, cancel_);
-      }
+      };
+    }
+    RunRetryLadder(jobs[i], delimited.at(jobs[i].tree).tree, cancel_,
+                   rng_state, static_cast<std::uint64_t>(i), metrics,
+                   record_started, out);
+    // Cancelled before the first attempt: leave no journal trace, so a
+    // resume treats the job as simply not run yet.  Every other exit —
+    // including cancellation between attempts — records the terminal
+    // state (the resume plan reruns cancelled jobs either way).
+    if (!out.attempts.empty() ||
+        out.status.code() != StatusCode::kCancelled) {
+      journal_finished();
     }
   };
   auto run_job = [&](std::size_t i) {
@@ -390,23 +474,7 @@ Result<BatchResult> BatchEngine::RunBatch(const std::vector<BatchJob>& jobs,
       ScopedSpan job_span("job", "\"job\":" + std::to_string(i));
       run_job_impl(i);
     }
-    // Mirror the EngineStats aggregation predicates below, so a snapshot
-    // over a fresh registry reconciles exactly (BatchResult contract).
-    const JobResult& out = batch.results[i];
-    if (!out.status.ok()) {
-      metrics.jobs_failed->Increment();
-      if (out.status.code() == StatusCode::kCancelled) {
-        metrics.jobs_cancelled->Increment();
-      }
-    } else if (out.run.accepted) {
-      metrics.jobs_accepted->Increment();
-    } else {
-      metrics.jobs_rejected->Increment();
-    }
-    if (out.status.ok() && !out.attempts.empty() &&
-        out.attempts.back().rung > 0) {
-      metrics.degraded_successes->Increment();
-    }
+    RecordJobOutcome(batch.results[i], metrics);
     metrics.job_latency_ms->Observe(MillisSince(job_start));
     metrics.jobs_running->Add(-1);
   };

@@ -167,6 +167,21 @@ struct EngineOptions {
 ///     abort with kCancelled at the next transition and unstarted jobs
 ///     fail immediately; RunBatch still returns a fully populated,
 ///     index-aligned result vector.
+/// Runs one job's full retry ladder — degradation rungs, jittered
+/// backoff, per-attempt governor, the engine metric family — against an
+/// already-delimited tree, on the calling thread.  This is the resident
+/// daemon's execution path (src/server): the tree was delimited once at
+/// corpus load, so per-request cost is the run itself, and many requests
+/// may execute concurrently against one tree (interning is the only
+/// mutation and is internally synchronized).  `job.tree` is ignored;
+/// `delimited_tree` must be the Delimit() image.  `cancel` is polled
+/// cooperatively (the server's drain flag).  Shares its attempt executor
+/// with BatchEngine::RunBatch, so semantics cannot drift between the
+/// two front ends.
+JobResult RunResidentJob(const BatchJob& job, const Tree& delimited_tree,
+                         const std::atomic<bool>& cancel,
+                         std::uint64_t backoff_seed = 0);
+
 class BatchEngine {
  public:
   explicit BatchEngine(EngineOptions options = {});

@@ -4,9 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
+#include "src/common/governor.h"
 #include "src/common/result.h"
 #include "src/tree/snapshot.h"
 #include "src/tree/tree.h"
@@ -59,6 +64,75 @@ class SnapshotCache {
  private:
   std::string dir_;
   mutable Stats stats_;
+};
+
+/// Byte-capped LRU of daemon-resident, already-delimited corpus trees —
+/// what makes `twq serve` safe to point at a corpus bigger than RAM.
+/// The cap is enforced through a MemoryAccountant (category
+/// kResidentTree), the same machinery that bounds per-run structures,
+/// so a resident corpus shows up in the standard breakdown and high
+/// water (treewalk_governor_memory_peak_bytes{category="resident-tree"})
+/// instead of being invisibly "free".
+///
+/// Entries are handed out as shared_ptr<const Prepared>: eviction drops
+/// the cache's reference, never the tree under an in-flight query.  The
+/// accountant's books therefore track *cache-held* bytes; pinned bytes
+/// of evicted-but-running entries drain as those queries finish.
+///
+/// A single tree larger than the whole cap is refused with
+/// kResourceExhausted (loading it could never be admitted), and every
+/// eviction increments treewalk_input_cache_evictions_total.
+///
+/// Thread-safe; one instance serves all connection threads.
+class ResidentTreeCache {
+ public:
+  /// One resident corpus entry, immutable after load.
+  struct Prepared {
+    std::string name;
+    Tree delimited;             ///< Delimit() image, ready for RunDelimited
+    std::size_t source_nodes;   ///< node count before delimiting
+    std::int64_t approx_bytes;  ///< accounting charge for this entry
+  };
+
+  /// `capacity_bytes <= 0` means unlimited (tracked, never evicted).
+  explicit ResidentTreeCache(std::int64_t capacity_bytes);
+
+  /// The entry for `name`, loading (and delimiting) it via `load` on a
+  /// miss.  Eviction of least-recently-used entries makes room; a load
+  /// too large for the cap fails with kResourceExhausted, and `load`
+  /// failures propagate verbatim (nothing is cached).
+  Result<std::shared_ptr<const Prepared>> GetOrLoad(
+      const std::string& name, const std::function<Result<Tree>()>& load);
+
+  /// The entry for `name`, or null — never loads (the server's query
+  /// path over a fixed preloaded corpus).
+  std::shared_ptr<const Prepared> Lookup(const std::string& name);
+
+  /// Approximate accounting bytes of `tree` (nodes + attribute columns
+  /// + interner pools).  Exposed so tests can predict eviction points.
+  static std::int64_t ApproxTreeBytes(const Tree& tree);
+
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+  std::int64_t resident_bytes() const;
+  std::int64_t resident_trees() const;
+  std::int64_t evictions() const;
+  /// High-water cache-held bytes since construction.
+  std::int64_t peak_bytes() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Prepared> prepared;
+    std::list<std::string>::iterator lru_it;  // position in lru_
+  };
+
+  void EvictLockedUntilFits(std::int64_t incoming_bytes);
+
+  const std::int64_t capacity_bytes_;
+  mutable std::mutex mu_;
+  MemoryAccountant accountant_;        // guarded by mu_
+  std::list<std::string> lru_;         // front = most recent
+  std::unordered_map<std::string, Entry> entries_;
+  std::int64_t evictions_ = 0;
 };
 
 }  // namespace treewalk

@@ -4,16 +4,27 @@
 
 #include <atomic>
 #include <csignal>
+#include <mutex>
 
 namespace treewalk {
 
 namespace {
 
-// Everything the handler touches is a lock-free atomic; fetch_add and
+// Everything the handlers touch is a lock-free atomic; fetch_add and
 // store on std::atomic<int> are async-signal-safe when lock-free
 // (guaranteed for int on the supported platforms).
 std::atomic<int> g_signal_count{0};
 std::atomic<int> g_first_signal{0};
+std::atomic<int> g_reload_count{0};
+
+// Install bookkeeping (never touched from a handler): the install
+// count plus the sigactions displaced by the first Install(), restored
+// by the last Uninstall().
+std::mutex g_install_mu;
+int g_install_count = 0;
+struct sigaction g_saved_int;
+struct sigaction g_saved_term;
+struct sigaction g_saved_hup;
 
 void Handler(int signo) {
   int count = g_signal_count.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -27,17 +38,43 @@ void Handler(int signo) {
   _exit(128 + signo);
 }
 
+void HupHandler(int) {
+  // Reload is driver-polled: the handler only counts.  Critically, the
+  // process neither exits (SIGHUP's default) nor drains — a supervisor
+  // HUP-ing its children on config rollout must not kill in-flight
+  // work.
+  g_reload_count.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 void GracefulShutdown::Install() {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  if (g_install_count++ > 0) return;
   struct sigaction action = {};
   action.sa_handler = Handler;
   sigemptyset(&action.sa_mask);
-  // No SA_RESTART: a batch driver blocked in a slow syscall should see
-  // EINTR and reach its cancellation poll promptly.
+  // No SA_RESTART: a driver blocked in a slow syscall should see EINTR
+  // and reach its cancellation poll promptly.
   action.sa_flags = 0;
-  sigaction(SIGINT, &action, nullptr);
-  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, &g_saved_int);
+  sigaction(SIGTERM, &action, &g_saved_term);
+  struct sigaction hup = {};
+  hup.sa_handler = HupHandler;
+  sigemptyset(&hup.sa_mask);
+  // SA_RESTART here: a reload poll is not urgent, and an interrupted
+  // read in a connection thread must not surface as a client error.
+  hup.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &hup, &g_saved_hup);
+}
+
+void GracefulShutdown::Uninstall() {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  if (g_install_count == 0) return;
+  if (--g_install_count > 0) return;
+  sigaction(SIGINT, &g_saved_int, nullptr);
+  sigaction(SIGTERM, &g_saved_term, nullptr);
+  sigaction(SIGHUP, &g_saved_hup, nullptr);
 }
 
 bool GracefulShutdown::requested() {
@@ -48,9 +85,14 @@ int GracefulShutdown::signal_number() {
   return g_first_signal.load(std::memory_order_relaxed);
 }
 
+int GracefulShutdown::reload_requests() {
+  return g_reload_count.load(std::memory_order_relaxed);
+}
+
 void GracefulShutdown::ResetForTest() {
   g_signal_count.store(0, std::memory_order_relaxed);
   g_first_signal.store(0, std::memory_order_relaxed);
+  g_reload_count.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace treewalk

@@ -3,33 +3,59 @@
 
 namespace treewalk {
 
-/// Cooperative SIGINT/SIGTERM handling for batch front ends
-/// (docs/ROBUSTNESS.md, "Graceful shutdown").  Purely atomic-flag
-/// based — no self-pipe, no signalfd, nothing allocated in the
-/// handler — so it is async-signal-safe by construction:
+/// Cooperative SIGINT/SIGTERM handling for batch front ends and the
+/// resident daemon (docs/ROBUSTNESS.md, "Graceful shutdown").  Purely
+/// atomic-flag based — no self-pipe, no signalfd, nothing allocated in
+/// the handler — so it is async-signal-safe by construction:
 ///
 ///   first signal    latches `requested()`; the driver polls the flag,
-///                   cancels the batch cooperatively, drains the
-///                   workers, flushes the journal, and exits with
-///                   kExitInterrupted (75, sysexits' EX_TEMPFAIL: the
-///                   run is resumable with --resume).
+///                   cancels the batch cooperatively (or drains the
+///                   server's in-flight requests), flushes the journal,
+///                   and exits with kExitInterrupted (75, sysexits'
+///                   EX_TEMPFAIL: a batch run is resumable with
+///                   --resume; a drained daemon is restartable).
 ///   second signal   the handler itself calls _exit(128 + signo) —
 ///                   immediate abort, no draining, no flush beyond what
 ///                   already reached the kernel (the journal's framing
 ///                   makes the torn tail recoverable).
+///   SIGHUP          latched in `reload_requests()` and otherwise
+///                   ignored.  A supervisor restart loop that HUPs its
+///                   children must not kill in-flight work; resident
+///                   drivers poll the counter and export it as
+///                   treewalk_server_reload_requests_total.
+///
+/// Install()/Uninstall() are re-entrant (install-counted): a resident
+/// server and a library caller hosted in one process can each install
+/// and uninstall independently, and the original handlers are restored
+/// only when the last user uninstalls.  One-shot batch drivers may
+/// still call Install() alone, exactly as before.
 class GracefulShutdown {
  public:
   /// Documented exit code of a drained, journal-flushed, resumable run.
   static constexpr int kExitInterrupted = 75;
 
-  /// Installs the SIGINT and SIGTERM handlers.  Idempotent.
+  /// Installs the SIGINT, SIGTERM, and SIGHUP handlers (saving the
+  /// previously installed actions on the first call) and increments the
+  /// install count.  Safe to call repeatedly.
   static void Install();
 
-  /// A signal arrived since Install() (or the last ResetForTest()).
+  /// Decrements the install count; at zero, restores the handlers saved
+  /// by the first Install().  Extra calls (below zero) are no-ops, so a
+  /// driver pairing every Install() with an Uninstall() is always safe.
+  static void Uninstall();
+
+  /// A SIGINT/SIGTERM arrived since Install() (or the last
+  /// ResetForTest()).
   static bool requested();
 
   /// The first signal's number, or 0.
   static int signal_number();
+
+  /// SIGHUPs received since Install() (or the last ResetForTest()).
+  /// Reload is deliberately a no-op beyond the count: the daemon has no
+  /// mutable config yet, but a supervisor's HUP must never terminate
+  /// in-flight work.
+  static int reload_requests();
 
   /// Clears the latched state so one process can host several tests.
   /// Not for production use: a concurrently arriving signal may still

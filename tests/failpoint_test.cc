@@ -72,13 +72,14 @@ TEST_F(FailpointTest, DisableAllDisarms) {
 
 TEST_F(FailpointTest, KnownSitesInventoryIsStable) {
   const std::vector<std::string>& sites = FailpointRegistry::KnownSites();
-  EXPECT_EQ(sites.size(), 14u);
+  EXPECT_EQ(sites.size(), 18u);
   for (const char* site :
        {"interpreter/step", "interpreter/select", "compiler/compile",
         "axis_index/alloc", "engine/worker", "journal/append",
         "journal/fsync", "journal/rename", "atomic_file/write",
         "atomic_file/fsync", "atomic_file/rename", "snapshot/load",
-        "selector_cache/load", "selector_cache/store"}) {
+        "selector_cache/load", "selector_cache/store", "server/accept",
+        "server/read", "server/write", "server/dispatch"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
         << site;
   }

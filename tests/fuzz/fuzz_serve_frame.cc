@@ -1,0 +1,84 @@
+// libFuzzer harness for the `twq serve` wire protocol
+// (src/server/frame.h): every decoder is total — an arbitrary byte
+// string produces a value or a typed error, never a crash, an
+// overflow, or an allocation sized by attacker-controlled bytes.  The
+// first byte of the input selects the decoder so one corpus covers the
+// whole surface; whatever decodes must re-encode to bytes that decode
+// to the same value (a full round-trip law, not just no-crash).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/server/frame.h"
+
+namespace {
+
+template <typename Msg, typename Decode, typename Encode>
+void RoundTrip(std::string_view body, Decode decode, Encode encode) {
+  auto first = decode(body);
+  if (!first.ok()) return;
+  std::string wire = encode(*first);
+  auto second = decode(wire);
+  if (!second.ok()) __builtin_trap();  // encoder emitted an undecodable body
+  if (encode(*second) != wire) __builtin_trap();  // not a fixpoint
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t selector = data[0];
+  std::string_view body(reinterpret_cast<const char*>(data + 1), size - 1);
+
+  switch (selector % 6) {
+    case 0: {
+      if (body.size() >= 4) {
+        auto len = treewalk::DecodeFrameLength(
+            reinterpret_cast<const unsigned char*>(body.data()));
+        // The cap is the whole point: a huge prefix may never validate.
+        if (len.ok() && (*len == 0 || *len > treewalk::kMaxFrameBytes)) {
+          __builtin_trap();
+        }
+      }
+      auto frame = treewalk::DecodeFramePayload(body);
+      if (frame.ok() && frame->body.size() + 1 != body.size()) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case 1:
+      RoundTrip<treewalk::QueryRequest>(body, treewalk::DecodeQueryRequest,
+                                        treewalk::EncodeQueryRequest);
+      break;
+    case 2:
+      RoundTrip<treewalk::QueryResultMsg>(body, treewalk::DecodeQueryResult,
+                                          treewalk::EncodeQueryResult);
+      break;
+    case 3:
+      RoundTrip<treewalk::ErrorMsg>(body, treewalk::DecodeError,
+                                    treewalk::EncodeError);
+      break;
+    case 4:
+      RoundTrip<treewalk::StatsMap>(body, treewalk::DecodeStats,
+                                    treewalk::EncodeStats);
+      break;
+    case 5: {
+      // Framing round trip: any body under the cap frames and reparses.
+      if (body.size() < treewalk::kMaxFrameBytes) {
+        std::string wire =
+            treewalk::EncodeFrame(treewalk::MessageType::kMetricsResult, body);
+        auto len = treewalk::DecodeFrameLength(
+            reinterpret_cast<const unsigned char*>(wire.data()));
+        if (!len.ok() || *len != wire.size() - 4) __builtin_trap();
+        auto frame = treewalk::DecodeFramePayload(
+            std::string_view(wire).substr(4));
+        if (!frame.ok() || frame->body != body) __builtin_trap();
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "src/engine/batch_journal.h"
 #include "src/logic/parser.h"
 #include "src/logic/selector_cache.h"
+#include "src/server/frame.h"
 #include "src/tree/snapshot.h"
 #include "src/tree/term_io.h"
 #include "src/tree/xml_io.h"
@@ -135,6 +136,53 @@ TEST(FuzzCorpus, SnapshotSeedsReplayWithoutCrashing) {
       (void)selector->SelectFrom(0);
     }
     return tree.ok() || selector.ok();
+  });
+}
+
+TEST(FuzzCorpus, ServeFrameSeedsReplayWithoutCrashing) {
+  // Mirrors fuzz_serve_frame.cc: the first byte selects a wire decoder
+  // (src/server/frame.h), the rest is its body; whatever decodes must
+  // re-encode to a decoding fixpoint.
+  ReplayCorpus("serve_frame", [](const std::string& s) {
+    if (s.empty()) return false;
+    std::string_view body(s.data() + 1, s.size() - 1);
+    auto fixpoint = [](auto decoded, auto encode, auto decode) {
+      if (!decoded.ok()) return false;
+      std::string wire = encode(*decoded);
+      auto again = decode(wire);
+      EXPECT_TRUE(again.ok());
+      if (again.ok()) EXPECT_EQ(encode(*again), wire);
+      return true;
+    };
+    switch (static_cast<std::uint8_t>(s[0]) % 6) {
+      case 0: {
+        if (body.size() >= 4) {
+          auto len = DecodeFrameLength(
+              reinterpret_cast<const unsigned char*>(body.data()));
+          if (len.ok()) {
+            EXPECT_GT(*len, 0u);
+            EXPECT_LE(*len, kMaxFrameBytes);
+          }
+        }
+        return DecodeFramePayload(body).ok();
+      }
+      case 1:
+        return fixpoint(DecodeQueryRequest(body), EncodeQueryRequest,
+                        DecodeQueryRequest);
+      case 2:
+        return fixpoint(DecodeQueryResult(body), EncodeQueryResult,
+                        DecodeQueryResult);
+      case 3:
+        return fixpoint(DecodeError(body), EncodeError, DecodeError);
+      case 4:
+        return fixpoint(DecodeStats(body), EncodeStats, DecodeStats);
+      default: {
+        std::string wire = EncodeFrame(MessageType::kMetricsResult, body);
+        auto frame = DecodeFramePayload(std::string_view(wire).substr(4));
+        EXPECT_TRUE(frame.ok());
+        return frame.ok() && frame->body == body;
+      }
+    }
   });
 }
 

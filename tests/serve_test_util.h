@@ -1,0 +1,122 @@
+#ifndef TREEWALK_TESTS_SERVE_TEST_UTIL_H_
+#define TREEWALK_TESTS_SERVE_TEST_UTIL_H_
+
+// Loopback client helpers shared by serve_test.cc and
+// serve_chaos_test.cc: a minimal blocking wire client for the
+// `twq serve` protocol (src/server/frame.h), enough to drive an
+// in-process QueryServer through real sockets.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "src/server/frame.h"
+
+namespace treewalk {
+namespace serve_test {
+
+/// Blocking loopback connect; -1 on failure.
+inline int Connect(int port, const char* host = "127.0.0.1") {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host, &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+inline bool WriteAll(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+inline bool ReadAll(int fd, void* buf, std::size_t len) {
+  std::size_t done = 0;
+  auto* out = static_cast<unsigned char*>(buf);
+  while (done < len) {
+    ssize_t n = recv(fd, out + done, len - done, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one complete frame.  False on transport error or a frame the
+/// decoder rejects (a server must never send one).
+inline bool ReadFrame(int fd, MessageType& type, std::string& body) {
+  unsigned char prefix[4];
+  if (!ReadAll(fd, prefix, sizeof(prefix))) return false;
+  Result<std::uint32_t> len = DecodeFrameLength(prefix);
+  if (!len.ok()) return false;
+  std::string payload(*len, '\0');
+  if (!ReadAll(fd, payload.data(), payload.size())) return false;
+  Result<Frame> frame = DecodeFramePayload(payload);
+  if (!frame.ok()) return false;
+  type = frame->type;
+  body.assign(frame->body);
+  return true;
+}
+
+/// One request/response exchange over an established connection.
+inline bool Exchange(int fd, const std::string& request, MessageType& type,
+                     std::string& body) {
+  if (!WriteAll(fd, request)) return false;
+  return ReadFrame(fd, type, body);
+}
+
+/// Frames a query request.
+inline std::string QueryFrame(const std::string& tree,
+                              const std::string& program,
+                              std::uint32_t deadline_ms = 0) {
+  QueryRequest q;
+  q.tree_name = tree;
+  q.program_text = program;
+  q.deadline_ms = deadline_ms;
+  return EncodeFrame(MessageType::kQuery, EncodeQueryRequest(q));
+}
+
+/// Accepts every tree in one step.
+inline constexpr const char* kAcceptAllProgram =
+    "class tw\nstates q0 qf\nrule #top q0 [true] move stay qf\n";
+
+/// Full DFS for a label that is absent from the test corpus: visits the
+/// whole delimited tree before rejecting — the "slow query" used to
+/// hold workers busy across a drain.
+inline constexpr const char* kScanProgram = R"twp(
+class tw
+states fwd qf
+rule needle fwd [true] move stay qf
+rule #top fwd [true] move down fwd
+rule #open fwd [true] move right fwd
+rule * fwd [true] move down fwd
+rule #leaf fwd [true] move up back
+rule #close fwd [true] move up back
+rule * back [true] move right fwd
+)twp";
+
+}  // namespace serve_test
+}  // namespace treewalk
+
+#endif  // TREEWALK_TESTS_SERVE_TEST_UTIL_H_

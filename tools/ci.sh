@@ -38,6 +38,12 @@ for preset in $presets; do
   case "$preset" in
     release)
       (cd "$root" && ctest --preset release -j "$jobs")
+      # End-to-end daemon smoke: start `twq serve`, drive it with
+      # twq_loadgen, SIGHUP-reload, then SIGTERM and assert the graceful
+      # drain exit code 75 (see docs/SERVER.md).
+      sh "$root/tools/serve_smoke.sh" \
+        "$root/build-release/tools/twq" \
+        "$root/build-release/tools/twq_loadgen"
       # Benchmarks live in a separate ctest configuration so the
       # default (tier-1) run stays fast; each writes BENCH_<name>.json
       # next to its binary, and the gate fails on >25% regressions of
@@ -55,6 +61,12 @@ for preset in $presets; do
       # failures cannot hide leaks or UB in the unwind paths.
       (cd "$root/build-asan" && ctest -L asan-focus --output-on-failure \
         -j "$jobs")
+      # The same daemon smoke under ASan/UBSan: the accept loop, worker
+      # cancel paths, and the drain unwind all run with sanitizers
+      # fatal.
+      sh "$root/tools/serve_smoke.sh" \
+        "$root/build-asan/tools/twq" \
+        "$root/build-asan/tools/twq_loadgen"
       ;;
     tsan)
       # TSan costs ~10x; run exactly the suites that exercise real
@@ -63,7 +75,7 @@ for preset in $presets; do
       ;;
     fuzz)
       echo "==== fuzz smoke (30s per target) ===="
-      for target in formula term xml program journal snapshot; do
+      for target in formula term xml program journal snapshot serve_frame; do
         bin="$root/build-fuzz/tests/fuzz/fuzz_$target"
         [ -x "$bin" ] || continue
         "$bin" "$root/tests/fuzz/corpus/$target" -max_total_time=30 \

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `twq serve` (docs/SERVER.md), run by CI
+# (tools/ci.sh) against the sanitizer build:
+#
+#   1. build a tiny corpus, start the daemon on an ephemeral port;
+#   2. drive it with twq_loadgen for a few seconds and verify the
+#      server's books reconcile (admitted == ok + error + drained);
+#   3. SIGTERM the daemon and assert a graceful drain: the process must
+#      print its drain summary and exit 75 (sysexits EX_TEMPFAIL, the
+#      documented "drained cleanly, restartable" code).
+#
+# Usage: serve_smoke.sh <twq-binary> <loadgen-binary> [duration-ms]
+set -u
+
+TWQ="${1:?usage: serve_smoke.sh <twq> <twq_loadgen> [duration-ms]}"
+LOADGEN="${2:?usage: serve_smoke.sh <twq> <twq_loadgen> [duration-ms]}"
+DURATION_MS="${3:-3000}"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -KILL "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+# 1. Corpus: a couple of small trees.
+mkdir -p "$WORK/corpus"
+echo 'a[x=1](b(c, d), e[x=2])' > "$WORK/corpus/small.term"
+python3 - "$WORK/corpus/wide.term" <<'EOF'
+import sys
+leaves = ", ".join(f"b[x={i}]" for i in range(200))
+open(sys.argv[1], "w").write(f"a({leaves})")
+EOF
+
+"$TWQ" serve "$WORK/corpus" --port 0 --workers 2 --max-queue 8 \
+    --deadline-ms 500 --drain-ms 2000 --quiet > "$WORK/serve.out" 2>"$WORK/serve.err" &
+SERVER_PID=$!
+
+# Wait for the listening line (the daemon prints it once ready).
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' "$WORK/serve.out")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died at startup: $(cat "$WORK/serve.err")"
+  sleep 0.1
+done
+[ -n "$PORT" ] && [ "$PORT" != "0" ] || fail "server never reported its port"
+
+# 2. Load + reconciliation check (loadgen exits nonzero on mismatch).
+"$LOADGEN" --port "$PORT" --connections 8 --duration-ms "$DURATION_MS" \
+    --tree small.term --stats --quiet || fail "loadgen/reconciliation failed"
+
+# A SIGHUP must be survivable (reload is latched, not fatal).
+kill -HUP "$SERVER_PID"
+sleep 0.2
+kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on SIGHUP"
+
+# 3. Graceful drain on first SIGTERM.
+kill -TERM "$SERVER_PID"
+EXIT_CODE=0
+wait "$SERVER_PID" || EXIT_CODE=$?
+SERVER_PID=""
+[ "$EXIT_CODE" -eq 75 ] || fail "expected drain exit 75, got $EXIT_CODE (stderr: $(tail -3 "$WORK/serve.err"))"
+grep -q '^drained: admitted=' "$WORK/serve.out" || fail "no drain summary printed"
+
+echo "serve_smoke: OK (port $PORT, $(grep '^drained:' "$WORK/serve.out"))"

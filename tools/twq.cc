@@ -33,6 +33,20 @@
 //       Dump a batch journal's records and summary; exits nonzero when
 //       any job has more than one terminal JobFinished record (an
 //       exactly-once violation).
+//   twq serve <corpus-dir> [--port P] [--host H] [--workers N]
+//       [--max-queue Q] [--max-connections C] [--memory-budget-mb B]
+//       [--request-budget-mb RB] [--deadline-ms D] [--max-deadline-ms MD]
+//       [--drain-ms MS] [--io-timeout-ms T] [--cache-budget-mb CB]
+//       [--snapshot-cache <dir>] [--quiet]
+//       Long-lived query daemon (docs/SERVER.md): preloads every tree
+//       in <corpus-dir> (.term/.xml/.twsnap, keyed by file name) into a
+//       byte-capped resident cache, then serves concurrent queries over
+//       a length-prefixed binary TCP protocol with admission control
+//       and load shedding.  Prints `listening on <host>:<port>` once
+//       ready (--port 0 binds an ephemeral port).  First SIGINT/SIGTERM
+//       drains gracefully — stop accepting, finish in-flight within
+//       --drain-ms, exit 75; a second signal aborts.  SIGHUP is counted
+//       (treewalk_server_reload_requests_total) and otherwise ignored.
 //   twq snapshot build <tree.{term,xml}> [-o <out.twsnap>]
 //       Parse a tree once and write a mmap-able zero-parse snapshot
 //       (docs/SNAPSHOT.md); any command accepting a tree also accepts
@@ -64,6 +78,7 @@
 // Trees are read as the compact term syntax (a[x=1](b, c)) unless the
 // file ends in .xml (XML) or .twsnap (snapshot).
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <algorithm>
@@ -92,6 +107,7 @@
 #include "src/engine/manifest.h"
 #include "src/engine/shutdown.h"
 #include "src/logic/selector_cache.h"
+#include "src/server/server.h"
 #include "src/logic/tree_eval.h"
 #include "src/simulation/config_graph.h"
 #include "src/tree/snapshot.h"
@@ -625,6 +641,161 @@ int CmdBatch(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+int CmdServe(int argc, char** argv) {
+  if (argc < 1) {
+    return Fail("usage: twq serve <corpus-dir> [--port P] [--host H] "
+                "[--workers N] [--max-queue Q] [--max-connections C] "
+                "[--memory-budget-mb B] [--request-budget-mb RB] "
+                "[--deadline-ms D] [--max-deadline-ms MD] [--drain-ms MS] "
+                "[--io-timeout-ms T] [--cache-budget-mb CB] "
+                "[--snapshot-cache <dir>] [--quiet]");
+  }
+  const std::string corpus_dir = argv[0];
+  tw::ServerOptions options;
+  long long cache_budget_mb = 0;  // 0 = unlimited resident cache
+  bool quiet = false;
+  std::optional<tw::SnapshotCache> snapshot_cache;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      options.num_workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc) {
+      options.max_queue = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-connections") == 0 &&
+               i + 1 < argc) {
+      options.max_connections = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0 &&
+               i + 1 < argc) {
+      options.memory_budget_bytes = std::atoll(argv[++i]) * 1024 * 1024;
+    } else if (std::strcmp(argv[i], "--request-budget-mb") == 0 &&
+               i + 1 < argc) {
+      options.request_memory_budget_bytes =
+          std::atoll(argv[++i]) * 1024 * 1024;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.default_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-deadline-ms") == 0 &&
+               i + 1 < argc) {
+      options.max_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--drain-ms") == 0 && i + 1 < argc) {
+      options.drain_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--io-timeout-ms") == 0 && i + 1 < argc) {
+      options.io_timeout_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache-budget-mb") == 0 &&
+               i + 1 < argc) {
+      cache_budget_mb = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--snapshot-cache") == 0 &&
+               i + 1 < argc) {
+      EnsureDir(argv[++i]);
+      snapshot_cache.emplace(argv[i]);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return Fail(std::string("unknown serve option '") + argv[i] + "'");
+    }
+  }
+
+  // Preload the corpus: every tree file in the directory, keyed by its
+  // file name.  Serial and before listening — the serving hot path
+  // never touches the filesystem.
+  tw::ResidentTreeCache corpus(cache_budget_mb * 1024 * 1024);
+  DIR* dir = ::opendir(corpus_dir.c_str());
+  if (dir == nullptr) {
+    return Fail("cannot open corpus directory '" + corpus_dir + "'");
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (HasSuffix(name, ".term") || HasSuffix(name, ".xml") ||
+        HasSuffix(name, ".twsnap")) {
+      names.push_back(std::move(name));
+    }
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  if (names.empty()) {
+    return Fail("corpus directory '" + corpus_dir +
+                "' has no .term/.xml/.twsnap files");
+  }
+  std::size_t loaded = 0;
+  for (const std::string& name : names) {
+    const std::string path = corpus_dir + "/" + name;
+    auto entry = corpus.GetOrLoad(name, [&]() {
+      return LoadTreeCached(
+          path, snapshot_cache.has_value() ? &*snapshot_cache : nullptr);
+    });
+    if (!entry.ok()) {
+      // One bad file degrades the corpus, it does not sink the daemon —
+      // queries naming it get kNotFound.
+      std::fprintf(stderr, "twq serve: skipping %s: %s\n", name.c_str(),
+                   entry.status().ToString().c_str());
+      continue;
+    }
+    ++loaded;
+    if (!quiet) {
+      std::fprintf(stderr, "twq serve: loaded %s (%zu nodes, ~%lld KiB)\n",
+                   name.c_str(), (*entry)->source_nodes,
+                   static_cast<long long>((*entry)->approx_bytes / 1024));
+    }
+  }
+  if (loaded == 0) return Fail("no corpus tree loaded successfully");
+
+  tw::QueryServer server(options, &corpus);
+  tw::Status started = server.Start();
+  if (!started.ok()) return Fail("serve: " + started.ToString());
+  // The smoke harness and loadgen parse this exact line; keep it first
+  // on stdout and flushed.
+  std::printf("listening on %s:%d\n", options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  // Signal loop: the handlers only latch atomics; this loop converts
+  // the first SIGINT/SIGTERM into a drain and folds SIGHUP counts into
+  // the reload metric.
+  tw::GracefulShutdown::Install();
+  tw::Counter* reload_metric = tw::MetricsRegistry::Global().FindOrCreateCounter(
+      "treewalk_server_reload_requests_total",
+      "SIGHUPs observed by the serve driver (reload is a no-op)");
+  int reloads_seen = 0;
+  while (!tw::GracefulShutdown::requested()) {
+    int reloads = tw::GracefulShutdown::reload_requests();
+    if (reloads > reloads_seen) {
+      reload_metric->Increment(reloads - reloads_seen);
+      if (!quiet) {
+        std::fprintf(stderr, "twq serve: reload requested (SIGHUP); "
+                             "config is immutable, ignoring\n");
+      }
+      reloads_seen = reloads;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "twq serve: signal %d, draining (%lld ms grace)\n",
+                 tw::GracefulShutdown::signal_number(),
+                 static_cast<long long>(options.drain_deadline_ms));
+  }
+  server.BeginDrain();
+  server.AwaitTermination();
+  tw::GracefulShutdown::Uninstall();
+
+  const tw::ServerCounters& c = server.counters();
+  std::printf("drained: admitted=%lld ok=%lld error=%lld drained=%lld "
+              "shed_queue=%lld shed_memory=%lld shed_draining=%lld "
+              "protocol_errors=%lld reaped=%lld\n",
+              static_cast<long long>(c.requests_admitted.load()),
+              static_cast<long long>(c.served_ok.load()),
+              static_cast<long long>(c.served_error.load()),
+              static_cast<long long>(c.drained.load()),
+              static_cast<long long>(c.shed_queue.load()),
+              static_cast<long long>(c.shed_memory.load()),
+              static_cast<long long>(c.shed_draining.load()),
+              static_cast<long long>(c.protocol_errors.load()),
+              static_cast<long long>(c.slow_clients_reaped.load()));
+  std::fflush(stdout);
+  return tw::GracefulShutdown::kExitInterrupted;
+}
+
 int CmdJournal(int argc, char** argv) {
   if (argc != 1) return Fail("usage: twq journal <journal-file>");
   auto contents = tw::ReadJournal(argv[0]);
@@ -770,7 +941,7 @@ int main(int argc, char** argv) {
     }
   }
   if (args.size() < 2) {
-    return Fail("usage: twq <run|xpath|check|cat|batch|journal|snapshot> "
+    return Fail("usage: twq <run|xpath|check|cat|batch|serve|journal|snapshot> "
                 "[--metrics-out <file>] [--trace-out <file>] ...  "
                 "(see file header)");
   }
@@ -790,6 +961,8 @@ int main(int argc, char** argv) {
     code = CmdCat(sub_argc, sub_argv);
   } else if (command == "batch") {
     code = CmdBatch(sub_argc, sub_argv);
+  } else if (command == "serve") {
+    code = CmdServe(sub_argc, sub_argv);
   } else if (command == "journal") {
     code = CmdJournal(sub_argc, sub_argv);
   } else if (command == "snapshot") {

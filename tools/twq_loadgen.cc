@@ -1,0 +1,373 @@
+// twq_loadgen — load generator and correctness probe for `twq serve`
+// (docs/SERVER.md).
+//
+//   twq_loadgen --port P [--host H] [--connections N] [--duration-ms D]
+//       --tree NAME [--program FILE | --program-text TEXT]
+//       [--rate R] [--deadline-ms D] [--stats] [--expect-shed] [--quiet]
+//
+// Drives a fleet of N concurrent connections against a running daemon:
+//
+//   closed loop (default)  each connection sends its next query the
+//                          moment the previous response lands — the
+//                          classic saturation probe;
+//   open loop (--rate R)   the fleet schedules arrivals at R requests/s
+//                          regardless of response times, so queueing
+//                          delay is visible instead of self-throttled.
+//
+// Every response is classified (ok / overloaded / draining / other
+// typed error) and timed; the report prints throughput and latency
+// percentiles of *admitted* requests next to the shed counts — the
+// bounded-overload story in one line.  With --stats, a final `stats`
+// request verifies the server's books reconcile:
+//
+//   admitted == served_ok + served_error + drained
+//
+// and the tool exits nonzero when they do not, or when --expect-shed
+// saw no load shedding (the saturation harness asserts both).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/frame.h"
+
+namespace tw = treewalk;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kDefaultProgram = R"twp(
+# accept every tree
+class tw
+states q0 qf
+rule #top q0 [true] move stay qf
+)twp";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "twq_loadgen: %s\n", message.c_str());
+  return 1;
+}
+
+int Connect(const std::string& host, int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, unsigned char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t n = recv(fd, buf + done, len - done, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One request/response exchange.  Returns false on a transport error
+/// (connection gone); protocol-level errors come back as frames.
+bool Exchange(int fd, const std::string& request, tw::MessageType& type,
+              std::string& body) {
+  if (!WriteAll(fd, request)) return false;
+  unsigned char prefix[4];
+  if (!ReadAll(fd, prefix, sizeof(prefix))) return false;
+  auto len = tw::DecodeFrameLength(prefix);
+  if (!len.ok()) return false;
+  std::string payload(len.value(), '\0');
+  if (!ReadAll(fd, reinterpret_cast<unsigned char*>(payload.data()),
+               payload.size())) {
+    return false;
+  }
+  auto frame = tw::DecodeFramePayload(payload);
+  if (!frame.ok()) return false;
+  type = frame.value().type;
+  body = std::string(frame.value().body);
+  return true;
+}
+
+struct WorkerTally {
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;  // program REJECT verdicts (still served ok)
+  std::int64_t overloaded = 0;
+  std::int64_t draining = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t other_error = 0;
+  std::int64_t transport_errors = 0;
+  std::int64_t reconnects = 0;
+  std::vector<double> latencies_ms;  // admitted (ok or typed engine error)
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 4;
+  long long duration_ms = 5000;
+  std::string tree_name;
+  std::string program_text = kDefaultProgram;
+  double rate = 0;  // 0 = closed loop
+  long long deadline_ms = 0;
+  bool want_stats = false;
+  bool expect_shed = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      connections = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      duration_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tree") == 0 && i + 1 < argc) {
+      tree_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--program") == 0 && i + 1 < argc) {
+      std::ifstream in(argv[++i]);
+      if (!in) return Fail(std::string("cannot read program '") + argv[i] + "'");
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      program_text = buffer.str();
+    } else if (std::strcmp(argv[i], "--program-text") == 0 && i + 1 < argc) {
+      program_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(argv[i], "--expect-shed") == 0) {
+      expect_shed = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return Fail(std::string("unknown option '") + argv[i] +
+                  "' (see file header)");
+    }
+  }
+  if (port == 0) return Fail("--port is required");
+  if (tree_name.empty()) return Fail("--tree is required");
+  if (connections < 1) return Fail("--connections must be >= 1");
+
+  tw::QueryRequest query;
+  query.tree_name = tree_name;
+  query.program_text = program_text;
+  query.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+  const std::string request =
+      tw::EncodeFrame(tw::MessageType::kQuery, tw::EncodeQueryRequest(query));
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point stop =
+      start + std::chrono::milliseconds(duration_ms);
+  std::vector<WorkerTally> tallies(static_cast<std::size_t>(connections));
+  std::vector<std::thread> fleet;
+  fleet.reserve(static_cast<std::size_t>(connections));
+  // Open loop: each of the N threads owns an arrival schedule of rate/N
+  // requests per second, anchored at `start` — late responses do not
+  // push later arrivals back, which is the whole point.
+  const double per_thread_interval_ms =
+      rate > 0 ? 1000.0 * connections / rate : 0;
+  for (int t = 0; t < connections; ++t) {
+    fleet.emplace_back([&, t]() {
+      WorkerTally& tally = tallies[static_cast<std::size_t>(t)];
+      int fd = Connect(host, port);
+      long long sent = 0;
+      while (Clock::now() < stop) {
+        if (rate > 0) {
+          Clock::time_point next_arrival =
+              start + std::chrono::milliseconds(static_cast<long long>(
+                          per_thread_interval_ms * static_cast<double>(sent)));
+          if (next_arrival >= stop) break;
+          std::this_thread::sleep_until(next_arrival);
+        }
+        if (fd < 0) {
+          fd = Connect(host, port);
+          if (fd < 0) {
+            ++tally.transport_errors;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            continue;
+          }
+          ++tally.reconnects;
+        }
+        ++sent;
+        Clock::time_point begin = Clock::now();
+        tw::MessageType type;
+        std::string body;
+        if (!Exchange(fd, request, type, body)) {
+          ++tally.transport_errors;
+          close(fd);
+          fd = -1;
+          continue;
+        }
+        double ms = std::chrono::duration_cast<
+                        std::chrono::duration<double, std::milli>>(
+                        Clock::now() - begin)
+                        .count();
+        if (type == tw::MessageType::kQueryResult) {
+          auto result = tw::DecodeQueryResult(body);
+          if (result.ok() && result.value().accepted) {
+            ++tally.ok;
+          } else {
+            ++tally.rejected;
+          }
+          tally.latencies_ms.push_back(ms);
+        } else if (type == tw::MessageType::kError) {
+          auto error = tw::DecodeError(body);
+          tw::WireError code =
+              error.ok() ? error.value().code : tw::WireError::kInternal;
+          switch (code) {
+            case tw::WireError::kOverloaded: ++tally.overloaded; break;
+            case tw::WireError::kDraining: ++tally.draining; break;
+            case tw::WireError::kCancelled: ++tally.cancelled; break;
+            default:
+              ++tally.other_error;
+              tally.latencies_ms.push_back(ms);  // admitted, ran, failed
+          }
+        } else {
+          ++tally.other_error;
+        }
+      }
+      if (fd >= 0) close(fd);
+    });
+  }
+  for (std::thread& worker : fleet) worker.join();
+  double elapsed_s = std::chrono::duration_cast<
+                         std::chrono::duration<double>>(Clock::now() - start)
+                         .count();
+
+  WorkerTally total;
+  std::vector<double> latencies;
+  for (WorkerTally& tally : tallies) {
+    total.ok += tally.ok;
+    total.rejected += tally.rejected;
+    total.overloaded += tally.overloaded;
+    total.draining += tally.draining;
+    total.cancelled += tally.cancelled;
+    total.other_error += tally.other_error;
+    total.transport_errors += tally.transport_errors;
+    total.reconnects += tally.reconnects;
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                     tally.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::int64_t admitted_seen =
+      static_cast<std::int64_t>(latencies.size()) + total.cancelled;
+  std::printf("loadgen: %lld admitted (%.0f/s), %lld accept, %lld reject, "
+              "%lld error; shed: %lld overloaded, %lld draining; "
+              "%lld cancelled, %lld transport\n",
+              static_cast<long long>(admitted_seen),
+              static_cast<double>(admitted_seen) / std::max(elapsed_s, 1e-9),
+              static_cast<long long>(total.ok),
+              static_cast<long long>(total.rejected),
+              static_cast<long long>(total.other_error),
+              static_cast<long long>(total.overloaded),
+              static_cast<long long>(total.draining),
+              static_cast<long long>(total.cancelled),
+              static_cast<long long>(total.transport_errors));
+  std::printf("latency_ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f (n=%zu)\n",
+              Percentile(latencies, 0.50), Percentile(latencies, 0.95),
+              Percentile(latencies, 0.99),
+              latencies.empty() ? 0 : latencies.back(), latencies.size());
+
+  int code = 0;
+  if (expect_shed && total.overloaded == 0) {
+    std::fprintf(stderr, "twq_loadgen: expected load shedding, saw none\n");
+    code = 1;
+  }
+  if (want_stats) {
+    int fd = Connect(host, port);
+    if (fd < 0) {
+      // The server may already be draining/away; report but do not fail
+      // the run on a missing stats endpoint unless asked to reconcile.
+      std::fprintf(stderr, "twq_loadgen: cannot connect for stats\n");
+      return 1;
+    }
+    tw::MessageType type;
+    std::string body;
+    bool got = Exchange(
+        fd, tw::EncodeFrame(tw::MessageType::kStats, ""), type, body);
+    close(fd);
+    if (!got || type != tw::MessageType::kStatsResult) {
+      std::fprintf(stderr, "twq_loadgen: stats exchange failed\n");
+      return 1;
+    }
+    auto stats = tw::DecodeStats(body);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "twq_loadgen: stats decode failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      for (const auto& [key, value] : stats.value().entries) {
+        std::printf("stats: %s=%lld\n", key.c_str(),
+                    static_cast<long long>(value));
+      }
+    }
+    const tw::StatsMap& map = stats.value();
+    std::int64_t admitted = map.Value("server.admitted");
+    std::int64_t accounted = map.Value("server.served_ok") +
+                             map.Value("server.served_error") +
+                             map.Value("server.drained");
+    if (admitted != accounted) {
+      std::fprintf(stderr,
+                   "twq_loadgen: RECONCILIATION FAILED: admitted=%lld != "
+                   "ok+error+drained=%lld\n",
+                   static_cast<long long>(admitted),
+                   static_cast<long long>(accounted));
+      return 1;
+    }
+    std::printf("reconciliation ok: admitted=%lld == ok+error+drained\n",
+                static_cast<long long>(admitted));
+  }
+  return code;
+}
