@@ -72,8 +72,11 @@ Result<Tree> SnapshotCache::LoadOrParse(
   return tree;
 }
 
-ResidentTreeCache::ResidentTreeCache(std::int64_t capacity_bytes)
-    : capacity_bytes_(capacity_bytes), accountant_(capacity_bytes) {}
+ResidentTreeCache::ResidentTreeCache(std::int64_t capacity_bytes,
+                                     std::uint64_t generation)
+    : capacity_bytes_(capacity_bytes),
+      generation_(generation),
+      accountant_(capacity_bytes) {}
 
 std::int64_t ResidentTreeCache::ApproxTreeBytes(const Tree& tree) {
   const auto nodes = static_cast<std::int64_t>(tree.size());

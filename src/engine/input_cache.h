@@ -83,6 +83,13 @@ class SnapshotCache {
 /// kResourceExhausted (loading it could never be admitted), and every
 /// eviction increments treewalk_input_cache_evictions_total.
 ///
+/// Live reload (docs/SERVER.md): the daemon treats one cache instance
+/// as one immutable corpus *generation*.  A SIGHUP builds a fresh
+/// generation off-thread and swaps it in under the server's shared_ptr;
+/// queries pin the generation they started on, so the old instance —
+/// and its accountant's books — dies exactly when its last pin drops.
+/// `generation()` labels which build a cache came from.
+///
 /// Thread-safe; one instance serves all connection threads.
 class ResidentTreeCache {
  public:
@@ -95,7 +102,9 @@ class ResidentTreeCache {
   };
 
   /// `capacity_bytes <= 0` means unlimited (tracked, never evicted).
-  explicit ResidentTreeCache(std::int64_t capacity_bytes);
+  /// `generation` labels a reload cycle (0 = the startup corpus).
+  explicit ResidentTreeCache(std::int64_t capacity_bytes,
+                             std::uint64_t generation = 0);
 
   /// The entry for `name`, loading (and delimiting) it via `load` on a
   /// miss.  Eviction of least-recently-used entries makes room; a load
@@ -113,6 +122,7 @@ class ResidentTreeCache {
   static std::int64_t ApproxTreeBytes(const Tree& tree);
 
   std::int64_t capacity_bytes() const { return capacity_bytes_; }
+  std::uint64_t generation() const { return generation_; }
   std::int64_t resident_bytes() const;
   std::int64_t resident_trees() const;
   std::int64_t evictions() const;
@@ -128,6 +138,7 @@ class ResidentTreeCache {
   void EvictLockedUntilFits(std::int64_t incoming_bytes);
 
   const std::int64_t capacity_bytes_;
+  const std::uint64_t generation_;
   mutable std::mutex mu_;
   MemoryAccountant accountant_;        // guarded by mu_
   std::list<std::string> lru_;         // front = most recent

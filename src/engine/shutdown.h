@@ -18,11 +18,17 @@ namespace treewalk {
 ///                   immediate abort, no draining, no flush beyond what
 ///                   already reached the kernel (the journal's framing
 ///                   makes the torn tail recoverable).
-///   SIGHUP          latched in `reload_requests()` and otherwise
-///                   ignored.  A supervisor restart loop that HUPs its
-///                   children must not kill in-flight work; resident
-///                   drivers poll the counter and export it as
-///                   treewalk_server_reload_requests_total.
+///   SIGHUP          latched in `reload_requests()`; never fatal.  The
+///                   resident daemon's driver polls the counter and
+///                   performs a live corpus reload for each request:
+///                   build a fresh ResidentTreeCache generation from
+///                   the (possibly changed) corpus directory off the
+///                   signal path, then atomically swap it into the
+///                   server while in-flight queries finish on the old
+///                   generation (docs/SERVER.md, "Live corpus
+///                   reload").  The handler itself only counts — the
+///                   signal context does no I/O and kills no in-flight
+///                   work.
 ///
 /// Install()/Uninstall() are re-entrant (install-counted): a resident
 /// server and a library caller hosted in one process can each install
@@ -52,9 +58,9 @@ class GracefulShutdown {
   static int signal_number();
 
   /// SIGHUPs received since Install() (or the last ResetForTest()).
-  /// Reload is deliberately a no-op beyond the count: the daemon has no
-  /// mutable config yet, but a supervisor's HUP must never terminate
-  /// in-flight work.
+  /// The handler only counts (async-signal-safe); the driver loop that
+  /// polls this is what actually rebuilds and swaps the corpus
+  /// generation.  A supervisor's HUP never terminates in-flight work.
   static int reload_requests();
 
   /// Clears the latched state so one process can host several tests.

@@ -97,11 +97,15 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kStats: return "stats";
     case MessageType::kMetrics: return "metrics";
     case MessageType::kPing: return "ping";
+    case MessageType::kHealth: return "health";
+    case MessageType::kReady: return "ready";
     case MessageType::kQueryResult: return "query-result";
     case MessageType::kError: return "error";
     case MessageType::kStatsResult: return "stats-result";
     case MessageType::kMetricsResult: return "metrics-result";
     case MessageType::kPong: return "pong";
+    case MessageType::kHealthResult: return "health-result";
+    case MessageType::kReadyResult: return "ready-result";
   }
   return "?";
 }
@@ -117,6 +121,7 @@ const char* WireErrorName(WireError code) {
     case WireError::kCancelled: return "kCancelled";
     case WireError::kRejectedProgram: return "kRejectedProgram";
     case WireError::kInternal: return "kInternal";
+    case WireError::kQuarantined: return "kQuarantined";
   }
   return "?";
 }
@@ -185,11 +190,15 @@ Result<Frame> DecodeFramePayload(std::string_view payload) {
     case MessageType::kStats:
     case MessageType::kMetrics:
     case MessageType::kPing:
+    case MessageType::kHealth:
+    case MessageType::kReady:
     case MessageType::kQueryResult:
     case MessageType::kError:
     case MessageType::kStatsResult:
     case MessageType::kMetricsResult:
     case MessageType::kPong:
+    case MessageType::kHealthResult:
+    case MessageType::kReadyResult:
       return Frame{static_cast<MessageType>(raw), payload.substr(1)};
   }
   return InvalidArgument("malformed frame: unknown message type " +
@@ -288,7 +297,7 @@ Result<ErrorMsg> DecodeError(std::string_view body) {
   std::uint8_t code = 0;
   if (!cur.GetU8(code)) return Malformed("truncated error code");
   if (code < static_cast<std::uint8_t>(WireError::kOverloaded) ||
-      code > static_cast<std::uint8_t>(WireError::kInternal)) {
+      code > static_cast<std::uint8_t>(WireError::kQuarantined)) {
     return Malformed("unknown error code");
   }
   error.code = static_cast<WireError>(code);
@@ -300,6 +309,22 @@ Result<ErrorMsg> DecodeError(std::string_view body) {
   }
   if (!cur.empty()) return Malformed("trailing bytes after error");
   return error;
+}
+
+std::string EncodeProbeResult(const ProbeResultMsg& probe) {
+  std::string out;
+  out.push_back(probe.ok ? 1 : 0);
+  return out;
+}
+
+Result<ProbeResultMsg> DecodeProbeResult(std::string_view body) {
+  Cursor cur(body);
+  std::uint8_t ok = 0;
+  if (!cur.GetU8(ok) || ok > 1) return Malformed("bad probe flag");
+  if (!cur.empty()) return Malformed("trailing bytes after probe result");
+  ProbeResultMsg probe;
+  probe.ok = ok == 1;
+  return probe;
 }
 
 std::string EncodeStats(const StatsMap& stats) {

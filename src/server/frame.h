@@ -43,13 +43,18 @@ enum class MessageType : std::uint8_t {
   kQuery = 0x01,    ///< run a program on a named corpus tree
   kStats = 0x02,    ///< server/engine counter snapshot (StatsMap)
   kMetrics = 0x03,  ///< live Prometheus text exposition
-  kPing = 0x04,     ///< liveness probe
+  kPing = 0x04,     ///< protocol echo (answered even by a server that
+                    ///< could not serve a query; see kHealth/kReady)
+  kHealth = 0x05,   ///< liveness probe: "is the process serving frames?"
+  kReady = 0x06,    ///< readiness probe: "should a balancer send work?"
 
   kQueryResult = 0x81,   ///< QueryResultMsg
   kError = 0x82,         ///< ErrorMsg (typed; includes kOverloaded)
   kStatsResult = 0x83,   ///< StatsMap
   kMetricsResult = 0x84, ///< Prometheus text body
   kPong = 0x85,          ///< empty body
+  kHealthResult = 0x86,  ///< ProbeResultMsg (ok == 1 whenever answered)
+  kReadyResult = 0x87,   ///< ProbeResultMsg (ok == accepting work)
 };
 
 const char* MessageTypeName(MessageType type);
@@ -67,12 +72,14 @@ enum class WireError : std::uint8_t {
   kCancelled = 7,         ///< request aborted by shutdown mid-run
   kRejectedProgram = 8,   ///< program violates its restriction class
   kInternal = 9,          ///< engine invariant violation / injected fault
+  kQuarantined = 10,      ///< formula x tree pair quarantined as poison
 };
 
 const char* WireErrorName(WireError code);
 
-/// StatusCode -> wire code for engine/parse failures (admission errors
-/// kOverloaded/kDraining are produced by the server, not mapped).
+/// StatusCode -> wire code for engine/parse failures (the server-side
+/// boundary codes kOverloaded/kDraining/kQuarantined are produced by
+/// the server, not mapped).
 WireError WireErrorFromStatus(StatusCode code);
 
 /// kQuery body.
@@ -97,6 +104,15 @@ struct QueryResultMsg {
 struct ErrorMsg {
   WireError code = WireError::kInternal;
   std::string message;
+};
+
+/// kHealthResult / kReadyResult body.  Liveness and readiness are
+/// deliberately distinct (docs/SERVER.md, "Operational runbook"): a
+/// draining server is alive (kHealthResult ok=1 on an established
+/// connection) but not ready (kReadyResult ok=0), so a supervisor
+/// restarts only dead processes while a balancer stops routing early.
+struct ProbeResultMsg {
+  bool ok = false;
 };
 
 /// kStatsResult body: an ordered key -> i64 map, self-describing so
@@ -141,6 +157,9 @@ Result<QueryResultMsg> DecodeQueryResult(std::string_view body);
 
 std::string EncodeError(const ErrorMsg& error);
 Result<ErrorMsg> DecodeError(std::string_view body);
+
+std::string EncodeProbeResult(const ProbeResultMsg& probe);
+Result<ProbeResultMsg> DecodeProbeResult(std::string_view body);
 
 std::string EncodeStats(const StatsMap& stats);
 Result<StatsMap> DecodeStats(std::string_view body);

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "src/automata/text_format.h"
+#include "src/common/crc32c.h"
 #include "src/common/failpoint.h"
 #include "src/common/metrics.h"
 
@@ -38,10 +39,16 @@ struct ServerMetrics {
   Counter* protocol_errors;
   Counter* slow_reaped;
   Counter* reload_requests;
+  Counter* reloads;
+  Counter* quarantined;
+  Counter* health_probes;
+  Counter* ready_probes;
   Gauge* inflight;
   Gauge* open_connections;
   Gauge* reserved_bytes;
+  Gauge* corpus_generation;
   Histogram* request_latency_ms;
+  Histogram* reload_latency_ms;
 
   static ServerMetrics& Get() {
     static ServerMetrics* metrics = [] {
@@ -80,7 +87,24 @@ struct ServerMetrics {
           "I/O timeout");
       m->reload_requests = r.FindOrCreateCounter(
           "treewalk_server_reload_requests_total",
-          "SIGHUPs observed by the serve driver (reload is a no-op)");
+          "SIGHUPs observed by the serve driver; each one triggers a "
+          "live corpus reload (build a fresh generation, swap "
+          "atomically)");
+      m->reloads = r.FindOrCreateCounter(
+          "treewalk_server_reloads_total",
+          "Corpus generation swaps completed (in-flight queries finish "
+          "on the generation they pinned)");
+      m->quarantined = r.FindOrCreateCounter(
+          "treewalk_server_quarantined_total",
+          "Queries shed with kQuarantined because their formula x tree "
+          "pair tripped the governor max-consecutive-failures times");
+      const char* probe_help = "Health/readiness probe frames answered";
+      m->health_probes = r.FindOrCreateCounter(
+          "treewalk_server_probes_total", probe_help,
+          {{"probe", "health"}});
+      m->ready_probes = r.FindOrCreateCounter(
+          "treewalk_server_probes_total", probe_help,
+          {{"probe", "ready"}});
       m->inflight = r.FindOrCreateGauge(
           "treewalk_server_inflight_requests",
           "Requests admitted but not yet answered (bounded by max_queue)");
@@ -90,9 +114,18 @@ struct ServerMetrics {
       m->reserved_bytes = r.FindOrCreateGauge(
           "treewalk_server_reserved_bytes",
           "Memory reserved by admitted requests against the server budget");
+      m->corpus_generation = r.FindOrCreateGauge(
+          "treewalk_server_corpus_generation",
+          "Generation number of the corpus serving new queries "
+          "(0 = startup corpus, +1 per completed reload)");
       m->request_latency_ms = r.FindOrCreateHistogram(
           "treewalk_server_request_latency_ms",
           "Admission to response-built latency of admitted requests",
+          LatencyBucketsMs());
+      m->reload_latency_ms = r.FindOrCreateHistogram(
+          "treewalk_server_reload_latency_ms",
+          "Off-thread corpus rebuild latency per SIGHUP reload "
+          "(the swap itself is one pointer move)",
           LatencyBucketsMs());
       return m;
     }();
@@ -180,8 +213,18 @@ double MillisSince(Clock::time_point start) {
 
 }  // namespace
 
+QueryServer::QueryServer(ServerOptions options,
+                         std::shared_ptr<ResidentTreeCache> corpus)
+    : options_(std::move(options)), corpus_(std::move(corpus)) {
+  ServerMetrics::Get().corpus_generation->Set(
+      corpus_ ? static_cast<std::int64_t>(corpus_->generation()) : 0);
+}
+
 QueryServer::QueryServer(ServerOptions options, ResidentTreeCache* corpus)
-    : options_(std::move(options)), corpus_(corpus) {}
+    : QueryServer(std::move(options),
+                  std::shared_ptr<ResidentTreeCache>(corpus,
+                                                     [](ResidentTreeCache*) {
+                                                     })) {}
 
 QueryServer::~QueryServer() {
   bool needs_teardown;
@@ -376,6 +419,23 @@ std::string QueryServer::HandleFrame(const Frame& frame) {
     case MessageType::kPing:
       counters_.pings.fetch_add(1, std::memory_order_relaxed);
       return EncodeFrame(MessageType::kPong, "");
+    case MessageType::kHealth:
+      // Liveness: answered whenever a connection thread is running —
+      // including all through a drain.  A supervisor keys restarts off
+      // this; only a dead or wedged process fails it.
+      counters_.health_probes.fetch_add(1, std::memory_order_relaxed);
+      metrics.health_probes->Increment();
+      return EncodeFrame(MessageType::kHealthResult,
+                         EncodeProbeResult({true}));
+    case MessageType::kReady:
+      // Readiness: accepting + corpus loaded + not draining.  Flips
+      // false the instant BeginDrain() latches, long before the
+      // process exits — a balancer stops routing while the drain is
+      // still answering in-flight work.
+      counters_.ready_probes.fetch_add(1, std::memory_order_relaxed);
+      metrics.ready_probes->Increment();
+      return EncodeFrame(MessageType::kReadyResult,
+                         EncodeProbeResult({ready()}));
     case MessageType::kStats:
       counters_.stats_requests.fetch_add(1, std::memory_order_relaxed);
       return EncodeFrame(MessageType::kStatsResult, EncodeStats(BuildStats()));
@@ -516,8 +576,14 @@ std::string QueryServer::ExecuteQuery(const QueryRequest& query) {
     return ErrorFrame(code, std::move(message));
   };
 
+  // Pin the current corpus generation for this query's whole run: a
+  // SwapCorpus() racing with us retires the cache from new dispatches,
+  // but this shared_ptr (and the entry's own pin below) keeps the tree
+  // alive and the answer consistent — no query ever observes a
+  // half-swapped generation.
+  std::shared_ptr<ResidentTreeCache> corpus = this->corpus();
   std::shared_ptr<const ResidentTreeCache::Prepared> tree =
-      corpus_->Lookup(query.tree_name);
+      corpus->Lookup(query.tree_name);
   if (tree == nullptr) {
     return served_error(WireError::kNotFound,
                         "unknown tree '" + query.tree_name + "'");
@@ -526,6 +592,16 @@ std::string QueryServer::ExecuteQuery(const QueryRequest& query) {
   if (!program.ok()) {
     return served_error(WireError::kInvalidRequest,
                         program.status().message());
+  }
+  const std::uint64_t poison_key = QuarantineKey(query);
+  if (IsQuarantined(poison_key)) {
+    counters_.quarantined.fetch_add(1, std::memory_order_relaxed);
+    metrics.quarantined->Increment();
+    return served_error(
+        WireError::kQuarantined,
+        "query quarantined: tripped the governor " +
+            std::to_string(options_.max_consecutive_failures) +
+            " consecutive times on tree '" + query.tree_name + "'");
   }
 
   BatchJob job;
@@ -549,9 +625,14 @@ std::string QueryServer::ExecuteQuery(const QueryRequest& query) {
       return ErrorFrame(WireError::kCancelled,
                         "request cancelled by server drain");
     }
+    RecordQuarantineOutcome(
+        poison_key,
+        result.status.code() == StatusCode::kDeadlineExceeded ||
+            result.status.code() == StatusCode::kResourceExhausted);
     return served_error(WireErrorFromStatus(result.status.code()),
                         result.status.message());
   }
+  RecordQuarantineOutcome(poison_key, /*governor_tripped=*/false);
   counters_.served_ok.fetch_add(1, std::memory_order_relaxed);
   metrics.served_ok->Increment();
   QueryResultMsg msg;
@@ -591,18 +672,99 @@ StatsMap QueryServer::BuildStats() const {
       c.stats_requests.load(std::memory_order_relaxed));
   put("server.metrics_requests",
       c.metrics_requests.load(std::memory_order_relaxed));
+  put("server.health_probes",
+      c.health_probes.load(std::memory_order_relaxed));
+  put("server.ready_probes", c.ready_probes.load(std::memory_order_relaxed));
+  put("server.quarantined", c.quarantined.load(std::memory_order_relaxed));
+  put("server.reloads", c.reloads.load(std::memory_order_relaxed));
   put("server.inflight", inflight_.load(std::memory_order_relaxed));
   put("server.open_connections",
       open_connections_.load(std::memory_order_relaxed));
   put("server.reserved_bytes",
       reserved_bytes_.load(std::memory_order_relaxed));
   put("server.draining", draining_.load(std::memory_order_acquire) ? 1 : 0);
-  put("corpus.resident_trees", corpus_->resident_trees());
-  put("corpus.resident_bytes", corpus_->resident_bytes());
-  put("corpus.peak_bytes", corpus_->peak_bytes());
-  put("corpus.evictions", corpus_->evictions());
-  put("corpus.capacity_bytes", corpus_->capacity_bytes());
+  put("server.ready", ready() ? 1 : 0);
+  std::shared_ptr<ResidentTreeCache> corpus = this->corpus();
+  put("corpus.generation", static_cast<std::int64_t>(corpus->generation()));
+  put("corpus.resident_trees", corpus->resident_trees());
+  put("corpus.resident_bytes", corpus->resident_bytes());
+  put("corpus.peak_bytes", corpus->peak_bytes());
+  put("corpus.evictions", corpus->evictions());
+  put("corpus.capacity_bytes", corpus->capacity_bytes());
   return stats;
+}
+
+bool QueryServer::ready() const {
+  if (draining_.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || terminated_) return false;
+  }
+  std::shared_ptr<ResidentTreeCache> corpus = this->corpus();
+  return corpus != nullptr && corpus->resident_trees() > 0;
+}
+
+std::shared_ptr<ResidentTreeCache> QueryServer::corpus() const {
+  std::lock_guard<std::mutex> lock(corpus_mu_);
+  return corpus_;
+}
+
+void QueryServer::SwapCorpus(std::shared_ptr<ResidentTreeCache> next,
+                             double build_ms) {
+  if (next == nullptr) return;
+  ServerMetrics& metrics = ServerMetrics::Get();
+  std::shared_ptr<ResidentTreeCache> old;
+  {
+    std::lock_guard<std::mutex> lock(corpus_mu_);
+    old = std::move(corpus_);
+    corpus_ = std::move(next);
+    metrics.corpus_generation->Set(
+        static_cast<std::int64_t>(corpus_->generation()));
+  }
+  {
+    // A new corpus invalidates old poison verdicts: the tree contents
+    // behind a fingerprint may have changed.
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    quarantine_.clear();
+  }
+  counters_.reloads.fetch_add(1, std::memory_order_relaxed);
+  metrics.reloads->Increment();
+  metrics.reload_latency_ms->Observe(build_ms);
+  // `old` dies here unless in-flight queries pinned it; then the last
+  // pin's release frees the generation (and its accountant's books).
+}
+
+std::uint64_t QueryServer::QuarantineKey(const QueryRequest& query) {
+  // Fingerprint the pair, not the request: deadline_ms is excluded so a
+  // client cannot dodge the quarantine by re-submitting with a
+  // different budget.  The '\0' separator keeps ("ab","c") distinct
+  // from ("a","bc"); tree names never contain NUL.
+  std::uint64_t h = Fnv1a64(query.tree_name);
+  h = Fnv1a64(std::string_view("\0", 1), h);
+  return Fnv1a64(query.program_text, h);
+}
+
+bool QueryServer::IsQuarantined(std::uint64_t key) {
+  if (options_.max_consecutive_failures <= 0) return false;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  auto it = quarantine_.find(key);
+  return it != quarantine_.end() &&
+         it->second >= options_.max_consecutive_failures;
+}
+
+void QueryServer::RecordQuarantineOutcome(std::uint64_t key,
+                                          bool governor_tripped) {
+  if (options_.max_consecutive_failures <= 0) return;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  if (!governor_tripped) {
+    quarantine_.erase(key);
+    return;
+  }
+  if (quarantine_.size() >= kQuarantineTableCap &&
+      quarantine_.find(key) == quarantine_.end()) {
+    quarantine_.clear();
+  }
+  ++quarantine_[key];
 }
 
 void QueryServer::BeginDrain() {

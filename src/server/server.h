@@ -39,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -86,6 +87,14 @@ struct ServerOptions {
   RetryPolicy retry;
   /// Seeds backoff jitter when retry.max_attempts > 1.
   std::uint64_t backoff_seed = 0;
+  /// Poison-request quarantine: a formula x tree pair whose governor
+  /// trips (deadline / memory) this many times *consecutively* is shed
+  /// with a typed kQuarantined instead of re-burning a worker —
+  /// Gottlob-Koch-Schulz pathological queries stay pathological no
+  /// matter how often a client resubmits them.  0 disables the
+  /// quarantine.  A served success (or any non-governor verdict) for
+  /// the pair resets its streak; a corpus reload clears the table.
+  int max_consecutive_failures = 0;
 };
 
 /// Monotonic counters behind the `stats` wire request.  All atomics:
@@ -107,6 +116,13 @@ struct ServerCounters {
   std::atomic<std::int64_t> pings{0};
   std::atomic<std::int64_t> stats_requests{0};
   std::atomic<std::int64_t> metrics_requests{0};
+  std::atomic<std::int64_t> health_probes{0};
+  std::atomic<std::int64_t> ready_probes{0};
+  /// Queries shed with kQuarantined (counted served_error as well: the
+  /// request was admitted and answered, just without burning a worker).
+  std::atomic<std::int64_t> quarantined{0};
+  /// Completed corpus generation swaps (SwapCorpus calls).
+  std::atomic<std::int64_t> reloads{0};
 };
 
 /// The daemon.  Lifecycle: construct → Start() → (serve) →
@@ -115,9 +131,16 @@ struct ServerCounters {
 /// driver loop at any time and is idempotent.
 class QueryServer {
  public:
-  /// `corpus` is borrowed and must outlive the server.  Queries resolve
-  /// tree names through Lookup() only — the corpus is preloaded, so the
-  /// hot path never does I/O.
+  /// `corpus` is the startup generation; queries resolve tree names
+  /// through Lookup() only — every generation is preloaded before it is
+  /// swapped in, so the hot path never does I/O.  SwapCorpus() replaces
+  /// it atomically at reload.
+  QueryServer(ServerOptions options,
+              std::shared_ptr<ResidentTreeCache> corpus);
+  /// Borrowed-corpus convenience for callers that own the cache for the
+  /// server's whole lifetime (tests, benchmarks).  `corpus` must then
+  /// outlive the server; SwapCorpus() still works and simply drops the
+  /// non-owning reference.
   QueryServer(ServerOptions options, ResidentTreeCache* corpus);
   ~QueryServer();
 
@@ -139,6 +162,25 @@ class QueryServer {
   void AwaitTermination();
 
   bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Readiness as answered by the kReady probe: started, not draining,
+  /// and holding a corpus generation with at least one tree.
+  bool ready() const;
+
+  /// The corpus generation new queries will pin (never null after
+  /// construction).  In-flight queries may still be running on an
+  /// earlier generation they pinned at dispatch.
+  std::shared_ptr<ResidentTreeCache> corpus() const;
+
+  /// Atomic live-reload swap: `next` becomes the generation every
+  /// query dispatched from now on pins; queries already running keep
+  /// their pinned generation until they answer, at which point the old
+  /// cache (and its memory accounting) is released with the last pin.
+  /// `build_ms` is the off-thread build latency, recorded in
+  /// treewalk_server_reload_latency_ms.  The quarantine table is
+  /// cleared — a new corpus deserves a fresh verdict.  Null `next` is
+  /// ignored (a failed reload keeps the old generation serving).
+  void SwapCorpus(std::shared_ptr<ResidentTreeCache> next, double build_ms);
 
   const ServerCounters& counters() const { return counters_; }
 
@@ -177,9 +219,26 @@ class QueryServer {
   /// Reaps finished connection threads (accept loop housekeeping).
   void JoinFinishedConnections();
 
+  /// FNV-1a fingerprint of a formula x tree pair (quarantine key).
+  static std::uint64_t QuarantineKey(const QueryRequest& query);
+  /// True when the pair's consecutive-governor-trip streak has crossed
+  /// options_.max_consecutive_failures.
+  bool IsQuarantined(std::uint64_t key);
+  /// Folds one executed query's verdict into the streak table.
+  void RecordQuarantineOutcome(std::uint64_t key, bool governor_tripped);
+
   ServerOptions options_;
-  ResidentTreeCache* corpus_;
+  mutable std::mutex corpus_mu_;
+  std::shared_ptr<ResidentTreeCache> corpus_;  // guarded by corpus_mu_
   ServerCounters counters_;
+
+  /// Consecutive governor-trip streaks by formula x tree fingerprint,
+  /// bounded: at kQuarantineTableCap entries the table is cleared (the
+  /// cost of forgetting a streak is one more wasted attempt; the cost
+  /// of an unbounded table is a memory leak an adversary controls).
+  static constexpr std::size_t kQuarantineTableCap = 4096;
+  std::mutex quarantine_mu_;
+  std::unordered_map<std::uint64_t, int> quarantine_;
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -202,7 +261,7 @@ class QueryServer {
   std::mutex conns_mu_;
   std::list<std::unique_ptr<Connection>> conns_;
 
-  std::mutex lifecycle_mu_;
+  mutable std::mutex lifecycle_mu_;
   bool started_ = false;
   bool terminated_ = false;
 };

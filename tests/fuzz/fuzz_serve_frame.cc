@@ -33,7 +33,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   const std::uint8_t selector = data[0];
   std::string_view body(reinterpret_cast<const char*>(data + 1), size - 1);
 
-  switch (selector % 6) {
+  switch (selector % 7) {
     case 0: {
       if (body.size() >= 4) {
         auto len = treewalk::DecodeFrameLength(
@@ -79,6 +79,10 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       }
       break;
     }
+    case 6:
+      RoundTrip<treewalk::ProbeResultMsg>(body, treewalk::DecodeProbeResult,
+                                          treewalk::EncodeProbeResult);
+      break;
   }
   return 0;
 }

@@ -154,7 +154,7 @@ TEST(FuzzCorpus, ServeFrameSeedsReplayWithoutCrashing) {
       if (again.ok()) EXPECT_EQ(encode(*again), wire);
       return true;
     };
-    switch (static_cast<std::uint8_t>(s[0]) % 6) {
+    switch (static_cast<std::uint8_t>(s[0]) % 7) {
       case 0: {
         if (body.size() >= 4) {
           auto len = DecodeFrameLength(
@@ -176,12 +176,15 @@ TEST(FuzzCorpus, ServeFrameSeedsReplayWithoutCrashing) {
         return fixpoint(DecodeError(body), EncodeError, DecodeError);
       case 4:
         return fixpoint(DecodeStats(body), EncodeStats, DecodeStats);
-      default: {
+      case 5: {
         std::string wire = EncodeFrame(MessageType::kMetricsResult, body);
         auto frame = DecodeFramePayload(std::string_view(wire).substr(4));
         EXPECT_TRUE(frame.ok());
         return frame.ok() && frame->body == body;
       }
+      default:
+        return fixpoint(DecodeProbeResult(body), EncodeProbeResult,
+                        DecodeProbeResult);
     }
   });
 }

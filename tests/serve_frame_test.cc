@@ -60,7 +60,9 @@ TEST(FramePayload, SplitsTypeAndBody) {
 
 TEST(FramePayload, RejectsEmptyAndUnknownTypes) {
   EXPECT_FALSE(DecodeFramePayload("").ok());
-  for (int type : {0x00, 0x05, 0x42, 0x80, 0x86, 0xff}) {
+  // 0x05/0x06 and 0x86/0x87 are the probe types now; the first unknown
+  // bytes on each side of the request/response split are 0x07 and 0x88.
+  for (int type : {0x00, 0x07, 0x42, 0x80, 0x88, 0xff}) {
     std::string payload(1, static_cast<char>(type));
     Result<Frame> frame = DecodeFramePayload(payload);
     EXPECT_FALSE(frame.ok()) << "type 0x" << std::hex << type;
@@ -137,7 +139,7 @@ TEST(QueryResultCodec, RoundTripsBothVerdicts) {
 }
 
 TEST(ErrorCodec, RoundTripsEveryWireError) {
-  for (int code = 1; code <= 9; ++code) {
+  for (int code = 1; code <= 10; ++code) {
     ErrorMsg e;
     e.code = static_cast<WireError>(code);
     e.message = "why: code " + std::to_string(code);
@@ -166,12 +168,38 @@ TEST(StatsCodec, RoundTripsOrderedEntries) {
   EXPECT_EQ(back->Value("absent", -1), -1);
 }
 
+TEST(ProbeCodec, RoundTripsBothFlags) {
+  for (bool ok : {false, true}) {
+    ProbeResultMsg probe;
+    probe.ok = ok;
+    std::string body = EncodeProbeResult(probe);
+    ASSERT_EQ(body.size(), 1u);  // a probe answer is exactly one byte
+    Result<ProbeResultMsg> back = DecodeProbeResult(body);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->ok, ok);
+  }
+}
+
+TEST(ProbeCodec, ProbeFramesAreMinimal) {
+  // Probe requests carry no body: the frame is the 4-byte prefix plus
+  // the type byte, nothing else — a balancer can afford to send one
+  // per routing decision.
+  for (MessageType probe : {MessageType::kHealth, MessageType::kReady}) {
+    std::string wire = EncodeFrame(probe, "");
+    EXPECT_EQ(wire.size(), 5u);
+    Result<Frame> frame = DecodeFramePayload(std::string_view(wire).substr(4));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, probe);
+    EXPECT_TRUE(frame->body.empty());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The malformation table.  Each case is a raw body handed to one
 // decoder; every one must produce kInvalidArgument, never a crash and
 // never a value.
 
-enum class Codec { kQuery, kResult, kError, kStats };
+enum class Codec { kQuery, kResult, kError, kStats, kProbe };
 
 struct MalformedCase {
   const char* name;
@@ -244,10 +272,10 @@ std::vector<MalformedCase> MalformationTable() {
   table.push_back({"error/trailing-byte", Codec::kError, valid_error + 'x'});
   {
     std::string bad = valid_error;
-    bad[0] = 0;  // codes are 1..9
+    bad[0] = 0;  // codes are 1..10 (kOverloaded..kQuarantined)
     table.push_back({"error/code-zero", Codec::kError, bad});
-    bad[0] = 10;
-    table.push_back({"error/code-ten", Codec::kError, bad});
+    bad[0] = 11;
+    table.push_back({"error/code-eleven", Codec::kError, bad});
   }
   {
     std::string body = Bytes({0x01});
@@ -277,6 +305,12 @@ std::vector<MalformedCase> MalformationTable() {
     table.push_back({"stats/key-over-cap", Codec::kStats, body});
   }
 
+  // --- ProbeResultMsg ---
+  table.push_back({"probe/empty", Codec::kProbe, ""});
+  table.push_back({"probe/flag-two", Codec::kProbe, Bytes({0x02})});
+  table.push_back({"probe/flag-255", Codec::kProbe, Bytes({0xff})});
+  table.push_back({"probe/trailing-byte", Codec::kProbe, Bytes({0x01, 0x00})});
+
   return table;
 }
 
@@ -298,6 +332,9 @@ TEST(MalformationTable, EveryCaseYieldsInvalidArgument) {
         break;
       case Codec::kStats:
         status = DecodeStats(test.body).status();
+        break;
+      case Codec::kProbe:
+        status = DecodeProbeResult(test.body).status();
         break;
     }
     EXPECT_FALSE(status.ok());
@@ -322,6 +359,7 @@ TEST(MalformationTable, DeterministicGarbageNeverCrashes) {
     (void)DecodeQueryResult(body);
     (void)DecodeError(body);
     (void)DecodeStats(body);
+    (void)DecodeProbeResult(body);
     (void)DecodeFramePayload(body);
     if (body.size() >= 4) {
       (void)DecodeFrameLength(
@@ -352,8 +390,13 @@ TEST(WireErrorMapping, CoversEveryStatusCode) {
 TEST(WireErrorMapping, NamesAreStable) {
   EXPECT_STREQ(WireErrorName(WireError::kOverloaded), "kOverloaded");
   EXPECT_STREQ(WireErrorName(WireError::kDraining), "kDraining");
+  EXPECT_STREQ(WireErrorName(WireError::kQuarantined), "kQuarantined");
   EXPECT_STREQ(MessageTypeName(MessageType::kQuery), "query");
   EXPECT_STREQ(MessageTypeName(MessageType::kPong), "pong");
+  EXPECT_STREQ(MessageTypeName(MessageType::kHealth), "health");
+  EXPECT_STREQ(MessageTypeName(MessageType::kReady), "ready");
+  EXPECT_STREQ(MessageTypeName(MessageType::kHealthResult), "health-result");
+  EXPECT_STREQ(MessageTypeName(MessageType::kReadyResult), "ready-result");
 }
 
 }  // namespace

@@ -44,6 +44,12 @@ for preset in $presets; do
       sh "$root/tools/serve_smoke.sh" \
         "$root/build-release/tools/twq" \
         "$root/build-release/tools/twq_loadgen"
+      # Supervisor smoke (<60s): a short SIGKILL/restart loop under
+      # tools/twq_supervise.sh proving the crash-only contract at the
+      # process level — restart on crash, ready probe recovers, drain
+      # exits 75.  The 25-cycle statistical version is
+      # tests/supervise_test.cc in the tier-1 pass above.
+      sh "$root/tools/supervise_smoke.sh" "$root/build-release/tools/twq"
       # Benchmarks live in a separate ctest configuration so the
       # default (tier-1) run stays fast; each writes BENCH_<name>.json
       # next to its binary, and the gate fails on >25% regressions of

@@ -45,8 +45,28 @@
 //       and load shedding.  Prints `listening on <host>:<port>` once
 //       ready (--port 0 binds an ephemeral port).  First SIGINT/SIGTERM
 //       drains gracefully — stop accepting, finish in-flight within
-//       --drain-ms, exit 75; a second signal aborts.  SIGHUP is counted
-//       (treewalk_server_reload_requests_total) and otherwise ignored.
+//       --drain-ms, exit 75; a second signal aborts.  SIGHUP triggers a
+//       live corpus reload: the driver rebuilds the resident cache from
+//       the (possibly changed) corpus directory and swaps it in
+//       atomically; in-flight queries finish on the generation they
+//       started on.  --max-consecutive-failures N quarantines a
+//       formula x tree pair after N consecutive governor trips
+//       (kQuarantined on the wire; docs/SERVER.md).
+//   twq query <tree-name> <program.twp> --remote HOST:PORT [--retries R]
+//       [--total-deadline-ms D] [--deadline-ms D] [--breaker-threshold N]
+//       [--breaker-cooldown-ms MS] [--hedge HOST:PORT]
+//       [--hedge-delay-ms MS] [--quiet]
+//       Run one query against a resident daemon through the resilient
+//       client library (src/client): jittered retries, end-to-end
+//       deadline propagation, circuit breaker, optional hedging.
+//   twq probe <health|ready|stats> --remote HOST:PORT [--hold-ms N]
+//       [--timeout-ms T]
+//       Probe a daemon.  `health` is liveness (exit 0 while the process
+//       serves its protocol, even during drain); `ready` is readiness
+//       (exit 0 accepting + corpus loaded, exit 2 alive-but-not-ready);
+//       `stats` dumps the counter map.  --hold-ms connects immediately
+//       and sleeps before probing, to test liveness during drain (new
+//       connections are refused then, held ones still answer).
 //   twq snapshot build <tree.{term,xml}> [-o <out.twsnap>]
 //       Parse a tree once and write a mmap-able zero-parse snapshot
 //       (docs/SNAPSHOT.md); any command accepting a tree also accepts
@@ -99,6 +119,7 @@
 #include "src/automata/interpreter.h"
 #include "src/automata/text_format.h"
 #include "src/caterpillar/caterpillar.h"
+#include "src/client/client.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
 #include "src/engine/batch_journal.h"
@@ -683,6 +704,9 @@ int CmdServe(int argc, char** argv) {
       options.drain_deadline_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--io-timeout-ms") == 0 && i + 1 < argc) {
       options.io_timeout_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-consecutive-failures") == 0 &&
+               i + 1 < argc) {
+      options.max_consecutive_failures = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cache-budget-mb") == 0 &&
                i + 1 < argc) {
       cache_budget_mb = std::atoll(argv[++i]);
@@ -699,50 +723,71 @@ int CmdServe(int argc, char** argv) {
 
   // Preload the corpus: every tree file in the directory, keyed by its
   // file name.  Serial and before listening — the serving hot path
-  // never touches the filesystem.
-  tw::ResidentTreeCache corpus(cache_budget_mb * 1024 * 1024);
-  DIR* dir = ::opendir(corpus_dir.c_str());
-  if (dir == nullptr) {
-    return Fail("cannot open corpus directory '" + corpus_dir + "'");
-  }
-  std::vector<std::string> names;
-  while (struct dirent* entry = ::readdir(dir)) {
-    std::string name = entry->d_name;
-    if (HasSuffix(name, ".term") || HasSuffix(name, ".xml") ||
-        HasSuffix(name, ".twsnap")) {
-      names.push_back(std::move(name));
+  // never touches the filesystem.  The same loader re-runs on SIGHUP to
+  // build the next generation, so it reports its own errors and returns
+  // null instead of sinking the daemon.
+  auto load_corpus =
+      [&](std::uint64_t generation) -> std::shared_ptr<tw::ResidentTreeCache> {
+    auto corpus = std::make_shared<tw::ResidentTreeCache>(
+        cache_budget_mb * 1024 * 1024, generation);
+    DIR* dir = ::opendir(corpus_dir.c_str());
+    if (dir == nullptr) {
+      std::fprintf(stderr, "twq serve: cannot open corpus directory '%s'\n",
+                   corpus_dir.c_str());
+      return nullptr;
     }
-  }
-  ::closedir(dir);
-  std::sort(names.begin(), names.end());
-  if (names.empty()) {
-    return Fail("corpus directory '" + corpus_dir +
-                "' has no .term/.xml/.twsnap files");
-  }
-  std::size_t loaded = 0;
-  for (const std::string& name : names) {
-    const std::string path = corpus_dir + "/" + name;
-    auto entry = corpus.GetOrLoad(name, [&]() {
-      return LoadTreeCached(
-          path, snapshot_cache.has_value() ? &*snapshot_cache : nullptr);
-    });
-    if (!entry.ok()) {
-      // One bad file degrades the corpus, it does not sink the daemon —
-      // queries naming it get kNotFound.
-      std::fprintf(stderr, "twq serve: skipping %s: %s\n", name.c_str(),
-                   entry.status().ToString().c_str());
-      continue;
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (HasSuffix(name, ".term") || HasSuffix(name, ".xml") ||
+          HasSuffix(name, ".twsnap")) {
+        names.push_back(std::move(name));
+      }
     }
-    ++loaded;
-    if (!quiet) {
-      std::fprintf(stderr, "twq serve: loaded %s (%zu nodes, ~%lld KiB)\n",
-                   name.c_str(), (*entry)->source_nodes,
-                   static_cast<long long>((*entry)->approx_bytes / 1024));
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    if (names.empty()) {
+      std::fprintf(stderr,
+                   "twq serve: corpus directory '%s' has no "
+                   ".term/.xml/.twsnap files\n",
+                   corpus_dir.c_str());
+      return nullptr;
     }
-  }
-  if (loaded == 0) return Fail("no corpus tree loaded successfully");
+    std::size_t loaded = 0;
+    for (const std::string& name : names) {
+      const std::string path = corpus_dir + "/" + name;
+      auto entry = corpus->GetOrLoad(name, [&]() {
+        return LoadTreeCached(
+            path, snapshot_cache.has_value() ? &*snapshot_cache : nullptr);
+      });
+      if (!entry.ok()) {
+        // One bad file degrades the corpus, it does not sink the daemon —
+        // queries naming it get kNotFound.
+        std::fprintf(stderr, "twq serve: skipping %s: %s\n", name.c_str(),
+                     entry.status().ToString().c_str());
+        continue;
+      }
+      ++loaded;
+      if (!quiet) {
+        std::fprintf(stderr,
+                     "twq serve: loaded %s (%zu nodes, ~%lld KiB) [gen %llu]\n",
+                     name.c_str(), (*entry)->source_nodes,
+                     static_cast<long long>((*entry)->approx_bytes / 1024),
+                     static_cast<unsigned long long>(generation));
+      }
+    }
+    if (loaded == 0) {
+      std::fprintf(stderr, "twq serve: no corpus tree loaded successfully\n");
+      return nullptr;
+    }
+    return corpus;
+  };
 
-  tw::QueryServer server(options, &corpus);
+  std::shared_ptr<tw::ResidentTreeCache> corpus = load_corpus(0);
+  if (corpus == nullptr) return 1;
+
+  tw::QueryServer server(options, corpus);
+  corpus.reset();  // the server owns the generation from here on
   tw::Status started = server.Start();
   if (!started.ok()) return Fail("serve: " + started.ToString());
   // The smoke harness and loadgen parse this exact line; keep it first
@@ -751,22 +796,51 @@ int CmdServe(int argc, char** argv) {
   std::fflush(stdout);
 
   // Signal loop: the handlers only latch atomics; this loop converts
-  // the first SIGINT/SIGTERM into a drain and folds SIGHUP counts into
-  // the reload metric.
+  // the first SIGINT/SIGTERM into a drain and each SIGHUP into a live
+  // corpus reload — build a fresh generation from the (possibly
+  // changed) directory here on the driver thread, then swap it in
+  // atomically while in-flight queries finish on the generation they
+  // pinned.  A failed build keeps the old generation serving.
   tw::GracefulShutdown::Install();
-  tw::Counter* reload_metric = tw::MetricsRegistry::Global().FindOrCreateCounter(
-      "treewalk_server_reload_requests_total",
-      "SIGHUPs observed by the serve driver (reload is a no-op)");
+  tw::Counter* reload_metric =
+      tw::MetricsRegistry::Global().FindOrCreateCounter(
+          "treewalk_server_reload_requests_total",
+          "SIGHUPs observed by the serve driver; each one triggers a live "
+          "corpus reload (build a fresh generation, swap atomically)");
   int reloads_seen = 0;
+  std::uint64_t generation = 0;
   while (!tw::GracefulShutdown::requested()) {
     int reloads = tw::GracefulShutdown::reload_requests();
     if (reloads > reloads_seen) {
+      // Coalesce a burst of SIGHUPs into one rebuild; every request is
+      // still counted.
       reload_metric->Increment(reloads - reloads_seen);
-      if (!quiet) {
-        std::fprintf(stderr, "twq serve: reload requested (SIGHUP); "
-                             "config is immutable, ignoring\n");
-      }
       reloads_seen = reloads;
+      const auto build_start = std::chrono::steady_clock::now();
+      std::shared_ptr<tw::ResidentTreeCache> next =
+          load_corpus(++generation);
+      const double build_ms =
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::milli>>(
+              std::chrono::steady_clock::now() - build_start)
+              .count();
+      if (next == nullptr) {
+        --generation;
+        std::fprintf(stderr,
+                     "twq serve: reload failed; keeping generation %llu\n",
+                     static_cast<unsigned long long>(generation));
+      } else {
+        const long long trees =
+            static_cast<long long>(next->resident_trees());
+        server.SwapCorpus(std::move(next), build_ms);
+        if (!quiet) {
+          std::fprintf(stderr,
+                       "twq serve: reloaded generation %llu (%lld trees, "
+                       "%.1f ms build)\n",
+                       static_cast<unsigned long long>(generation), trees,
+                       build_ms);
+        }
+      }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
@@ -782,7 +856,8 @@ int CmdServe(int argc, char** argv) {
   const tw::ServerCounters& c = server.counters();
   std::printf("drained: admitted=%lld ok=%lld error=%lld drained=%lld "
               "shed_queue=%lld shed_memory=%lld shed_draining=%lld "
-              "protocol_errors=%lld reaped=%lld\n",
+              "protocol_errors=%lld reaped=%lld quarantined=%lld "
+              "reloads=%lld\n",
               static_cast<long long>(c.requests_admitted.load()),
               static_cast<long long>(c.served_ok.load()),
               static_cast<long long>(c.served_error.load()),
@@ -791,9 +866,157 @@ int CmdServe(int argc, char** argv) {
               static_cast<long long>(c.shed_memory.load()),
               static_cast<long long>(c.shed_draining.load()),
               static_cast<long long>(c.protocol_errors.load()),
-              static_cast<long long>(c.slow_clients_reaped.load()));
+              static_cast<long long>(c.slow_clients_reaped.load()),
+              static_cast<long long>(c.quarantined.load()),
+              static_cast<long long>(c.reloads.load()));
   std::fflush(stdout);
   return tw::GracefulShutdown::kExitInterrupted;
+}
+
+bool ParseEndpoint(const std::string& spec, tw::Endpoint* out) {
+  std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  out->host = colon == 0 ? "127.0.0.1" : spec.substr(0, colon);
+  out->port = std::atoi(spec.c_str() + colon + 1);
+  return out->port > 0 && out->port < 65536;
+}
+
+int CmdQuery(int argc, char** argv) {
+  const char* usage =
+      "usage: twq query <tree-name> <program.twp> --remote HOST:PORT "
+      "[--retries R] [--total-deadline-ms D] [--deadline-ms D] "
+      "[--breaker-threshold N] [--breaker-cooldown-ms MS] "
+      "[--hedge HOST:PORT] [--hedge-delay-ms MS] [--quiet]";
+  if (argc < 2) return Fail(usage);
+  const std::string tree_name = argv[0];
+  const std::string program_path = argv[1];
+  tw::ClientOptions options;
+  bool have_remote = false;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--remote") == 0 && i + 1 < argc) {
+      if (!ParseEndpoint(argv[++i], &options.endpoint)) {
+        return Fail(std::string("bad --remote '") + argv[i] + "'");
+      }
+      have_remote = true;
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      options.retry.max_attempts = std::atoi(argv[++i]) + 1;
+    } else if (std::strcmp(argv[i], "--total-deadline-ms") == 0 &&
+               i + 1 < argc) {
+      options.total_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.request_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 &&
+               i + 1 < argc) {
+      options.breaker_threshold = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--breaker-cooldown-ms") == 0 &&
+               i + 1 < argc) {
+      options.breaker_cooldown_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hedge") == 0 && i + 1 < argc) {
+      if (!ParseEndpoint(argv[++i], &options.hedge)) {
+        return Fail(std::string("bad --hedge '") + argv[i] + "'");
+      }
+    } else if (std::strcmp(argv[i], "--hedge-delay-ms") == 0 &&
+               i + 1 < argc) {
+      options.hedge_delay_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return Fail(std::string("unknown query option '") + argv[i] + "'");
+    }
+  }
+  if (!have_remote) return Fail(usage);
+
+  std::ifstream in(program_path);
+  if (!in) return Fail("cannot read program '" + program_path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  tw::QueryClient client(std::move(options));
+  tw::QueryOutcome outcome = client.Query(tree_name, buffer.str());
+  if (!outcome.status.ok()) {
+    std::fprintf(stderr, "twq query: %s (after %d attempt%s)\n",
+                 outcome.status.ToString().c_str(), outcome.attempts,
+                 outcome.attempts == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("%s in %lld step(s)\n",
+              outcome.result.accepted ? "ACCEPT" : "REJECT",
+              static_cast<long long>(outcome.result.steps));
+  if (!quiet && (outcome.attempts > 1 || outcome.hedge_won)) {
+    std::fprintf(stderr, "twq query: %d attempt(s)%s\n", outcome.attempts,
+                 outcome.hedge_won ? ", hedge won" : "");
+  }
+  return 0;
+}
+
+int CmdProbe(int argc, char** argv) {
+  const char* usage =
+      "usage: twq probe <health|ready|stats> --remote HOST:PORT "
+      "[--hold-ms N] [--timeout-ms T]";
+  if (argc < 1) return Fail(usage);
+  const std::string verb = argv[0];
+  tw::ClientOptions options;
+  bool have_remote = false;
+  long long hold_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--remote") == 0 && i + 1 < argc) {
+      if (!ParseEndpoint(argv[++i], &options.endpoint)) {
+        return Fail(std::string("bad --remote '") + argv[i] + "'");
+      }
+      have_remote = true;
+    } else if (std::strcmp(argv[i], "--hold-ms") == 0 && i + 1 < argc) {
+      hold_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      options.io_timeout_ms = std::atoll(argv[++i]);
+    } else {
+      return Fail(std::string("unknown probe option '") + argv[i] + "'");
+    }
+  }
+  if (!have_remote) return Fail(usage);
+  if (verb != "health" && verb != "ready" && verb != "stats") {
+    return Fail(usage);
+  }
+
+  tw::QueryClient client(std::move(options));
+  // --hold-ms: connect *now*, probe *later*.  The daemon refuses new
+  // connections once draining, but it keeps answering liveness probes
+  // on connections it already holds — this is how the smoke test
+  // demonstrates that liveness and readiness really are different
+  // questions.
+  tw::Status connected = client.Connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "twq probe: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  if (hold_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+  }
+
+  if (verb == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "twq probe: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [key, value] : stats->entries) {
+      std::printf("%s %lld\n", key.c_str(), static_cast<long long>(value));
+    }
+    return 0;
+  }
+
+  tw::Result<bool> up =
+      verb == "health" ? client.Health() : client.Ready();
+  if (!up.ok()) {
+    std::fprintf(stderr, "twq probe: %s\n", up.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s\n", verb.c_str(), *up ? "ok" : "not-ready");
+  // Exit 2 = the daemon answered but said "not ready": alive, draining
+  // or corpus-less.  Distinct from 1 (no daemon / transport failure) so
+  // supervisors can tell "wait" from "restart".
+  return *up ? 0 : 2;
 }
 
 int CmdJournal(int argc, char** argv) {
@@ -941,9 +1164,9 @@ int main(int argc, char** argv) {
     }
   }
   if (args.size() < 2) {
-    return Fail("usage: twq <run|xpath|check|cat|batch|serve|journal|snapshot> "
-                "[--metrics-out <file>] [--trace-out <file>] ...  "
-                "(see file header)");
+    return Fail("usage: twq <run|xpath|check|cat|batch|serve|query|probe|"
+                "journal|snapshot> [--metrics-out <file>] "
+                "[--trace-out <file>] ...  (see file header)");
   }
   if (!trace_out.empty()) tw::Tracer::Global().Enable();
 
@@ -963,6 +1186,10 @@ int main(int argc, char** argv) {
     code = CmdBatch(sub_argc, sub_argv);
   } else if (command == "serve") {
     code = CmdServe(sub_argc, sub_argv);
+  } else if (command == "query") {
+    code = CmdQuery(sub_argc, sub_argv);
+  } else if (command == "probe") {
+    code = CmdProbe(sub_argc, sub_argv);
   } else if (command == "journal") {
     code = CmdJournal(sub_argc, sub_argv);
   } else if (command == "snapshot") {

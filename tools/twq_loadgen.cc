@@ -3,9 +3,16 @@
 //
 //   twq_loadgen --port P [--host H] [--connections N] [--duration-ms D]
 //       --tree NAME [--program FILE | --program-text TEXT]
-//       [--rate R] [--deadline-ms D] [--stats] [--expect-shed] [--quiet]
+//       [--rate R] [--deadline-ms D] [--retries R] [--total-deadline-ms D]
+//       [--breaker-threshold N] [--breaker-cooldown-ms MS]
+//       [--hedge HOST:PORT] [--hedge-delay-ms MS]
+//       [--stats] [--expect-shed] [--quiet]
 //
-// Drives a fleet of N concurrent connections against a running daemon:
+// Drives a fleet of N concurrent connections against a running daemon,
+// each through its own resilient QueryClient (src/client) — the same
+// retry/backoff/breaker/hedging machinery production callers get, so
+// what this tool measures is the end-to-end behavior, not a bespoke
+// socket loop's:
 //
 //   closed loop (default)  each connection sends its next query the
 //                          moment the previous response lands — the
@@ -14,22 +21,21 @@
 //                          regardless of response times, so queueing
 //                          delay is visible instead of self-throttled.
 //
-// Every response is classified (ok / overloaded / draining / other
-// typed error) and timed; the report prints throughput and latency
-// percentiles of *admitted* requests next to the shed counts — the
-// bounded-overload story in one line.  With --stats, a final `stats`
-// request verifies the server's books reconcile:
+// By default --retries is 0 and the breaker is off: every server
+// verdict surfaces raw, exactly like the pre-client loadgen.  Turning
+// the resilience knobs on makes the fleet ride through restarts — the
+// kill-loop harness runs it with retries against a supervised daemon.
+//
+// Every outcome is classified (ok / overloaded / draining / quarantined
+// / other typed error) and timed; the report prints throughput and
+// latency percentiles of *admitted* requests next to the shed counts.
+// With --stats, a final `stats` request verifies the server's books
+// reconcile:
 //
 //   admitted == served_ok + served_error + drained
 //
 // and the tool exits nonzero when they do not, or when --expect-shed
 // saw no load shedding (the saturation harness asserts both).
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -38,12 +44,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/client/client.h"
 #include "src/server/frame.h"
 
 namespace tw = treewalk;
@@ -64,66 +70,12 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-int Connect(const std::string& host, int port) {
-  int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  struct sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
-          0) {
-    close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-bool WriteAll(int fd, const std::string& data) {
-  std::size_t done = 0;
-  while (done < data.size()) {
-    ssize_t n = send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-bool ReadAll(int fd, unsigned char* buf, std::size_t len) {
-  std::size_t done = 0;
-  while (done < len) {
-    ssize_t n = recv(fd, buf + done, len - done, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// One request/response exchange.  Returns false on a transport error
-/// (connection gone); protocol-level errors come back as frames.
-bool Exchange(int fd, const std::string& request, tw::MessageType& type,
-              std::string& body) {
-  if (!WriteAll(fd, request)) return false;
-  unsigned char prefix[4];
-  if (!ReadAll(fd, prefix, sizeof(prefix))) return false;
-  auto len = tw::DecodeFrameLength(prefix);
-  if (!len.ok()) return false;
-  std::string payload(len.value(), '\0');
-  if (!ReadAll(fd, reinterpret_cast<unsigned char*>(payload.data()),
-               payload.size())) {
-    return false;
-  }
-  auto frame = tw::DecodeFramePayload(payload);
-  if (!frame.ok()) return false;
-  type = frame.value().type;
-  body = std::string(frame.value().body);
-  return true;
+bool ParseEndpoint(const std::string& spec, tw::Endpoint* out) {
+  std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  out->host = colon == 0 ? "127.0.0.1" : spec.substr(0, colon);
+  out->port = std::atoi(spec.c_str() + colon + 1);
+  return out->port > 0 && out->port < 65536;
 }
 
 struct WorkerTally {
@@ -132,9 +84,13 @@ struct WorkerTally {
   std::int64_t overloaded = 0;
   std::int64_t draining = 0;
   std::int64_t cancelled = 0;
+  std::int64_t quarantined = 0;
   std::int64_t other_error = 0;
   std::int64_t transport_errors = 0;
   std::int64_t reconnects = 0;
+  std::int64_t retries = 0;
+  std::int64_t breaker_shed = 0;
+  std::int64_t hedges_won = 0;
   std::vector<double> latencies_ms;  // admitted (ok or typed engine error)
 };
 
@@ -150,22 +106,20 @@ double Percentile(std::vector<double>& sorted, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string host = "127.0.0.1";
-  int port = 0;
+  tw::ClientOptions client_options;
   int connections = 4;
   long long duration_ms = 5000;
   std::string tree_name;
   std::string program_text = kDefaultProgram;
   double rate = 0;  // 0 = closed loop
-  long long deadline_ms = 0;
   bool want_stats = false;
   bool expect_shed = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
-      host = argv[++i];
+      client_options.endpoint.host = argv[++i];
     } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
-      port = std::atoi(argv[++i]);
+      client_options.endpoint.port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
       connections = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
@@ -183,7 +137,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
       rate = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
-      deadline_ms = std::atoll(argv[++i]);
+      client_options.request_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      client_options.retry.max_attempts = std::atoi(argv[++i]) + 1;
+    } else if (std::strcmp(argv[i], "--total-deadline-ms") == 0 &&
+               i + 1 < argc) {
+      client_options.total_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 &&
+               i + 1 < argc) {
+      client_options.breaker_threshold = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--breaker-cooldown-ms") == 0 &&
+               i + 1 < argc) {
+      client_options.breaker_cooldown_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hedge") == 0 && i + 1 < argc) {
+      if (!ParseEndpoint(argv[++i], &client_options.hedge)) {
+        return Fail(std::string("bad --hedge '") + argv[i] + "'");
+      }
+    } else if (std::strcmp(argv[i], "--hedge-delay-ms") == 0 &&
+               i + 1 < argc) {
+      client_options.hedge_delay_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
     } else if (std::strcmp(argv[i], "--expect-shed") == 0) {
@@ -195,16 +167,9 @@ int main(int argc, char** argv) {
                   "' (see file header)");
     }
   }
-  if (port == 0) return Fail("--port is required");
+  if (client_options.endpoint.port == 0) return Fail("--port is required");
   if (tree_name.empty()) return Fail("--tree is required");
   if (connections < 1) return Fail("--connections must be >= 1");
-
-  tw::QueryRequest query;
-  query.tree_name = tree_name;
-  query.program_text = program_text;
-  query.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
-  const std::string request =
-      tw::EncodeFrame(tw::MessageType::kQuery, tw::EncodeQueryRequest(query));
 
   const Clock::time_point start = Clock::now();
   const Clock::time_point stop =
@@ -220,7 +185,10 @@ int main(int argc, char** argv) {
   for (int t = 0; t < connections; ++t) {
     fleet.emplace_back([&, t]() {
       WorkerTally& tally = tallies[static_cast<std::size_t>(t)];
-      int fd = Connect(host, port);
+      tw::ClientOptions options = client_options;
+      options.backoff_seed =
+          0x6c6f6164ULL * static_cast<std::uint64_t>(t + 1) + 1;
+      tw::QueryClient client(std::move(options));
       long long sent = 0;
       while (Clock::now() < stop) {
         if (rate > 0) {
@@ -230,54 +198,42 @@ int main(int argc, char** argv) {
           if (next_arrival >= stop) break;
           std::this_thread::sleep_until(next_arrival);
         }
-        if (fd < 0) {
-          fd = Connect(host, port);
-          if (fd < 0) {
-            ++tally.transport_errors;
-            std::this_thread::sleep_for(std::chrono::milliseconds(10));
-            continue;
-          }
-          ++tally.reconnects;
-        }
         ++sent;
         Clock::time_point begin = Clock::now();
-        tw::MessageType type;
-        std::string body;
-        if (!Exchange(fd, request, type, body)) {
-          ++tally.transport_errors;
-          close(fd);
-          fd = -1;
-          continue;
-        }
+        tw::QueryOutcome outcome = client.Query(tree_name, program_text);
         double ms = std::chrono::duration_cast<
                         std::chrono::duration<double, std::milli>>(
                         Clock::now() - begin)
                         .count();
-        if (type == tw::MessageType::kQueryResult) {
-          auto result = tw::DecodeQueryResult(body);
-          if (result.ok() && result.value().accepted) {
+        if (outcome.hedge_won) ++tally.hedges_won;
+        if (outcome.status.ok()) {
+          if (outcome.result.accepted) {
             ++tally.ok;
           } else {
             ++tally.rejected;
           }
           tally.latencies_ms.push_back(ms);
-        } else if (type == tw::MessageType::kError) {
-          auto error = tw::DecodeError(body);
-          tw::WireError code =
-              error.ok() ? error.value().code : tw::WireError::kInternal;
-          switch (code) {
+        } else if (outcome.has_wire_error) {
+          switch (outcome.wire_error) {
             case tw::WireError::kOverloaded: ++tally.overloaded; break;
             case tw::WireError::kDraining: ++tally.draining; break;
             case tw::WireError::kCancelled: ++tally.cancelled; break;
+            case tw::WireError::kQuarantined: ++tally.quarantined; break;
             default:
               ++tally.other_error;
               tally.latencies_ms.push_back(ms);  // admitted, ran, failed
           }
         } else {
-          ++tally.other_error;
+          // Transport failure or client-side shed (breaker open, budget
+          // exhausted); don't spin hot against a dead endpoint.
+          ++tally.transport_errors;
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
         }
       }
-      if (fd >= 0) close(fd);
+      const tw::ClientCounters& counters = client.counters();
+      tally.reconnects = counters.reconnects.load();
+      tally.retries = counters.retries.load();
+      tally.breaker_shed = counters.breaker_shed.load();
     });
   }
   for (std::thread& worker : fleet) worker.join();
@@ -293,9 +249,13 @@ int main(int argc, char** argv) {
     total.overloaded += tally.overloaded;
     total.draining += tally.draining;
     total.cancelled += tally.cancelled;
+    total.quarantined += tally.quarantined;
     total.other_error += tally.other_error;
     total.transport_errors += tally.transport_errors;
     total.reconnects += tally.reconnects;
+    total.retries += tally.retries;
+    total.breaker_shed += tally.breaker_shed;
+    total.hedges_won += tally.hedges_won;
     latencies.insert(latencies.end(), tally.latencies_ms.begin(),
                      tally.latencies_ms.end());
   }
@@ -303,8 +263,8 @@ int main(int argc, char** argv) {
   std::int64_t admitted_seen =
       static_cast<std::int64_t>(latencies.size()) + total.cancelled;
   std::printf("loadgen: %lld admitted (%.0f/s), %lld accept, %lld reject, "
-              "%lld error; shed: %lld overloaded, %lld draining; "
-              "%lld cancelled, %lld transport\n",
+              "%lld error; shed: %lld overloaded, %lld draining, "
+              "%lld quarantined; %lld cancelled, %lld transport\n",
               static_cast<long long>(admitted_seen),
               static_cast<double>(admitted_seen) / std::max(elapsed_s, 1e-9),
               static_cast<long long>(total.ok),
@@ -312,8 +272,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(total.other_error),
               static_cast<long long>(total.overloaded),
               static_cast<long long>(total.draining),
+              static_cast<long long>(total.quarantined),
               static_cast<long long>(total.cancelled),
               static_cast<long long>(total.transport_errors));
+  if (total.retries + total.breaker_shed + total.hedges_won > 0) {
+    std::printf("client: %lld retries, %lld breaker_shed, %lld hedges_won, "
+                "%lld reconnects\n",
+                static_cast<long long>(total.retries),
+                static_cast<long long>(total.breaker_shed),
+                static_cast<long long>(total.hedges_won),
+                static_cast<long long>(total.reconnects));
+  }
   std::printf("latency_ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f (n=%zu)\n",
               Percentile(latencies, 0.50), Percentile(latencies, 0.95),
               Percentile(latencies, 0.99),
@@ -325,25 +294,14 @@ int main(int argc, char** argv) {
     code = 1;
   }
   if (want_stats) {
-    int fd = Connect(host, port);
-    if (fd < 0) {
-      // The server may already be draining/away; report but do not fail
-      // the run on a missing stats endpoint unless asked to reconcile.
-      std::fprintf(stderr, "twq_loadgen: cannot connect for stats\n");
-      return 1;
-    }
-    tw::MessageType type;
-    std::string body;
-    bool got = Exchange(
-        fd, tw::EncodeFrame(tw::MessageType::kStats, ""), type, body);
-    close(fd);
-    if (!got || type != tw::MessageType::kStatsResult) {
-      std::fprintf(stderr, "twq_loadgen: stats exchange failed\n");
-      return 1;
-    }
-    auto stats = tw::DecodeStats(body);
+    tw::ClientOptions stats_options;
+    stats_options.endpoint = client_options.endpoint;
+    tw::QueryClient stats_client(std::move(stats_options));
+    auto stats = stats_client.Stats();
     if (!stats.ok()) {
-      std::fprintf(stderr, "twq_loadgen: stats decode failed: %s\n",
+      // The server may already be draining/away; a missing stats
+      // endpoint fails the run because the caller asked to reconcile.
+      std::fprintf(stderr, "twq_loadgen: stats failed: %s\n",
                    stats.status().ToString().c_str());
       return 1;
     }
