@@ -286,7 +286,7 @@ QueryClient::ExchangeResult QueryClient::ExchangePrimary(
 
 QueryClient::ExchangeResult QueryClient::ExchangeOneShot(
     const Endpoint& target, const std::string& request, std::int64_t wait_ms,
-    std::atomic<int>* fd_slot) {
+    HedgeSlot* slot) {
   ExchangeResult out;
   int fd = ConnectTo(target, options_.connect_timeout_ms);
   if (fd < 0) {
@@ -294,14 +294,24 @@ QueryClient::ExchangeResult QueryClient::ExchangeOneShot(
     ClientMetrics::Get().transport_errors->Increment();
     return out;
   }
-  if (fd_slot != nullptr) fd_slot->store(fd, std::memory_order_release);
+  if (slot != nullptr) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->fd = fd;
+  }
   out.transport_ok = ExchangeOn(fd, request, wait_ms, out.type, out.body);
   if (!out.transport_ok) {
     counters_.transport_errors.fetch_add(1, std::memory_order_relaxed);
     ClientMetrics::Get().transport_errors->Increment();
   }
-  if (fd_slot != nullptr) fd_slot->store(-1, std::memory_order_release);
-  close(fd);
+  if (slot != nullptr) {
+    // Hold the lock across reset+close (mirroring fd_mu_) so the
+    // abort's load+shutdown cannot land on a recycled descriptor.
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->fd = -1;
+    close(fd);
+  } else {
+    close(fd);
+  }
   return out;
 }
 
@@ -328,7 +338,7 @@ QueryClient::ExchangeResult QueryClient::ExchangeHedged(
   });
 
   std::thread hedge_thread;
-  std::atomic<int> hedge_fd{-1};
+  HedgeSlot hedge_slot;
   bool hedge_launched = false;
   {
     std::unique_lock<std::mutex> lock(race.mu);
@@ -346,7 +356,7 @@ QueryClient::ExchangeResult QueryClient::ExchangeHedged(
     ClientMetrics::Get().hedges_launched->Increment();
     hedge_thread = std::thread([&] {
       ExchangeResult r =
-          ExchangeOneShot(options_.hedge, request, wait_ms, &hedge_fd);
+          ExchangeOneShot(options_.hedge, request, wait_ms, &hedge_slot);
       std::lock_guard<std::mutex> lock(race.mu);
       race.hedge = std::move(r);
       race.hedge_done = true;
@@ -381,10 +391,14 @@ QueryClient::ExchangeResult QueryClient::ExchangeHedged(
   // prompt: the primary via the persistent fd, the hedge via its slot.
   {
     std::lock_guard<std::mutex> lock(race.mu);
-    std::lock_guard<std::mutex> fd_lock(fd_mu_);
-    if (!race.primary_done && fd_ >= 0) shutdown(fd_, SHUT_RDWR);
-    int hfd = hedge_fd.load(std::memory_order_acquire);
-    if (!race.hedge_done && hfd >= 0) shutdown(hfd, SHUT_RDWR);
+    {
+      std::lock_guard<std::mutex> fd_lock(fd_mu_);
+      if (!race.primary_done && fd_ >= 0) shutdown(fd_, SHUT_RDWR);
+    }
+    std::lock_guard<std::mutex> hedge_lock(hedge_slot.mu);
+    if (!race.hedge_done && hedge_slot.fd >= 0) {
+      shutdown(hedge_slot.fd, SHUT_RDWR);
+    }
   }
   primary_thread.join();
   if (hedge_thread.joinable()) hedge_thread.join();
@@ -406,8 +420,14 @@ QueryOutcome QueryClient::Query(const std::string& tree_name,
     // end-to-end budget minus everything already spent (connects,
     // failed attempts, backoff sleeps) — the server-side governor can
     // never run past the client's remaining patience.
+    // The exchange wait must cover the time the server may
+    // *legitimately* compute — the attempt's wire deadline plus wire
+    // slack — with io_timeout_ms as the floor for deadline-less
+    // requests; otherwise a long-deadline query is aborted client-side
+    // mid-computation and miscounted as a transport failure.
     std::int64_t wire_deadline_ms = options_.request_deadline_ms;
-    std::int64_t wait_ms = options_.io_timeout_ms;
+    std::int64_t wait_ms =
+        std::max(options_.io_timeout_ms, wire_deadline_ms + 50);
     if (budgeted) {
       std::int64_t remaining = MillisLeft(budget_deadline);
       if (remaining <= 0) {
@@ -419,9 +439,10 @@ QueryOutcome QueryClient::Query(const std::string& tree_name,
             " attempt(s)");
         return out;
       }
+      // Under a budget the remaining budget *is* the stall guard: wait
+      // exactly that long (plus slack), never past it.
       wire_deadline_ms = remaining;
-      wait_ms = std::min<std::int64_t>(options_.io_timeout_ms,
-                                       remaining + 50);
+      wait_ms = remaining + 50;
     }
     if (!BreakerAdmits()) {
       counters_.breaker_shed.fetch_add(1, std::memory_order_relaxed);
@@ -488,7 +509,15 @@ QueryOutcome QueryClient::Query(const std::string& tree_name,
                             MessageTypeName(got.type));
     }
 
-    if (retryable) BreakerRecord(/*success=*/false);
+    if (retryable) {
+      BreakerRecord(/*success=*/false);
+    } else if (got.transport_ok) {
+      // A terminal verdict still proves the endpoint healthy — the
+      // server answered.  Recording it as a breaker success matters
+      // most in half-open state: the probe must close the breaker (and
+      // clear its in-flight latch), not wedge it open forever.
+      BreakerRecord(/*success=*/true);
+    }
     if (!retryable || attempt == max_attempts) return out;
 
     // Full-jitter exponential backoff, clamped to the remaining budget

@@ -36,8 +36,11 @@
 /// verdicts (kInvalidRequest, kNotFound, kRejectedProgram,
 /// kQuarantined) and spent budgets (kDeadlineExceeded,
 /// kResourceExhausted) are terminal.  Only retryable failures count
-/// toward the breaker — a kNotFound says nothing about endpoint
-/// health.
+/// *against* the breaker; any transport-successful exchange — a
+/// served result or a terminal verdict like kNotFound — counts as a
+/// breaker success, because the server demonstrably answered.  In
+/// particular a half-open probe that draws a terminal verdict closes
+/// the breaker rather than leaving the probe wedged in flight.
 
 #include <atomic>
 #include <chrono>
@@ -78,8 +81,11 @@ struct ClientOptions {
   /// (0 = server default).
   std::int64_t request_deadline_ms = 0;
   std::int64_t connect_timeout_ms = 1000;
-  /// Per-exchange socket stall guard (reads and writes), independent of
-  /// the query deadline.
+  /// Floor on the per-exchange wait (write + full response read).  Each
+  /// exchange waits max(io_timeout_ms, attempt wire deadline + slack),
+  /// so a server legitimately computing up to its propagated deadline
+  /// is never aborted client-side; under a total_deadline_ms budget the
+  /// wait is the remaining budget plus slack instead.
   std::int64_t io_timeout_ms = 5000;
   /// Consecutive retryable failures that open the breaker; 0 = breaker
   /// disabled.
@@ -171,11 +177,20 @@ class QueryClient {
   /// (re)connecting as needed; closes it on transport failure.
   ExchangeResult ExchangePrimary(const std::string& request,
                                  std::int64_t wait_ms);
+  /// A hedge connection's descriptor, shared between the hedge worker
+  /// (which opens, publishes, and closes it) and the hedged race's
+  /// abort path (which loads it and shuts it down).  mu orders
+  /// reset+close against load+shutdown — the same protocol fd_mu_
+  /// gives the primary — so the abort can never land on a descriptor
+  /// another thread has already closed and recycled.
+  struct HedgeSlot {
+    std::mutex mu;
+    int fd = -1;
+  };
   /// One-shot request/response on a fresh connection to `target`.
   ExchangeResult ExchangeOneShot(const Endpoint& target,
                                  const std::string& request,
-                                 std::int64_t wait_ms,
-                                 std::atomic<int>* fd_slot);
+                                 std::int64_t wait_ms, HedgeSlot* slot);
   /// Primary exchange, racing the hedge endpoint after hedge_delay_ms.
   ExchangeResult ExchangeHedged(const std::string& request,
                                 std::int64_t wait_ms, bool& hedge_won);

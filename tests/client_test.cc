@@ -419,6 +419,71 @@ TEST(ClientTest, TerminalErrorsDoNotFeedTheBreaker) {
   EXPECT_EQ(client.counters().breaker_opened.load(), 0);
 }
 
+TEST(ClientTest, TerminalVerdictDuringHalfOpenClosesTheBreaker) {
+  // Regression: a half-open probe that draws a *terminal* wire error
+  // (kNotFound — the server answered, so the endpoint is healthy) must
+  // close the breaker.  Recording neither success nor failure used to
+  // leave half_open_probe_inflight_ latched and the breaker shedding
+  // every subsequent call forever.
+  std::atomic<bool> failing{true};
+  FakeServer server([&failing](const QueryRequest&, int) {
+    FakeServer::Action action;
+    action.kind = FakeServer::Action::kError;
+    action.code =
+        failing.load() ? WireError::kOverloaded : WireError::kNotFound;
+    return action;
+  });
+
+  ClientOptions options = BaseOptions(server.port());
+  options.retry.max_attempts = 1;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 100;
+  QueryClient client(options);
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(client.Query("t", kAcceptAllProgram).status.ok());
+  }
+  EXPECT_EQ(client.breaker_state(), QueryClient::BreakerState::kOpen);
+
+  failing.store(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  QueryOutcome probe = client.Query("nope", kAcceptAllProgram);
+  EXPECT_FALSE(probe.status.ok());
+  EXPECT_EQ(probe.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.breaker_state(), QueryClient::BreakerState::kClosed);
+  EXPECT_EQ(client.counters().breaker_probes.load(), 1);
+  EXPECT_EQ(client.counters().breaker_closed.load(), 1);
+
+  // Closed for real: later calls reach the server instead of the shed
+  // path.
+  int seen = server.queries_seen();
+  EXPECT_FALSE(client.Query("nope", kAcceptAllProgram).status.ok());
+  EXPECT_EQ(server.queries_seen(), seen + 1);
+  EXPECT_EQ(client.counters().breaker_shed.load(), 0);
+}
+
+TEST(ClientTest, ExchangeWaitCoversTheWireDeadline) {
+  // Regression: the server legitimately computes for 600 ms, well past
+  // the 100 ms io floor; the client must size its socket wait from the
+  // attempt's wire deadline instead of aborting the exchange at
+  // io_timeout_ms and miscounting it as a transport failure.
+  FakeServer server([](const QueryRequest&, int) {
+    FakeServer::Action action;
+    action.delay_ms = 600;
+    return action;
+  });
+
+  ClientOptions options = BaseOptions(server.port());
+  options.io_timeout_ms = 100;
+  options.request_deadline_ms = 5000;
+  QueryClient client(options);
+
+  QueryOutcome outcome = client.Query("t", kAcceptAllProgram);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(client.counters().transport_errors.load(), 0);
+}
+
 TEST(ClientTest, HedgeWinsWhenThePrimaryStalls) {
   // The primary swallows the request and goes silent; the hedge answers
   // immediately.  The hedge must win well before the io timeout.

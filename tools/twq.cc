@@ -885,6 +885,7 @@ int CmdQuery(int argc, char** argv) {
   const char* usage =
       "usage: twq query <tree-name> <program.twp> --remote HOST:PORT "
       "[--retries R] [--total-deadline-ms D] [--deadline-ms D] "
+      "[--io-timeout-ms T] "
       "[--breaker-threshold N] [--breaker-cooldown-ms MS] "
       "[--hedge HOST:PORT] [--hedge-delay-ms MS] [--quiet]";
   if (argc < 2) return Fail(usage);
@@ -906,6 +907,8 @@ int CmdQuery(int argc, char** argv) {
       options.total_deadline_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       options.request_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--io-timeout-ms") == 0 && i + 1 < argc) {
+      options.io_timeout_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 &&
                i + 1 < argc) {
       options.breaker_threshold = std::atoi(argv[++i]);

@@ -4,6 +4,7 @@
 //   twq_loadgen --port P [--host H] [--connections N] [--duration-ms D]
 //       --tree NAME [--program FILE | --program-text TEXT]
 //       [--rate R] [--deadline-ms D] [--retries R] [--total-deadline-ms D]
+//       [--io-timeout-ms T]
 //       [--breaker-threshold N] [--breaker-cooldown-ms MS]
 //       [--hedge HOST:PORT] [--hedge-delay-ms MS]
 //       [--stats] [--expect-shed] [--quiet]
@@ -138,6 +139,9 @@ int main(int argc, char** argv) {
       rate = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       client_options.request_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--io-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      client_options.io_timeout_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
       client_options.retry.max_attempts = std::atoi(argv[++i]) + 1;
     } else if (std::strcmp(argv[i], "--total-deadline-ms") == 0 &&

@@ -67,6 +67,15 @@ while :; do
     code=$?
     kill -0 "$child" 2>/dev/null || break
   done
+  # The TERM/INT trap can interrupt `wait` in the same instant the
+  # child is reaped: `wait` then returns 128+signo of the *trap*, the
+  # kill -0 probe fails, and $code would misreport a clean 75/0 drain
+  # as a crash.  Re-waiting an already-reaped child returns its
+  # recorded exit status; if the loop above already consumed that
+  # status the shell answers 127 and the code in hand is the real one.
+  wait "$child" 2>/dev/null
+  final=$?
+  [ "$final" -ne 127 ] && code=$final
   [ -n "$LOG" ] && echo "incarnation $restarts exit $code" >> "$LOG"
   if [ "$code" -eq 75 ] || [ "$code" -eq 0 ] || [ "$stopping" -eq 1 ]; then
     [ -n "$PIDFILE" ] && rm -f "$PIDFILE"
