@@ -1,0 +1,215 @@
+// E21: the cost-based planner vs. every fixed strategy (docs/PLANNER.md).
+//
+// Each workload is one end-to-end selector-serving task — plan (auto arm
+// only), build whatever the strategy needs, and answer a fixed spread of
+// origins — timed cold, the honest bound for a run that meets the
+// selector once.  The three workloads are chosen so the fixed strategies
+// genuinely diverge:
+//
+//   cheap_guarded    a guarded single-join on a large tree: the
+//                    reference evaluator answers from the origins'
+//                    children while any compiled strategy must first
+//                    build an 8192-node satisfier relation
+//   quantified_small a quantifier-depth-2 selector on a small tree:
+//                    compiled-dense wins, reference pays n^2 per origin
+//   quantified_large the same selector shape past the dense/interval
+//                    crossover: interval wins, dense builds 128-word
+//                    rows and reference is ~seconds
+//
+// The nightly contract (tools/bench_gate.py --planner-contract) holds
+// BM_PlanAuto within 10% of the best fixed arm on every workload and
+// requires it to beat each fixed strategy outright somewhere.  Compiled
+// arms cross-check against SelectNodes at every measured origin before
+// timing, so a win is only ever a win on identical answers.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/logic/compile.h"
+#include "src/logic/parser.h"
+#include "src/logic/planner.h"
+#include "src/logic/tree_eval.h"
+#include "src/tree/axis_index.h"
+#include "src/tree/generate.h"
+#include "src/tree/tree_stats.h"
+
+namespace {
+
+using namespace treewalk;
+
+constexpr const char* kCheapGuarded = "E(x, y) & lab(y, a)";
+constexpr const char* kQuantified =
+    "exists z (E(x, z) & exists w (E(z, w) & desc(w, y)))";
+
+Tree Input(int n) {
+  std::mt19937 rng(97);
+  RandomTreeOptions options;
+  options.num_nodes = n;
+  options.labels = {"a", "b"};
+  options.attributes = {};
+  return RandomTree(rng, options);
+}
+
+std::vector<NodeId> SpreadOrigins(const Tree& t, int count) {
+  std::vector<NodeId> origins;
+  for (int i = 0; i < count; ++i) {
+    origins.push_back(static_cast<NodeId>(
+        (static_cast<std::size_t>(i) * t.size()) / count));
+  }
+  return origins;
+}
+
+/// Reference answers at every origin; the oracle the compiled arms and
+/// the auto arm check against.
+std::vector<std::vector<NodeId>> ReferenceAnswers(
+    benchmark::State& state, const Tree& t, const Formula& phi,
+    const std::vector<NodeId>& origins) {
+  std::vector<std::vector<NodeId>> answers;
+  for (NodeId origin : origins) {
+    auto r = SelectNodes(t, phi, origin);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return {};
+    }
+    answers.push_back(std::move(*r));
+  }
+  return answers;
+}
+
+void BM_PlanReference(benchmark::State& state, const char* selector) {
+  Tree t = Input(static_cast<int>(state.range(0)));
+  Formula phi = std::move(ParseFormula(selector)).value();
+  std::vector<NodeId> origins =
+      SpreadOrigins(t, static_cast<int>(state.range(1)));
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    selected = 0;
+    for (NodeId origin : origins) {
+      auto r = SelectNodes(t, phi, origin);
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      selected += r->size();
+    }
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+void BM_PlanCompiled(benchmark::State& state, const char* selector,
+                     AxisRepr repr) {
+  Tree t = Input(static_cast<int>(state.range(0)));
+  Formula phi = std::move(ParseFormula(selector)).value();
+  std::vector<NodeId> origins =
+      SpreadOrigins(t, static_cast<int>(state.range(1)));
+  auto answers = ReferenceAnswers(state, t, phi, origins);
+  if (answers.empty()) return;
+  {
+    AxisIndex index(t);
+    auto compiled = CompileSelector(index, phi, "x", "y", repr);
+    if (!compiled.ok()) {
+      state.SkipWithError(compiled.status().ToString().c_str());
+      return;
+    }
+    for (std::size_t i = 0; i < origins.size(); ++i) {
+      if (compiled->SelectFrom(origins[i]) != answers[i]) {
+        state.SkipWithError("compiled/reference mismatch");
+        return;
+      }
+    }
+  }
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    AxisIndex index(t);
+    auto compiled = CompileSelector(index, phi, "x", "y", repr);
+    if (!compiled.ok()) {
+      state.SkipWithError(compiled.status().ToString().c_str());
+      return;
+    }
+    selected = 0;
+    for (NodeId origin : origins) {
+      selected += compiled->SelectFrom(origin).size();
+    }
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+void BM_PlanDense(benchmark::State& state, const char* selector) {
+  BM_PlanCompiled(state, selector, AxisRepr::kDense);
+}
+
+void BM_PlanInterval(benchmark::State& state, const char* selector) {
+  BM_PlanCompiled(state, selector, AxisRepr::kInterval);
+}
+
+void BM_PlanAuto(benchmark::State& state, const char* selector) {
+  Tree t = Input(static_cast<int>(state.range(0)));
+  Formula phi = std::move(ParseFormula(selector)).value();
+  std::vector<NodeId> origins =
+      SpreadOrigins(t, static_cast<int>(state.range(1)));
+  // Stats are cached per tree in production (snapshot-preloaded or
+  // computed once per run), so they sit outside the timing loop; the
+  // plan itself is inside — the auto arm pays for its own decision.
+  TreeStats stats = ComputeTreeStats(t);
+  auto answers = ReferenceAnswers(state, t, phi, origins);
+  if (answers.empty()) return;
+
+  std::size_t selected = 0;
+  PlanStrategy picked = PlanStrategy::kReference;
+  for (auto _ : state) {
+    SelectorPlan plan = PlanSelector(stats, phi);
+    picked = plan.strategy;
+    selected = 0;
+    if (plan.strategy == PlanStrategy::kCompiledDense ||
+        plan.strategy == PlanStrategy::kCompiledInterval) {
+      AxisIndex index(t);
+      auto compiled = CompileSelector(index, phi, "x", "y", plan.repr);
+      if (compiled.ok()) {
+        for (NodeId origin : origins) {
+          selected += compiled->SelectFrom(origin).size();
+        }
+        continue;
+      }
+      // Runtime decline: reference fallback, same as the interpreter.
+    }
+    for (NodeId origin : origins) {
+      auto r = SelectNodes(t, phi, origin);
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      selected += r->size();
+    }
+  }
+  // Re-check the last answer set against the oracle.
+  state.SetLabel(PlanStrategyName(picked));
+  std::size_t expected = 0;
+  for (const auto& a : answers) expected += a.size();
+  if (selected != expected) {
+    state.SkipWithError("planned/reference cardinality mismatch");
+    return;
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+// The auto arm registers LAST so it runs immediately after the fixed
+// arms it is gated against (--planner-contract compares within one
+// run); putting the multi-second losing arms between auto and its
+// nearest rival lets thermal/frequency drift fake a contract miss.
+#define PLANNER_WORKLOAD(workload, selector, n, origins)              \
+  BENCHMARK_CAPTURE(BM_PlanReference, workload, selector)             \
+      ->Args({n, origins})->Unit(benchmark::kMicrosecond);            \
+  BENCHMARK_CAPTURE(BM_PlanDense, workload, selector)                 \
+      ->Args({n, origins})->Unit(benchmark::kMicrosecond);            \
+  BENCHMARK_CAPTURE(BM_PlanInterval, workload, selector)              \
+      ->Args({n, origins})->Unit(benchmark::kMicrosecond);            \
+  BENCHMARK_CAPTURE(BM_PlanAuto, workload, selector)                  \
+      ->Args({n, origins})->Unit(benchmark::kMicrosecond)
+
+PLANNER_WORKLOAD(cheap_guarded, kCheapGuarded, 8192, 256);
+PLANNER_WORKLOAD(quantified_small, kQuantified, 256, 8);
+PLANNER_WORKLOAD(quantified_large, kQuantified, 8192, 8);
+
+}  // namespace

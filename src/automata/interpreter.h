@@ -15,7 +15,23 @@
 
 namespace treewalk {
 
-class SelectorDiskCache;  // src/logic/selector_cache.h
+class SelectorDiskCache;     // src/logic/selector_cache.h
+struct PlannerCalibration;   // src/logic/planner.h
+
+/// How the run picks a selector-evaluation strategy.
+enum class PlanMode {
+  /// Cost-based: the planner (src/logic/planner.h) scores reference vs
+  /// compiled-dense vs compiled-interval per distinct selector from
+  /// tree statistics and formula features, replacing the fixed
+  /// size-threshold heuristics.  Strategy choice is per-run
+  /// deterministic (a pure function of tree + selector + calibration).
+  kAuto = 0,
+  /// Legacy fixed heuristics: always try to compile, resolve kAuto
+  /// representation by the kDenseAxisNodeLimit size threshold.
+  kFixed,
+};
+
+const char* PlanModeName(PlanMode m);
 
 /// Resource limits for a run.  Exceeding any limit aborts the run with
 /// kResourceExhausted (an *error*, distinct from semantic rejection).
@@ -58,6 +74,16 @@ struct RunOptions {
   /// pre-order interval lists, which is what lets compiled evaluation
   /// (and a linear memory budget) survive million-node inputs.
   AxisRepr axis_repr = AxisRepr::kAuto;
+  /// Strategy selection for atp() selectors (see PlanMode).  kAuto asks
+  /// the cost-based planner; kFixed keeps the pre-planner behavior.
+  /// Semantically invisible either way: every strategy returns the same
+  /// nodes.
+  PlanMode plan_mode = PlanMode::kAuto;
+  /// Cost-model constants for kAuto planning; null uses the built-in
+  /// defaults.  Passed by pointer so calibration stays per-run and
+  /// deterministic — there is no global mutable calibration.  Must
+  /// outlive the run.
+  const PlannerCalibration* planner_calibration = nullptr;
   /// Persistent compiled-selector cache (src/logic/selector_cache.h).
   /// When non-null, each selector compile first consults the on-disk
   /// cache keyed by (formula, tree content hash, resolved repr) and
@@ -108,6 +134,13 @@ struct RunStats {
   /// serving selector compiled under (RunOptions::axis_repr, resolved).
   std::int64_t interval_selector_evals = 0;
   std::int64_t dense_selector_evals = 0;
+  /// Planner strategy picks, one per distinct selector planned this run
+  /// (all zero under PlanMode::kFixed).  A reference pick means the
+  /// planner chose not to compile; compile *declines* after a dense or
+  /// interval pick still count under the pick that was made.
+  std::int64_t planner_picks_reference = 0;
+  std::int64_t planner_picks_dense = 0;
+  std::int64_t planner_picks_interval = 0;
   /// Register writes (update rules and look-ahead collections).
   std::int64_t store_updates = 0;
   std::size_t max_store_tuples = 0;

@@ -117,6 +117,11 @@ struct EngineStats {
   /// (RunOptions::axis_repr).
   std::int64_t interval_selector_evals = 0;
   std::int64_t dense_selector_evals = 0;
+  /// Cost-based planner strategy picks under PlanMode::kAuto (one per
+  /// distinct selector per run; all zero under kFixed).
+  std::int64_t planner_picks_reference = 0;
+  std::int64_t planner_picks_dense = 0;
+  std::int64_t planner_picks_interval = 0;
   std::int64_t store_updates = 0;
   /// Attempts that failed with kDeadlineExceeded.
   std::int64_t deadline_hits = 0;

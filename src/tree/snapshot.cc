@@ -22,6 +22,7 @@
 #include "src/common/failpoint.h"
 #include "src/common/metrics.h"
 #include "src/tree/traversal.h"
+#include "src/tree/tree_stats.h"
 
 namespace treewalk {
 namespace {
@@ -34,7 +35,8 @@ constexpr std::uint32_t kSecAttrs = 3;      // attribute-name interner pool
 constexpr std::uint32_t kSecValues = 4;     // value interner pool
 constexpr std::uint32_t kSecColumns = 5;    // attr columns, [attr][node]
 constexpr std::uint32_t kSecPostorder = 6;  // post-order rank per node
-constexpr std::uint32_t kNumSections = 6;
+constexpr std::uint32_t kSecStats = 7;      // whole-tree planner statistics
+constexpr std::uint32_t kNumSections = 7;
 
 constexpr std::size_t kSectionEntryBytes = 24;
 constexpr std::size_t kTableBytes = kNumSections * kSectionEntryBytes;
@@ -130,6 +132,8 @@ const char* SnapshotSectionName(std::uint32_t kind) {
       return "attr-columns";
     case kSecPostorder:
       return "postorder-ranks";
+    case kSecStats:
+      return "tree-stats";
     default:
       return "?";
   }
@@ -185,6 +189,7 @@ class SnapshotCodec {
       }
     }
     sections[5] = EncodePostorder(tree);
+    sections[6] = EncodeStats(tree);
 
     const std::uint64_t content_hash = ContentHash(tree);
 
@@ -398,6 +403,74 @@ class SnapshotCodec {
       }
     }
 
+    // Stats section: fixed scalars plus one u64 per label and per
+    // attribute.  Validated against the header counts and basic tree
+    // identities so a corrupt block can never feed the planner
+    // nonsense; any inconsistency rejects the whole snapshot (callers
+    // fall back to parsing, which recomputes stats from scratch).
+    {
+      const std::string_view sec = section(kSecStats);
+      const std::string err = "snapshot tree-stats section corrupt";
+      constexpr std::size_t kScalarBytes = 8 + 7 * 8;
+      if (sec.size() != kScalarBytes + 8 +
+                            static_cast<std::size_t>(label_count) * 8 + 8 +
+                            static_cast<std::size_t>(attr_count) * 8) {
+        return InvalidArgument(err);
+      }
+      if (GetU32Le(sec, 0) != 1) {
+        return InvalidArgument("snapshot tree-stats format unsupported");
+      }
+      auto stats = std::make_shared<TreeStats>();
+      stats->nodes = static_cast<std::int64_t>(n);
+      stats->edges = n > 0 ? stats->nodes - 1 : 0;
+      // Every persisted count is bounded by the pair count n*(n-1)/2
+      // (depth sums, sibling pairs) or by n itself; n <= kMaxNodes, so
+      // the u64 -> int64 casts below cannot go negative once the
+      // per-field ceilings hold.
+      const std::uint64_t pair_cap = node_count * node_count;
+      auto scalar = [&](std::size_t i) { return GetU64Le(sec, 8 + i * 8); };
+      const std::uint64_t raw[7] = {scalar(0), scalar(1), scalar(2), scalar(3),
+                                    scalar(4), scalar(5), scalar(6)};
+      for (std::uint64_t v : raw) {
+        if (v > pair_cap) return InvalidArgument(err);
+      }
+      stats->max_depth = static_cast<std::int64_t>(raw[0]);
+      stats->sum_depths = static_cast<std::int64_t>(raw[1]);
+      stats->leaves = static_cast<std::int64_t>(raw[2]);
+      stats->parents = static_cast<std::int64_t>(raw[3]);
+      stats->max_fanout = static_cast<std::int64_t>(raw[4]);
+      stats->sib_pairs = static_cast<std::int64_t>(raw[5]);
+      stats->succ_pairs = static_cast<std::int64_t>(raw[6]);
+      if (GetU64Le(sec, kScalarBytes) != label_count) {
+        return InvalidArgument(err);
+      }
+      std::size_t at = kScalarBytes + 8;
+      std::uint64_t label_total = 0;
+      stats->label_counts.reserve(static_cast<std::size_t>(label_count));
+      for (std::uint64_t i = 0; i < label_count; ++i, at += 8) {
+        const std::uint64_t c = GetU64Le(sec, at);
+        if (c > node_count) return InvalidArgument(err);
+        label_total += c;
+        stats->label_counts.push_back(static_cast<std::int64_t>(c));
+      }
+      if (GetU64Le(sec, at) != attr_count) return InvalidArgument(err);
+      at += 8;
+      stats->attr_distinct.reserve(static_cast<std::size_t>(attr_count));
+      for (std::uint64_t i = 0; i < attr_count; ++i, at += 8) {
+        const std::uint64_t c = GetU64Le(sec, at);
+        if (c > node_count) return InvalidArgument(err);
+        stats->attr_distinct.push_back(static_cast<std::int64_t>(c));
+      }
+      // Identities every real tree satisfies: labels partition the
+      // nodes, and every node is a leaf xor a parent.
+      if (label_total != node_count ||
+          static_cast<std::uint64_t>(stats->leaves + stats->parents) !=
+              node_count) {
+        return InvalidArgument(err);
+      }
+      tree.snapshot_stats_ = std::move(stats);
+    }
+
     tree.node_count_ = n;
     tree.nodes_view_ = nodes;
     tree.postorder_view_ = postorder;
@@ -440,6 +513,42 @@ class SnapshotCodec {
       return tree.values_->NameAt(i);
     });
   }
+  /// Stats payload: u32 stats-format (1) | u32 pad | seven u64 scalars
+  /// (max_depth, sum_depths, leaves, parents, max_fanout, sib_pairs,
+  /// succ_pairs) | u64 label count + per-label u64 node counts | u64
+  /// attr count + per-attribute u64 distinct-value counts.  `nodes` and
+  /// `edges` are derived from the header node count at decode.  Always
+  /// recomputed at encode time (never copied from a preloaded block) so
+  /// copy-on-write attribute mutations cannot persist stale
+  /// distinct-value counts.  Deliberately excluded from ContentHash:
+  /// stats are derived data, and the hash keys the selector disk cache.
+  static std::string EncodeStats(const Tree& tree) {
+    TreeStats s = ComputeTreeStats(tree);
+    // ComputeTreeStats leaves the vectors empty for an empty tree; the
+    // format pins their lengths to the header label/attr counts.
+    s.label_counts.resize(tree.labels_.size(), 0);
+    s.attr_distinct.resize(tree.attr_views_.size(), 0);
+    std::string out;
+    PutU32Le(1, out);  // stats format version
+    PutU32Le(0, out);  // pad to 8 bytes
+    PutU64Le(static_cast<std::uint64_t>(s.max_depth), out);
+    PutU64Le(static_cast<std::uint64_t>(s.sum_depths), out);
+    PutU64Le(static_cast<std::uint64_t>(s.leaves), out);
+    PutU64Le(static_cast<std::uint64_t>(s.parents), out);
+    PutU64Le(static_cast<std::uint64_t>(s.max_fanout), out);
+    PutU64Le(static_cast<std::uint64_t>(s.sib_pairs), out);
+    PutU64Le(static_cast<std::uint64_t>(s.succ_pairs), out);
+    PutU64Le(s.label_counts.size(), out);
+    for (std::int64_t c : s.label_counts) {
+      PutU64Le(static_cast<std::uint64_t>(c), out);
+    }
+    PutU64Le(s.attr_distinct.size(), out);
+    for (std::int64_t c : s.attr_distinct) {
+      PutU64Le(static_cast<std::uint64_t>(c), out);
+    }
+    return out;
+  }
+
   static std::string EncodePostorder(const Tree& tree) {
     const std::size_t n = tree.node_count_;
     std::string out;

@@ -32,7 +32,9 @@ namespace treewalk {
 
 inline constexpr char kSnapshotMagic[8] = {'T', 'W', 'S', 'N', 'A', 'P',
                                            '0', '1'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2 added the tree-stats section (planner statistics preloaded at
+/// load time); v1 files are rejected and callers fall back to parsing.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 inline constexpr std::size_t kSnapshotHeaderBytes = 64;
 
 /// One section-table entry, surfaced by inspect.

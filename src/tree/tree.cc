@@ -20,6 +20,7 @@ Tree::Tree(const Tree& other)
       attr_views_(other.attr_views_),
       postorder_view_(other.postorder_view_),
       mapping_(other.mapping_),
+      snapshot_stats_(other.snapshot_stats_),
       values_(other.values_) {
   RebindOwnedViews(other);
 }
@@ -50,6 +51,7 @@ Tree& Tree::operator=(Tree&& other) noexcept {
   attr_views_ = std::move(other.attr_views_);
   postorder_view_ = other.postorder_view_;
   mapping_ = std::move(other.mapping_);
+  snapshot_stats_ = std::move(other.snapshot_stats_);
   values_ = std::move(other.values_);
   // Vector moves keep heap buffers, so rebinding is a no-op for data
   // that was on the heap; it matters for empty/SSO-free edge cases and

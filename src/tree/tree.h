@@ -141,6 +141,14 @@ class Tree {
   /// instead of re-running its numbering DFS (src/tree/snapshot.h).
   const NodeId* snapshot_postorder() const { return postorder_view_; }
 
+  /// Whole-tree statistics preloaded from a snapshot's stats section,
+  /// or nullptr for a parsed/built tree.  The cost-based planner
+  /// (src/logic/planner.h) uses these instead of re-scanning the tree;
+  /// GetOrComputeTreeStats (src/tree/tree_stats.h) is the one caller.
+  const struct TreeStats* snapshot_stats() const {
+    return snapshot_stats_.get();
+  }
+
  private:
   friend class TreeBuilder;
   friend class SnapshotCodec;  // src/tree/snapshot.cc: (de)serialization
@@ -185,6 +193,10 @@ class Tree {
   /// Keeps a mapped snapshot region (or an in-memory image) alive for
   /// as long as any view above aliases it; null for owned trees.
   std::shared_ptr<const void> mapping_;
+
+  /// Decoded stats section of a snapshot-backed tree (immutable, shared
+  /// by copies); null for parsed/built trees.
+  std::shared_ptr<const struct TreeStats> snapshot_stats_;
 
   std::shared_ptr<ValueInterner> values_ =
       std::make_shared<ValueInterner>();

@@ -1,0 +1,69 @@
+#include "src/tree/tree_stats.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace treewalk {
+
+std::int64_t TreeStats::MaxLabelCount() const {
+  std::int64_t best = 0;
+  for (std::int64_t c : label_counts) best = std::max(best, c);
+  return best;
+}
+
+TreeStats ComputeTreeStats(const Tree& tree) {
+  TreeStats stats;
+  const std::size_t n = tree.size();
+  stats.nodes = static_cast<std::int64_t>(n);
+  if (n == 0) return stats;
+  stats.edges = stats.nodes - 1;
+  stats.label_counts.assign(tree.labels().size(), 0);
+
+  // One pre-order pass: parents precede children in the arena, so
+  // depth[u] = depth[parent(u)] + 1 resolves in document order.
+  std::vector<std::int32_t> depth(n, 0);
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    const NodeId p = tree.Parent(u);
+    if (p != kNoNode) {
+      depth[static_cast<std::size_t>(u)] =
+          depth[static_cast<std::size_t>(p)] + 1;
+    }
+    const std::int64_t d = depth[static_cast<std::size_t>(u)];
+    stats.sum_depths += d;
+    stats.max_depth = std::max(stats.max_depth, d);
+    ++stats.label_counts[static_cast<std::size_t>(tree.label(u))];
+    const std::int64_t k = tree.ChildCount(u);
+    if (k == 0) {
+      ++stats.leaves;
+    } else {
+      ++stats.parents;
+      stats.max_fanout = std::max(stats.max_fanout, k);
+      stats.sib_pairs += k * (k - 1) / 2;
+      stats.succ_pairs += k - 1;
+    }
+  }
+
+  stats.attr_distinct.assign(tree.num_attributes(), 0);
+  std::vector<DataValue> column;
+  for (AttrId a = 0; a < static_cast<AttrId>(tree.num_attributes()); ++a) {
+    column.clear();
+    column.reserve(n);
+    for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+      column.push_back(tree.attr(a, u));
+    }
+    std::sort(column.begin(), column.end());
+    stats.attr_distinct[static_cast<std::size_t>(a)] =
+        static_cast<std::int64_t>(
+            std::unique(column.begin(), column.end()) - column.begin());
+  }
+  return stats;
+}
+
+const TreeStats* GetOrComputeTreeStats(const Tree& tree, TreeStats& scratch) {
+  if (const TreeStats* preloaded = tree.snapshot_stats()) return preloaded;
+  scratch = ComputeTreeStats(tree);
+  return &scratch;
+}
+
+}  // namespace treewalk

@@ -196,6 +196,11 @@ TEST_F(EngineFaultTest, AcceptanceScenarioFailsSickJobsAndSparesSiblings) {
   jobs[2].program = &hog;  // wants ~500KiB matrices against a 64KiB budget
   jobs[2].tree = &big;
   jobs[2].memory_budget_bytes = 64 << 10;
+  // Pin the legacy always-compile path: this scenario exercises the
+  // governor tripping on the matrix materialization, and the cost-based
+  // planner (kAuto) would sidestep it by picking the reference
+  // evaluator for this selector.
+  jobs[2].options.plan_mode = PlanMode::kFixed;
   jobs[3].program = nullptr;  // malformed
   jobs[3].tree = &small;
   jobs[4].program = &parity;  // healthy

@@ -101,7 +101,7 @@ TEST(SnapshotRoundTrip, HandBuiltTree) {
   written = *w;
   EXPECT_EQ(written.nodes, original.size());
   EXPECT_EQ(written.version, kSnapshotVersion);
-  EXPECT_EQ(written.sections.size(), 6u);
+  EXPECT_EQ(written.sections.size(), 7u);
 
   SnapshotInfo read;
   auto loaded = LoadTreeSnapshot(path, nullptr, &read);
@@ -366,7 +366,7 @@ TEST(SnapshotInspect, ReportsSectionsAndRejectsGarbage) {
   auto info = InspectTreeSnapshot(path);
   ASSERT_TRUE(info.ok());
   EXPECT_EQ(info->nodes, original.size());
-  ASSERT_EQ(info->sections.size(), 6u);
+  ASSERT_EQ(info->sections.size(), 7u);
   for (const auto& sec : info->sections) {
     EXPECT_NE(std::string(SnapshotSectionName(sec.kind)), "?");
   }

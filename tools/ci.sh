@@ -1,9 +1,9 @@
 #!/bin/sh
 # Configures, builds, and tests the CMakePresets.json presets.  Test
 # selection is driven by ctest labels set in tests/CMakeLists.txt and
-# bench/CMakeLists.txt (tier1 / asan-focus / threaded / bench), not by
-# hardcoded binary lists.  Run from anywhere; each preset builds in
-# build-<preset>/ next to the sources.
+# bench/CMakeLists.txt (tier1 / asan-focus / planner / threaded /
+# bench / nightly), not by hardcoded binary lists.  Run from anywhere;
+# each preset builds in build-<preset>/ next to the sources.
 #
 #   tools/ci.sh                 # release + asan (the default gate)
 #   tools/ci.sh release         # one preset
@@ -66,6 +66,11 @@ for preset in $presets; do
       # fault-injection / crash-recovery error path, so injected
       # failures cannot hide leaks or UB in the unwind paths.
       (cd "$root/build-asan" && ctest -L asan-focus --output-on-failure \
+        -j "$jobs")
+      # Planner gate under sanitizers: the 500+-instance differential
+      # oracle (planner_test) and the `twq explain` golden
+      # (explain_test); label `planner` in tests/CMakeLists.txt.
+      (cd "$root/build-asan" && ctest -L planner --output-on-failure \
         -j "$jobs")
       # The same daemon smoke under ASan/UBSan: the accept loop, worker
       # cancel paths, and the drain unwind all run with sanitizers

@@ -7,6 +7,17 @@
 //       compilation.
 //   twq check <program.twp>
 //       Parse and validate a program; print its canonical form.
+//   twq explain <tree> (--selector <phi> | --xpath <path> | --program <p.twp>)
+//       [--plan auto|fixed] [--axis-repr auto|interval|dense]
+//       [--origin N] [--evals] [--timing]
+//       Show what the cost-based planner (docs/PLANNER.md) would do for
+//       each selector: tree statistics, formula features, per-strategy
+//       cost estimates, the chosen plan, and per-operator cardinality
+//       estimates.  --evals executes the chosen plan from --origin
+//       (default: the root) and prints measured vs estimated rows.
+//       --timing times every candidate strategy and prints rescaled
+//       calibration constants (output is nondeterministic; everything
+//       else explain prints is byte-stable for golden tests).
 //   twq cat <expression> <tree.{term,xml}>
 //       Evaluate a caterpillar expression from the root.
 //   twq batch <manifest> [--jobs N] [--max-steps M] [--quiet]
@@ -127,9 +138,14 @@
 #include "src/engine/input_cache.h"
 #include "src/engine/manifest.h"
 #include "src/engine/shutdown.h"
+#include "src/logic/compile.h"
+#include "src/logic/parser.h"
+#include "src/logic/planner.h"
 #include "src/logic/selector_cache.h"
 #include "src/server/server.h"
 #include "src/logic/tree_eval.h"
+#include "src/tree/axis_index.h"
+#include "src/tree/tree_stats.h"
 #include "src/simulation/config_graph.h"
 #include "src/tree/snapshot.h"
 #include "src/tree/term_io.h"
@@ -190,10 +206,16 @@ void EnsureDir(const std::string& dir) {
   ::mkdir(dir.c_str(), 0777);
 }
 
+std::optional<tw::PlanMode> ParsePlanMode(const char* arg) {
+  if (std::strcmp(arg, "auto") == 0) return tw::PlanMode::kAuto;
+  if (std::strcmp(arg, "fixed") == 0) return tw::PlanMode::kFixed;
+  return std::nullopt;
+}
+
 int CmdRun(int argc, char** argv) {
   if (argc < 2) {
     return Fail("usage: twq run <program.twp> <tree> [--trace] "
-                "[--axis-repr auto|interval|dense] "
+                "[--axis-repr auto|interval|dense] [--plan auto|fixed] "
                 "[--snapshot-cache <dir>] [--compile-cache <dir>]");
   }
   std::string program_text;
@@ -205,6 +227,7 @@ int CmdRun(int argc, char** argv) {
 
   bool trace = false, graph = false;
   tw::AxisRepr axis_repr = tw::AxisRepr::kAuto;
+  tw::PlanMode plan_mode = tw::PlanMode::kAuto;
   std::optional<tw::SnapshotCache> snapshot_cache;
   std::optional<tw::SelectorDiskCache> compile_cache;
   for (int i = 2; i < argc; ++i) {
@@ -217,6 +240,14 @@ int CmdRun(int argc, char** argv) {
                     "' (want auto, interval, or dense)");
       }
       axis_repr = *repr;
+    }
+    if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
+      auto mode = ParsePlanMode(argv[++i]);
+      if (!mode.has_value()) {
+        return Fail(std::string("unknown --plan '") + argv[i] +
+                    "' (want auto or fixed)");
+      }
+      plan_mode = *mode;
     }
     if (std::strcmp(argv[i], "--snapshot-cache") == 0 && i + 1 < argc) {
       EnsureDir(argv[++i]);
@@ -243,6 +274,7 @@ int CmdRun(int argc, char** argv) {
   tw::RunOptions options;
   options.record_trace = trace;
   options.axis_repr = axis_repr;
+  options.plan_mode = plan_mode;
   if (compile_cache.has_value()) {
     options.selector_disk_cache = &*compile_cache;
   }
@@ -298,11 +330,261 @@ int CmdCheck(int argc, char** argv) {
   return 0;
 }
 
+/// `twq explain`: render the cost-based planner's view of one or more
+/// selectors against a tree (docs/PLANNER.md).  All output except the
+/// --timing section is a pure function of the inputs, so a golden-file
+/// test can hold the format (tests/explain_test.cc).
+int CmdExplain(int argc, char** argv) {
+  const char* usage =
+      "usage: twq explain <tree> (--selector <phi> | --xpath <path> | "
+      "--program <p.twp>) [--plan auto|fixed] "
+      "[--axis-repr auto|interval|dense] [--origin N] [--evals] [--timing]";
+  if (argc < 1) return Fail(usage);
+  std::string selector_text, xpath_text, program_path;
+  tw::PlanMode plan_mode = tw::PlanMode::kAuto;
+  tw::AxisRepr axis_repr = tw::AxisRepr::kAuto;
+  long long origin_arg = -1;
+  bool evals = false, timing = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selector") == 0 && i + 1 < argc) {
+      selector_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--xpath") == 0 && i + 1 < argc) {
+      xpath_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--program") == 0 && i + 1 < argc) {
+      program_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
+      auto mode = ParsePlanMode(argv[++i]);
+      if (!mode.has_value()) {
+        return Fail(std::string("unknown --plan '") + argv[i] +
+                    "' (want auto or fixed)");
+      }
+      plan_mode = *mode;
+    } else if (std::strcmp(argv[i], "--axis-repr") == 0 && i + 1 < argc) {
+      auto repr = tw::ParseAxisRepr(argv[++i]);
+      if (!repr.has_value()) {
+        return Fail(std::string("unknown --axis-repr '") + argv[i] +
+                    "' (want auto, interval, or dense)");
+      }
+      axis_repr = *repr;
+    } else if (std::strcmp(argv[i], "--origin") == 0 && i + 1 < argc) {
+      origin_arg = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--evals") == 0) {
+      evals = true;
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      timing = true;
+    } else {
+      return Fail(std::string("unknown explain option '") + argv[i] + "'");
+    }
+  }
+  const int sources = (selector_text.empty() ? 0 : 1) +
+                      (xpath_text.empty() ? 0 : 1) +
+                      (program_path.empty() ? 0 : 1);
+  if (sources != 1) return Fail(usage);
+
+  auto tree = LoadTree(argv[0]);
+  if (!tree.ok()) return Fail("tree: " + tree.status().ToString());
+
+  struct Item {
+    std::string title;
+    tw::Formula formula;
+    bool from_xpath = false;
+    int xpath_steps = 0;
+  };
+  std::vector<Item> items;
+  std::optional<tw::XPath> xpath;
+  if (!selector_text.empty()) {
+    auto parsed = tw::ParseFormula(selector_text);
+    if (!parsed.ok()) return Fail("selector: " + parsed.status().ToString());
+    tw::Status valid = tw::ValidateTreeFormula(*parsed);
+    if (!valid.ok()) return Fail("selector: " + valid.ToString());
+    items.push_back(Item{parsed->ToString(), *parsed, false, 0});
+  } else if (!xpath_text.empty()) {
+    auto parsed = tw::ParseXPath(xpath_text);
+    if (!parsed.ok()) return Fail("xpath: " + parsed.status().ToString());
+    xpath = *parsed;
+    int steps = 0;
+    for (const tw::XPathPath& p : parsed->paths) {
+      steps += static_cast<int>(p.steps.size());
+    }
+    auto formula = tw::CompileXPathToFo(*parsed);
+    if (!formula.ok()) {
+      return Fail("xpath does not compile to FO(exists*): " +
+                  formula.status().ToString());
+    }
+    items.push_back(Item{xpath_text, *formula, true, steps});
+  } else {
+    std::string text;
+    if (!ReadFile(program_path, text)) {
+      return Fail("cannot read program '" + program_path + "'");
+    }
+    auto program = tw::ParseProgramText(text);
+    if (!program.ok()) return Fail("program: " + program.status().ToString());
+    std::map<std::string, bool> seen;  // canonical text -> reported
+    for (const tw::Rule& rule : program->rules()) {
+      if (rule.action.kind != tw::Action::Kind::kLookAhead) continue;
+      const std::string key = rule.action.selector.ToString();
+      if (!seen.emplace(key, true).second) continue;
+      items.push_back(Item{key, rule.action.selector, false, 0});
+    }
+    if (items.empty()) {
+      std::printf("program has no atp() selectors; nothing to plan\n");
+      return 0;
+    }
+  }
+
+  tw::TreeStats scratch;
+  const tw::TreeStats* stats = tw::GetOrComputeTreeStats(*tree, scratch);
+  std::printf(
+      "tree: %lld node(s), max depth %lld, %lld leaves, max fanout %lld "
+      "(stats %s)\n",
+      static_cast<long long>(stats->nodes),
+      static_cast<long long>(stats->max_depth),
+      static_cast<long long>(stats->leaves),
+      static_cast<long long>(stats->max_fanout),
+      tree->snapshot_stats() != nullptr ? "preloaded from snapshot"
+                                        : "computed");
+
+  tw::NodeId origin = origin_arg >= 0 ? static_cast<tw::NodeId>(origin_arg)
+                                      : tree->root();
+  if ((evals || timing) && !tree->Valid(origin)) {
+    return Fail("--origin " + std::to_string(origin_arg) +
+                " is not a node of the tree");
+  }
+
+  const tw::PlannerCalibration cal;
+  for (const Item& item : items) {
+    std::printf("selector: %s\n", item.title.c_str());
+    tw::PlanOptions popts;
+    popts.forced_repr = axis_repr;
+    popts.offer_xpath = item.from_xpath;
+    popts.xpath_steps = item.xpath_steps;
+    if (origin_arg >= 0) popts.expected_origins = 1;
+    tw::SelectorPlan plan = tw::PlanSelector(*stats, item.formula, cal, popts);
+    const tw::FormulaFeatures& f = plan.features;
+    std::printf(
+        "  features: size=%d atoms=%d quantifiers=%d width=%d "
+        "negation-depth=%d guard=%s\n",
+        f.size, f.atoms, f.quantifiers, f.width, f.negation_depth,
+        f.has_range_guard ? "yes" : "no");
+    std::printf("  cost: reference=%.4g compiled-dense=%.4g "
+                "compiled-interval=%.4g",
+                plan.cost_reference, plan.cost_dense, plan.cost_interval);
+    if (plan.cost_xpath >= 0.0) {
+      std::printf(" xpath-direct=%.4g", plan.cost_xpath);
+    }
+    std::printf("\n");
+    if (plan_mode == tw::PlanMode::kFixed) {
+      // The legacy heuristics: always compile, representation by the
+      // kDenseAxisNodeLimit size threshold.
+      const tw::AxisRepr fixed = tw::ResolveAxisRepr(
+          axis_repr, static_cast<std::size_t>(stats->nodes));
+      plan.strategy = fixed == tw::AxisRepr::kDense
+                          ? tw::PlanStrategy::kCompiledDense
+                          : tw::PlanStrategy::kCompiledInterval;
+      plan.repr = fixed;
+      std::printf("  plan: %s (fixed mode: legacy heuristics)\n",
+                  tw::PlanStrategyName(plan.strategy));
+    } else {
+      std::printf("  plan: %s\n", tw::PlanStrategyName(plan.strategy));
+    }
+    std::printf("  operators:\n");
+    for (const tw::OperatorEstimate& op : plan.operators) {
+      std::printf("    %*s%-*s rows=%-12.4g sel=%.4g%s\n", op.depth * 2, "",
+                  std::max(1, 24 - op.depth * 2), op.op.c_str(), op.rows,
+                  op.selectivity, op.exact ? " exact" : "");
+    }
+
+    // One evaluation of a strategy from `origin`; compiled declines
+    // surface as a non-OK status and are reported, not fatal.
+    auto run_strategy =
+        [&](tw::PlanStrategy s) -> tw::Result<std::vector<tw::NodeId>> {
+      switch (s) {
+        case tw::PlanStrategy::kReference:
+          return tw::SelectNodes(*tree, item.formula, origin);
+        case tw::PlanStrategy::kCompiledDense:
+        case tw::PlanStrategy::kCompiledInterval: {
+          tw::AxisIndex index(*tree, nullptr);
+          if (!index.status().ok()) return index.status();
+          auto compiled = tw::CompileSelector(
+              index, item.formula, "x", "y",
+              s == tw::PlanStrategy::kCompiledDense ? tw::AxisRepr::kDense
+                                                    : tw::AxisRepr::kInterval);
+          if (!compiled.ok()) return compiled.status();
+          return compiled->SelectFrom(origin);
+        }
+        case tw::PlanStrategy::kXPathDirect:
+          return tw::EvalXPath(*tree, *xpath, origin);
+      }
+      return tw::InvalidArgument("unknown strategy");
+    };
+
+    if (evals) {
+      const double est_per_origin =
+          plan.estimated_rows / std::max<double>(1.0, stats->nodes);
+      auto result = run_strategy(plan.strategy);
+      if (result.ok()) {
+        std::printf(
+            "  evals: strategy=%s origin=%lld result=%zu node(s) "
+            "estimated-per-origin=%.4g\n",
+            tw::PlanStrategyName(plan.strategy),
+            static_cast<long long>(origin), result->size(), est_per_origin);
+      } else if (plan.strategy != tw::PlanStrategy::kReference) {
+        auto fallback = tw::SelectNodes(*tree, item.formula, origin);
+        if (!fallback.ok()) {
+          return Fail("evals: " + fallback.status().ToString());
+        }
+        std::printf(
+            "  evals: compile declined (%s); reference fallback "
+            "origin=%lld result=%zu node(s) estimated-per-origin=%.4g\n",
+            result.status().message().c_str(),
+            static_cast<long long>(origin), fallback->size(), est_per_origin);
+      } else {
+        return Fail("evals: " + result.status().ToString());
+      }
+    }
+
+    if (timing) {
+      std::vector<tw::StrategyMeasurement> measured;
+      std::printf("  timing:");
+      std::vector<tw::PlanStrategy> candidates = {
+          tw::PlanStrategy::kReference, tw::PlanStrategy::kCompiledDense,
+          tw::PlanStrategy::kCompiledInterval};
+      if (item.from_xpath) {
+        candidates.push_back(tw::PlanStrategy::kXPathDirect);
+      }
+      for (tw::PlanStrategy s : candidates) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = run_strategy(s);
+        const auto end = std::chrono::steady_clock::now();
+        if (!result.ok()) {
+          std::printf(" %s=declined", tw::PlanStrategyName(s));
+          continue;
+        }
+        const double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count());
+        measured.push_back(tw::StrategyMeasurement{s, ns});
+        std::printf(" %s=%.0fns", tw::PlanStrategyName(s), ns);
+      }
+      std::printf("\n");
+      const tw::PlannerCalibration tuned =
+          tw::RecalibrateFromMeasurements(cal, plan, measured);
+      std::printf(
+          "  recalibrated: reference_visit_cost=%.4g dense_word_cost=%.4g "
+          "interval_span_cost=%.4g xpath_step_cost=%.4g\n",
+          tuned.reference_visit_cost, tuned.dense_word_cost,
+          tuned.interval_span_cost, tuned.xpath_step_cost);
+    }
+  }
+  return 0;
+}
+
 int CmdBatch(int argc, char** argv) {
   if (argc < 1) {
     return Fail("usage: twq batch <manifest> [--jobs N] [--max-steps M] "
                 "[--quiet] [--no-cache] [--no-compiled] "
-                "[--axis-repr auto|interval|dense] [--deadline-ms D] "
+                "[--axis-repr auto|interval|dense] [--plan auto|fixed] "
+                "[--deadline-ms D] "
                 "[--memory-budget-mb B] [--retries R] "
                 "[--snapshot-cache <dir>] [--compile-cache <dir>] "
                 "[--journal <path> [--resume] [--journal-sync N]]");
@@ -313,6 +595,7 @@ int CmdBatch(int argc, char** argv) {
   bool cache_selectors = true;
   bool compile_selectors = true;
   tw::AxisRepr axis_repr = tw::AxisRepr::kAuto;
+  tw::PlanMode plan_mode = tw::PlanMode::kAuto;
   long long deadline_ms = 0;        // 0 = no deadline
   long long memory_budget_mb = 0;   // 0 = unlimited
   int retries = 0;                  // extra attempts beyond the first
@@ -343,6 +626,13 @@ int CmdBatch(int argc, char** argv) {
                     "' (want auto, interval, or dense)");
       }
       axis_repr = *repr;
+    } else if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
+      auto mode = ParsePlanMode(argv[++i]);
+      if (!mode.has_value()) {
+        return Fail(std::string("unknown --plan '") + argv[i] +
+                    "' (want auto or fixed)");
+      }
+      plan_mode = *mode;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       deadline_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0 &&
@@ -477,6 +767,7 @@ int CmdBatch(int argc, char** argv) {
       job.options.cache_selectors = cache_selectors;
       job.options.compile_selectors = compile_selectors;
       job.options.axis_repr = axis_repr;
+      job.options.plan_mode = plan_mode;
       if (compile_cache.has_value()) {
         job.options.selector_disk_cache = &*compile_cache;
       }
@@ -625,6 +916,14 @@ int CmdBatch(int argc, char** argv) {
               static_cast<long long>(s.interval_selector_evals),
               static_cast<long long>(s.dense_selector_evals),
               static_cast<long long>(s.store_updates));
+  if (s.planner_picks_reference + s.planner_picks_dense +
+          s.planner_picks_interval >
+      0) {
+    std::printf("planner_picks: reference=%lld dense=%lld interval=%lld\n",
+                static_cast<long long>(s.planner_picks_reference),
+                static_cast<long long>(s.planner_picks_dense),
+                static_cast<long long>(s.planner_picks_interval));
+  }
   if (snapshot_cache.has_value()) {
     const tw::SnapshotCache::Stats& cs = snapshot_cache->stats();
     std::printf("snapshot_cache: hits=%lld misses=%lld stores=%lld "
@@ -1167,8 +1466,8 @@ int main(int argc, char** argv) {
     }
   }
   if (args.size() < 2) {
-    return Fail("usage: twq <run|xpath|check|cat|batch|serve|query|probe|"
-                "journal|snapshot> [--metrics-out <file>] "
+    return Fail("usage: twq <run|xpath|check|explain|cat|batch|serve|query|"
+                "probe|journal|snapshot> [--metrics-out <file>] "
                 "[--trace-out <file>] ...  (see file header)");
   }
   if (!trace_out.empty()) tw::Tracer::Global().Enable();
@@ -1183,6 +1482,8 @@ int main(int argc, char** argv) {
     code = CmdXPath(sub_argc, sub_argv);
   } else if (command == "check") {
     code = CmdCheck(sub_argc, sub_argv);
+  } else if (command == "explain") {
+    code = CmdExplain(sub_argc, sub_argv);
   } else if (command == "cat") {
     code = CmdCat(sub_argc, sub_argv);
   } else if (command == "batch") {
